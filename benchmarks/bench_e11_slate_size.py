@@ -1,0 +1,153 @@
+"""E11 — Slate size versus updater speed (Section 5).
+
+"We observe that slates can grow quite large and updaters that maintain
+large slates can run more slowly due to the overhead. Consequently, we
+encourage developers to keep individual slates small, e.g., many
+kilobytes rather than many megabytes." We sweep slate payload size on
+both the wall-clock local runtime (real serialization costs) and the
+simulator (modeled per-byte cost).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import Application, Event, Updater
+from repro.muppet.local import LocalConfig, LocalMuppet
+from repro.sim import SimConfig, SimRuntime, constant_rate
+from repro.slates.manager import FlushPolicy
+
+
+class PaddedCounter(Updater):
+    """A counter whose slate carries a configurable payload blob."""
+
+    def init_slate(self, key):
+        pad_bytes = int(self.config.get("pad_bytes", 0))
+        return {"count": 0, "pad": "x" * pad_bytes}
+
+    def update(self, ctx, event, slate):
+        slate["count"] += 1
+
+
+def build_padded_app(pad_bytes: int) -> Application:
+    app = Application(f"padded-{pad_bytes}")
+    app.add_stream("S1", external=True)
+    app.add_updater("U1", PaddedCounter, subscribes=["S1"],
+                    config={"pad_bytes": pad_bytes})
+    return app.validate()
+
+
+SIZES = [100, 10_000, 1_000_000]  # 100 B / 10 KB / 1 MB
+LABELS = ["100 B", "10 KB", "1 MB"]
+
+
+def test_e11_wallclock_slate_size(benchmark, experiment):
+    """Real serialization: write-through flushing pays per byte."""
+    events = [Event("S1", float(i) * 1e-4, f"k{i % 8}")
+              for i in range(400)]
+
+    def throughput(pad_bytes: int) -> float:
+        config = LocalConfig(num_threads=2,
+                             flush_policy=FlushPolicy.write_through(),
+                             record_latency=False)
+        with LocalMuppet(build_padded_app(pad_bytes), config) as runtime:
+            start = time.perf_counter()
+            runtime.ingest_many(list(events))
+            runtime.drain()
+            elapsed = time.perf_counter() - start
+        return len(events) / elapsed
+
+    def run():
+        return [throughput(size) for size in SIZES]
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment("E11a-slate-size-wallclock")
+    report.claim("updaters that maintain large slates run more slowly; "
+                 "keep slates to kilobytes, not megabytes")
+    report.table(
+        ["slate size", "updates/s (wall clock, write-through)"],
+        [[label, f"{rate:,.0f}"] for label, rate in zip(LABELS, rates)])
+    assert rates[0] > 3 * rates[2]  # megabyte slates are much slower
+    report.outcome(
+        f"throughput {rates[0]:,.0f}/s at 100 B vs {rates[2]:,.0f}/s at "
+        f"1 MB — {rates[0] / rates[2]:.0f}x slowdown from slate bloat")
+
+
+def test_e11_simulated_slate_size(benchmark, experiment):
+    """The same sweep on the cluster simulator's cost model."""
+    def run():
+        rows = []
+        for size, label in zip(SIZES, LABELS):
+            source = constant_rate("S1", rate_per_s=500, duration_s=0.5,
+                                   key_fn=lambda i: f"k{i % 8}")
+            runtime = SimRuntime(build_padded_app(size),
+                                 ClusterSpec.uniform(1, cores=4),
+                                 SimConfig(queue_capacity=100_000),
+                                 [source])
+            sim_report = runtime.run(60.0)
+            rows.append((label, sim_report.latency.p50,
+                         sim_report.latency.p99))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment("E11b-slate-size-sim")
+    report.claim("the per-event cost grows with slate size (serialization "
+                 "and copying overhead)")
+    report.table(
+        ["slate size", "p50 (ms)", "p99 (ms)"],
+        [[label, f"{p50 * 1e3:.3f}", f"{p99 * 1e3:.3f}"]
+         for label, p50, p99 in rows])
+    assert rows[2][1] > 3 * rows[0][1]
+    report.outcome(
+        f"p50 rises {rows[0][1] * 1e3:.2f} ms -> {rows[2][1] * 1e3:.2f} "
+        f"ms from 100 B to 1 MB slates")
+
+
+def test_e11_size_cap_enforcement(benchmark, experiment):
+    """The engineering answer: an enforced max_slate_bytes cap."""
+    from repro.errors import SlateTooLargeError
+
+    class Grower(Updater):
+        def init_slate(self, key):
+            return {"log": []}
+
+        def update(self, ctx, event, slate):
+            log = slate["log"]
+            log.append("entry " * 50)
+            slate["log"] = log
+
+    def build():
+        app = Application("grower")
+        app.add_stream("S1", external=True)
+        app.add_updater("U1", Grower, subscribes=["S1"])
+        return app.validate()
+
+    def run():
+        config = LocalConfig(num_threads=1, max_slate_bytes=10_000,
+                             flush_policy=FlushPolicy.write_through())
+        with LocalMuppet(build(), config) as runtime:
+            for i in range(100):
+                runtime.ingest(Event("S1", float(i), "k"))
+            runtime.drain()
+            errors = runtime.operator_errors
+            stored = runtime.store.read("k", "U1").value
+        return errors, stored
+
+    errors, stored = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment("E11c-size-cap")
+    report.claim("engines can enforce the keep-slates-small advice: "
+                 "updates that push a slate past the cap are rejected "
+                 "(and logged), and oversized state never reaches the "
+                 "key-value store")
+    report.table(["metric", "value"],
+                 [["cap (bytes)", 10_000],
+                  ["updates rejected over cap", errors],
+                  ["largest persisted blob (bytes)",
+                   len(stored) if stored else 0]])
+    assert errors > 0                         # cap actually fired
+    assert stored is None or len(stored) < 20_000
+    report.outcome(f"{errors} oversized updates rejected; the store "
+                   f"never saw a blob past the cap")

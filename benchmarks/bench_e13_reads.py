@@ -1,0 +1,126 @@
+"""E13 — Reading slates (Sections 4.4, 5).
+
+"The fetch retrieves the slate from Muppet's slate cache ... rather than
+from the durable key-value store to ensure an up-to-date reply." And for
+bulk dumps, "repeated HTTP slate fetches can be expensive (in network
+round trips)", so users log slate data from inside update functions
+instead. We measure the HTTP fetch path (latency, freshness) and the
+bulk-read trade-off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.core import Event
+from repro.muppet.http import SlateHTTPServer
+from repro.muppet.local import LocalConfig, LocalMuppet
+from repro.slates.manager import FlushPolicy
+from tests.conftest import build_count_app, make_events
+
+
+def fetch(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return json.loads(response.read())
+
+
+def test_e13_http_fetch_latency(benchmark, experiment):
+    """One slate fetch over real HTTP, timed by pytest-benchmark."""
+    app = build_count_app()
+    with LocalMuppet(app, LocalConfig(num_threads=2)) as runtime:
+        runtime.ingest_many(make_events(100, keys=4))
+        runtime.drain()
+        with SlateHTTPServer(runtime) as server:
+            url = f"http://127.0.0.1:{server.port}/slate/U1/k0"
+            payload = benchmark(fetch, url)
+    report = experiment("E13a-http-fetch")
+    report.claim("a small HTTP server on each node serves slate fetches "
+                 "addressed by updater name and slate key")
+    report.table(["field", "value"],
+                 [["URI", "/slate/U1/k0"],
+                  ["updater", payload["updater"]],
+                  ["key", payload["key"]],
+                  ["slate", json.dumps(payload["slate"])]])
+    assert payload["slate"]["count"] == 25
+    report.outcome("live slate served over HTTP (see timing table for "
+                   "fetch latency)")
+
+
+def test_e13_cache_freshness_vs_store(benchmark, experiment):
+    """The cache answer leads the durable store by up to one flush
+    interval — which is why §4.4 reads the cache."""
+    def run():
+        config = LocalConfig(num_threads=2,
+                             flush_policy=FlushPolicy.every(3600.0))
+        with LocalMuppet(build_count_app(), config) as runtime:
+            runtime.ingest_many(make_events(50, keys=1))
+            runtime.drain()
+            cache_view = runtime.read_slate("U1", "k0")
+            store_view = runtime.store.read("k0", "U1").value
+            runtime.manager.flush_all_dirty()
+            store_after_flush = runtime.manager.codec.decode(
+                runtime.store.read("k0", "U1").value)
+        return cache_view, store_view, store_after_flush
+
+    cache_view, store_view, store_after = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    report = experiment("E13b-freshness")
+    report.claim("fetches read the slate cache, not the store, 'to "
+                 "ensure an up-to-date reply'")
+    report.table(
+        ["view", "count"],
+        [["slate cache (what HTTP serves)", cache_view["count"]],
+         ["durable store, before flush",
+          "absent" if store_view is None else "stale"],
+         ["durable store, after flush", store_after["count"]]])
+    assert cache_view["count"] == 50
+    assert store_view is None          # nothing flushed yet
+    assert store_after["count"] == 50
+    report.outcome("the cache led the store by the whole unflushed "
+                   "history; cache-first reads are the only fresh ones")
+
+
+def test_e13_bulk_read_tradeoff(benchmark, experiment):
+    """N per-slate HTTP round trips versus one store row scan — why the
+    paper steers bulk dumps away from repeated fetches."""
+    slates = 200
+
+    def run():
+        config = LocalConfig(num_threads=2,
+                             flush_policy=FlushPolicy.write_through())
+        with LocalMuppet(build_count_app(), config) as runtime:
+            runtime.ingest_many(make_events(slates, keys=slates))
+            runtime.drain()
+            with SlateHTTPServer(runtime) as server:
+                base = f"http://127.0.0.1:{server.port}"
+                start = time.perf_counter()
+                for i in range(slates):
+                    fetch(f"{base}/slate/U1/k{i}")
+                http_time = time.perf_counter() - start
+                start = time.perf_counter()
+                listing = fetch(f"{base}/slates/U1")
+                bulk_time = time.perf_counter() - start
+        return http_time, bulk_time, len(listing["slates"])
+
+    http_time, bulk_time, listed = benchmark.pedantic(run, rounds=1,
+                                                      iterations=1)
+    report = experiment("E13c-bulk-reads")
+    report.claim("repeated HTTP slate fetches are expensive in round "
+                 "trips; bulk consumers should use one scan (or log "
+                 "from the update function)")
+    report.table(
+        ["method", "slates", "wall time (ms)", "per slate (ms)"],
+        [[f"{slates} individual GETs", slates, f"{http_time * 1e3:.1f}",
+          f"{http_time / slates * 1e3:.3f}"],
+         ["one bulk listing", listed, f"{bulk_time * 1e3:.1f}",
+          f"{bulk_time / max(1, listed) * 1e3:.3f}"]])
+    assert listed == slates
+    assert bulk_time < http_time / 5
+    report.outcome(
+        f"{slates} round trips took {http_time * 1e3:.0f} ms; one bulk "
+        f"listing took {bulk_time * 1e3:.1f} ms "
+        f"({http_time / bulk_time:.0f}x)")

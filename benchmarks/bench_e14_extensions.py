@@ -1,0 +1,192 @@
+"""E14–E16 — Section 5's "ongoing extensions", implemented and measured.
+
+The paper closes with work in progress: locality-aware placement of
+mappers/updaters (E14), changing the number of machines on the fly and
+replaying lost events (E15), and the side-effect/logging guidance (E16).
+We built all of them (see DESIGN.md §6); these benches are their
+ablations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.muppet.placement import (TrafficMatrix, evaluate_placement,
+                                    greedy_placement, hash_placement)
+from repro.muppet.sideeffects import PerWorkerLogger, SharedLogger
+from repro.sim import SimConfig, SimRuntime, constant_rate, from_trace
+from repro.slates.manager import FlushPolicy
+from repro.workloads import CheckinGenerator
+from repro.workloads.zipf import ZipfSampler
+from tests.conftest import build_count_app
+
+
+def test_e14_placement_locality(benchmark, experiment):
+    """Locality-aware placement versus the production hash placement,
+    on a realistic ingest-skewed traffic matrix."""
+    machines = [f"m{i}" for i in range(8)]
+
+    def run():
+        # Checkins land on two ingest machines; retailer popularity is
+        # Zipfian — the paper's exact scenario.
+        matrix = TrafficMatrix()
+        sampler = ZipfSampler(40, 1.2, seed=5)
+        for i in range(20_000):
+            producer = machines[i % 2]          # ingest nodes m0/m1
+            retailer = f"retailer{sampler.sample()}"
+            matrix.record(producer, "U1", retailer, 500)
+        hashed = evaluate_placement(matrix,
+                                    hash_placement(matrix, machines))
+        greedy = evaluate_placement(
+            matrix, greedy_placement(matrix, machines,
+                                     max_load_fraction=0.4))
+        return matrix, hashed, greedy
+
+    matrix, hashed, greedy = benchmark.pedantic(run, rounds=1,
+                                                iterations=1)
+    report = experiment("E14-placement")
+    report.claim("placing updaters near their producers reduces network "
+                 "traffic; but an uncapped local placement would melt "
+                 "the ingest machine (the paper's caveats)")
+    report.table(
+        ["placement", "cross-machine MB", "locality",
+         "max machine share"],
+        [["hash ring (production)",
+          f"{hashed.cross_machine_bytes / 1e6:.2f}",
+          f"{hashed.locality:.2f}", f"{hashed.max_machine_share:.2f}"],
+         ["greedy locality (cap 40%)",
+          f"{greedy.cross_machine_bytes / 1e6:.2f}",
+          f"{greedy.locality:.2f}", f"{greedy.max_machine_share:.2f}"]])
+    assert greedy.cross_machine_bytes < 0.7 * hashed.cross_machine_bytes
+    assert greedy.max_machine_share <= 0.45
+    report.outcome(
+        f"greedy placement cuts cross-machine traffic "
+        f"{hashed.cross_machine_bytes / 1e6:.1f} -> "
+        f"{greedy.cross_machine_bytes / 1e6:.1f} MB "
+        f"({hashed.cross_machine_bytes / max(1, greedy.cross_machine_bytes):.1f}x) "
+        f"while the load cap keeps any machine under 45%")
+
+
+def test_e15_elastic_and_replay(benchmark, experiment):
+    """Adding a machine on the fly (rebalance barrier) and replaying the
+    failure window (at-least-once) — both Section 5/4.3 future work."""
+    def run():
+        rows = {}
+        # (a) elastic join mid-stream.
+        source = constant_rate("S1", rate_per_s=2000, duration_s=2.0,
+                               key_fn=lambda i: f"k{i % 64}")
+        runtime = SimRuntime(build_count_app(),
+                             ClusterSpec.uniform(2, cores=4),
+                             SimConfig(), [source])
+        runtime.schedule_add_machine(1.0, "m_new", cores=4)
+        elastic_report = runtime.run(10.0)
+        elastic_counted = sum(v["count"]
+                              for v in runtime.slates_of("U1").values())
+        new_accepted = sum(w.queue.stats.accepted
+                           for w in runtime.machines["m_new"].workers)
+        rows["elastic"] = (elastic_counted, elastic_report, new_accepted)
+
+        # (b) failure with and without replay (write-through slates so
+        # only event loss matters).
+        for label, horizon in (("no-replay", None), ("replay", 0.5)):
+            source = constant_rate("S1", rate_per_s=2000,
+                                   duration_s=2.0,
+                                   key_fn=lambda i: f"k{i % 64}")
+            runtime = SimRuntime(
+                build_count_app(), ClusterSpec.uniform(4, cores=4),
+                SimConfig(replay_horizon_s=horizon,
+                          flush_policy=FlushPolicy.write_through()),
+                [source], failures=[(1.0, "m001")])
+            sim_report = runtime.run(10.0)
+            counted = sum(v["count"]
+                          for v in runtime.slates_of("U1").values())
+            rows[label] = (counted, sim_report,
+                           runtime.counters_replayed)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment("E15-elastic-replay")
+    report.claim("future work implemented: machines can join on the fly "
+                 "(dirty slates flushed before the ring change, so no "
+                 "dual-owner slates); a replay journal recovers the "
+                 "failure window at-least-once")
+    elastic_counted, elastic_report, new_accepted = rows["elastic"]
+    report.table(
+        ["scenario", "counted (of 4000)", "lost", "replayed/joined"],
+        [["machine joins at t=1 s", elastic_counted,
+          elastic_report.counters.lost_total(),
+          f"{new_accepted} events on new machine"],
+         ["failure, no replay (paper)", rows["no-replay"][0],
+          rows["no-replay"][1].counters.lost_failure, "-"],
+         ["failure, replay horizon 0.5 s", rows["replay"][0],
+          rows["replay"][1].counters.lost_failure,
+          f"{rows['replay'][2]} replayed"]])
+    assert elastic_counted == 4000
+    assert elastic_report.counters.lost_total() == 0
+    assert new_accepted > 0
+    assert rows["replay"][0] >= 4000          # at-least-once
+    assert rows["replay"][0] >= rows["no-replay"][0]
+    report.outcome(
+        f"elastic join: 4000/4000 with zero loss; replay lifts the "
+        f"post-failure count {rows['no-replay'][0]} -> "
+        f"{rows['replay'][0]} (>= 4000, at-least-once)")
+
+
+def test_e16_shared_log_contention(benchmark, experiment):
+    """'Asking mappers and updaters to write to a common log can
+    introduce lock contention for the common logger, thereby
+    dramatically slowing down the workers.'"""
+    threads_n = 8
+    lines_per_thread = 400
+    write_cost_s = 100e-6
+
+    def drive(log_fn) -> float:
+        barrier = threading.Barrier(threads_n)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            for i in range(lines_per_thread):
+                log_fn(index, f"worker {index} line {i}")
+
+        workers = [threading.Thread(target=worker, args=(i,))
+                   for i in range(threads_n)]
+        start = time.perf_counter()
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        return time.perf_counter() - start
+
+    def run():
+        shared = SharedLogger(write_cost_s=write_cost_s)
+        shared_time = drive(lambda i, line: shared.log(line))
+        private = PerWorkerLogger(threads_n, write_cost_s=write_cost_s)
+        private_time = drive(private.log)
+        return shared, shared_time, private, private_time
+
+    shared, shared_time, private, private_time = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    report = experiment("E16-log-contention")
+    report.claim("a common log serializes all workers on one lock; "
+                 "per-worker logs (merged on read) do not")
+    total = threads_n * lines_per_thread
+    report.table(
+        ["logger", "lines", "wall time (ms)", "lines/s",
+         "lock wait (ms)"],
+        [["shared (one lock)", total, f"{shared_time * 1e3:.1f}",
+          f"{total / shared_time:,.0f}",
+          f"{shared.stats.lock_wait_s * 1e3:.1f}"],
+         ["per-worker", total, f"{private_time * 1e3:.1f}",
+          f"{total / private_time:,.0f}", "0.0"]])
+    assert len(shared.lines()) == total
+    assert len(private.lines()) == total
+    assert private_time < shared_time
+    report.outcome(
+        f"shared log: {total / shared_time:,.0f} lines/s with "
+        f"{shared.stats.lock_wait_s * 1e3:.0f} ms of lock waiting; "
+        f"per-worker logs: {total / private_time:,.0f} lines/s "
+        f"({shared_time / private_time:.1f}x faster)")

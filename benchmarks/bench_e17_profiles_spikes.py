@@ -1,0 +1,203 @@
+"""E17/E18 — Production state shape (§5) and spike resilience (§1).
+
+E17: "It kept over 30 millions slates of user profiles and 4 million
+slates of venue profiles" — two updaters over one stream, with the user
+population far larger than the venue population, and user slates bounded
+by a TTL to the *active* working set. We run the dual-profile app and
+measure both populations and the TTL effect.
+
+E18: "must handle drastic spikes in the tweet volumes" (the §1
+earthquake example). We hit the cluster with a 10× burst and measure the
+backlog drain, then show the flip side: a straggler machine (the hash
+ring is capacity-oblivious) drags the tail — context for why the paper's
+hotspot tools exist.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.profiles import (build_profiles_app,
+                                 estimate_unique_visitors)
+from repro.cluster import ClusterSpec, MachineSpec, NetworkSpec
+from repro.core import ReferenceExecutor
+from repro.sim import SimConfig, SimRuntime, from_trace, spiky_rate
+from repro.workloads import CheckinGenerator
+from repro.workloads.checkins import parse_checkin
+from tests.conftest import build_count_app
+
+DAY = 86_400.0
+
+
+def test_e17_dual_profile_populations(benchmark, experiment):
+    def run():
+        generator = CheckinGenerator(rate_per_s=2000, seed=501,
+                                     num_users=5_000)
+        events, _ = generator.take_with_truth(8_000)
+        result = ReferenceExecutor(build_profiles_app()).run(events)
+        users = result.slates_of("U_user")
+        venues = result.slates_of("U_venue")
+        true_users = {e.key for e in events}
+        true_venues = {parse_checkin(e.value)["venue"]["name"]
+                       for e in events}
+        # HLL accuracy on the busiest venue.
+        busiest = max(venues, key=lambda v: venues[v]["checkins"])
+        true_visitors = len({
+            e.key for e in events
+            if parse_checkin(e.value)["venue"]["name"] == busiest})
+        estimate = estimate_unique_visitors(venues[busiest].as_dict())
+        return (users, venues, true_users, true_venues, busiest,
+                true_visitors, estimate)
+
+    (users, venues, true_users, true_venues, busiest, true_visitors,
+     estimate) = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment("E17-profile-slates")
+    report.claim("30M user-profile slates + 4M venue-profile slates from "
+                 "one stream: per-user and per-venue updaters, small "
+                 "slates, user population >> venue population")
+    report.table(
+        ["metric", "value"],
+        [["user slates", len(users)],
+         ["distinct users in stream", len(true_users)],
+         ["venue slates", len(venues)],
+         ["distinct venues in stream", len(true_venues)],
+         ["user/venue ratio", f"{len(users) / len(venues):.0f}x"],
+         [f"busiest venue ({busiest!r}) true visitors", true_visitors],
+         ["sketch estimate", f"{estimate:.0f}"],
+         ["sketch error",
+          f"{abs(estimate - true_visitors) / true_visitors * 100:.1f}%"]])
+    assert len(users) == len(true_users)
+    assert len(venues) == len(true_venues)
+    assert len(users) > 20 * len(venues)  # the 30M-vs-4M asymmetry
+    assert abs(estimate - true_visitors) / true_visitors < 0.35
+    report.outcome(
+        f"{len(users)} user slates vs {len(venues)} venue slates "
+        f"({len(users) / len(venues):.0f}x asymmetry); distinct-visitor "
+        f"sketch within "
+        f"{abs(estimate - true_visitors) / true_visitors * 100:.0f}% "
+        f"at 64 bytes of state")
+
+
+def test_e17_user_ttl_bounds_working_set(benchmark, experiment):
+    """User slates with a TTL track *active* users (§4.2's example)."""
+    def run():
+        generator = CheckinGenerator(rate_per_s=2000, seed=502,
+                                     num_users=100_000)
+        # Three "days" of traffic: day keys churn, so without TTL the
+        # user population accumulates; with a 1-day TTL it plateaus.
+        events = []
+        for day in range(3):
+            day_events, _ = generator.take_with_truth(
+                3_000, start_ts=day * DAY)
+            events.extend(day_events)
+        end_ts = events[-1].ts
+        without = ReferenceExecutor(build_profiles_app()).run(
+            list(events))
+        with_ttl = ReferenceExecutor(
+            build_profiles_app(user_ttl=1.0 * DAY)).run(list(events))
+        # Live slates = those the TTL has not expired by end of run
+        # (expired ones are garbage the store GC reclaims, §4.2).
+        live = sum(1 for s in with_ttl.slates_of("U_user").values()
+                   if not s.expired(end_ts))
+        return len(without.slates_of("U_user")), live
+
+    total_users, active_users = benchmark.pedantic(run, rounds=1,
+                                                   iterations=1)
+    report = experiment("E17b-active-users-ttl")
+    report.claim("'keep track of only active Twitter users ... a working "
+                 "set which is typically much smaller than the set of "
+                 "all Twitter users who have ever tweeted'")
+    report.table(["configuration", "user slates after 3 days"],
+                 [["no TTL (all users ever)", total_users],
+                  ["1-day TTL (active working set)", active_users]])
+    assert active_users < total_users
+    report.outcome(f"{total_users} all-time user slates vs "
+                   f"{active_users} active-set slates with a 1-day TTL")
+
+
+def test_e18_spike_absorption(benchmark, experiment):
+    """A 10x burst: queues absorb it; latency recovers after the spike."""
+    def run():
+        # A 4x4-core cluster handles ~26k source ev/s in this model;
+        # the 60k/s burst is ~2.3x over capacity, so queues must absorb
+        # it and drain afterwards.
+        source = spiky_rate(
+            "S1",
+            [(2_000, 1.0), (60_000, 0.5), (2_000, 1.0)],
+            key_fn=lambda i: f"u{i % 997}")
+        runtime = SimRuntime(build_count_app(),
+                             ClusterSpec.uniform(4, cores=4),
+                             SimConfig(queue_capacity=200_000), [source])
+        sim_report = runtime.run(30.0)
+        return sim_report
+
+    sim_report = benchmark.pedantic(run, rounds=1, iterations=1)
+    offered = 2000 + 30_000 + 2000
+    counted = sim_report.counters.processed
+    report = experiment("E18-spike")
+    report.claim("applications 'must handle drastic spikes in the tweet "
+                 "volumes' (the §1 earthquake example)")
+    report.table(
+        ["metric", "value"],
+        [["steady rate (ev/s)", 2_000],
+         ["burst rate (ev/s)", 60_000],
+         ["offered events", offered],
+         ["processed deliveries", counted],
+         ["lost", sim_report.counters.lost_total()],
+         ["p50 (ms)", f"{sim_report.latency.p50 * 1e3:.2f}"],
+         ["p99 (s)", f"{sim_report.latency.p99:.3f}"],
+         ["max (s)", f"{sim_report.latency.maximum:.3f}"],
+         ["peak queue depth", sim_report.queue_peak_depth]])
+    assert sim_report.counters.lost_total() == 0
+    assert sim_report.queue_peak_depth > 100  # the burst really queued
+    assert sim_report.latency.maximum < 5.0   # backlog drains
+    report.outcome(
+        f"the 30x burst (2.3x over capacity) queued up to "
+        f"{sim_report.queue_peak_depth} events and drained fully with "
+        f"zero loss; worst latency {sim_report.latency.maximum:.2f} s, "
+        f"back to milliseconds after the spike")
+
+
+def test_e18_straggler_machine(benchmark, experiment):
+    """The hash ring is capacity-oblivious: one weak machine drags the
+    tail for the keys it owns — the structural reason the paper explores
+    placement and load redistribution."""
+    def run():
+        results = {}
+        for label, machines in (
+            ("uniform 4x4-core",
+             [MachineSpec(f"m{i}", cores=4) for i in range(4)]),
+            ("one straggler (1-core)",
+             [MachineSpec("m0", cores=4), MachineSpec("m1", cores=4),
+              MachineSpec("m2", cores=4), MachineSpec("m3", cores=1)]),
+        ):
+            from repro.sim import constant_rate
+
+            source = constant_rate("S1", rate_per_s=8_000,
+                                   duration_s=1.0,
+                                   key_fn=lambda i: f"u{i % 997}")
+            runtime = SimRuntime(build_count_app(),
+                                 ClusterSpec(machines, NetworkSpec()),
+                                 SimConfig(queue_capacity=200_000),
+                                 [source])
+            results[label] = runtime.run(30.0)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment("E18b-straggler")
+    report.claim("hash placement ignores machine capacity; a slow "
+                 "machine's keys suffer (motivation for the §5 placement "
+                 "and load-redistribution explorations)")
+    report.table(
+        ["cluster", "p50 (ms)", "p99 (ms)", "max (s)"],
+        [[label, f"{r.latency.p50 * 1e3:.2f}",
+          f"{r.latency.p99 * 1e3:.2f}", f"{r.latency.maximum:.3f}"]
+         for label, r in results.items()])
+    uniform = results["uniform 4x4-core"]
+    straggler = results["one straggler (1-core)"]
+    assert straggler.latency.p99 > 2 * uniform.latency.p99
+    report.outcome(
+        f"one 1-core machine in a 4-machine ring multiplies p99 "
+        f"{uniform.latency.p99 * 1e3:.1f} -> "
+        f"{straggler.latency.p99 * 1e3:.1f} ms "
+        f"({straggler.latency.p99 / uniform.latency.p99:.1f}x)")

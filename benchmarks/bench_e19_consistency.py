@@ -1,0 +1,123 @@
+"""E19 — The quorum knob (Section 4.2).
+
+"The application can specify the desired quorum used by the Cassandra
+store for a successful read/write operation: any single machine ..., a
+majority of replicas ..., or all of the replicas." The trade is classic:
+stronger levels cost more per operation and lose availability when
+replicas die; weaker levels are fast and available but can serve stale
+reads (repaired lazily). This bench measures all three on our store.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import QuorumError
+from repro.kvstore.api import ConsistencyLevel
+from repro.kvstore.cluster import ReplicatedKVStore
+
+LEVELS = [ConsistencyLevel.ONE, ConsistencyLevel.QUORUM,
+          ConsistencyLevel.ALL]
+
+
+def make_store(nodes=5, rf=3):
+    counter = itertools.count()
+    return ReplicatedKVStore([f"n{i}" for i in range(nodes)],
+                             replication_factor=rf,
+                             clock=lambda: float(next(counter)))
+
+
+def test_e19_cost_and_availability(benchmark, experiment):
+    writes = 2_000
+
+    def run():
+        rows = []
+        for level in LEVELS:
+            store = make_store()
+            total_cost = 0.0
+            for i in range(writes):
+                result = store.write(f"row{i % 200}", "U1", b"v" * 128,
+                                     consistency=level)
+                total_cost += result.cost_s
+            # Availability under one failed replica:
+            victim = store.replicas_for("row0")[0]
+            store.mark_down(victim)
+            try:
+                store.write("row0", "U1", b"v2", consistency=level)
+                survives_one = True
+            except QuorumError:
+                survives_one = False
+            # ... and under two failed replicas.
+            second = store.replicas_for("row0")[1]
+            store.mark_down(second)
+            try:
+                store.write("row0", "U1", b"v3", consistency=level)
+                survives_two = True
+            except QuorumError:
+                survives_two = False
+            rows.append((level.value, total_cost / writes, survives_one,
+                         survives_two, store.hints_stored))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment("E19-consistency-levels")
+    report.claim("ONE / QUORUM (majority) / ALL: stronger levels pay "
+                 "more and tolerate fewer failures")
+    report.table(
+        ["level", "mean write cost (µs)", "writes with 1 replica down",
+         "with 2 down", "hints stored"],
+        [[level, f"{cost * 1e6:.2f}",
+          "ok" if one else "UNAVAILABLE",
+          "ok" if two else "UNAVAILABLE", hints]
+         for level, cost, one, two, hints in rows])
+    by_level = {level: (cost, one, two)
+                for level, cost, one, two, _ in rows}
+    # Availability ordering at rf=3: ONE survives 2 down, QUORUM 1, ALL 0.
+    assert by_level["one"][1] and by_level["one"][2]
+    assert by_level["quorum"][1] and not by_level["quorum"][2]
+    assert not by_level["all"][1]
+    report.outcome("rf=3 availability ladder holds: ONE survives two "
+                   "replica failures, QUORUM one, ALL none; missed "
+                   "writes accumulate as hints for handoff")
+
+
+def test_e19_stale_reads_at_one_repaired_at_quorum(benchmark,
+                                                   experiment):
+    """ONE can read stale data after a partial write; QUORUM cannot
+    (read repair patches the stragglers on the way)."""
+    def run():
+        store = make_store(nodes=3, rf=3)
+        store.write("row", "U1", b"v1", consistency=ConsistencyLevel.ALL)
+        replicas = store.replicas_for("row")
+        # The last replica misses the second write.
+        store.mark_down(replicas[2])
+        store.write("row", "U1", b"v2",
+                    consistency=ConsistencyLevel.QUORUM)
+        # Drop the hint *before* rejoin so the replica comes back
+        # genuinely stale (isolating read repair from hinted handoff).
+        store._hints.clear()
+        store.mark_up(replicas[2])
+        stale_node = store.nodes[replicas[2]]
+        stale_direct, _ = stale_node.get("row", "U1")
+        quorum_read = store.read("row", "U1", ConsistencyLevel.QUORUM)
+        repaired_direct, _ = stale_node.get("row", "U1")
+        return stale_direct, quorum_read.value, repaired_direct
+
+    stale, quorum_value, repaired = benchmark.pedantic(run, rounds=1,
+                                                       iterations=1)
+    report = experiment("E19b-read-repair")
+    report.claim("majority reads reconcile divergent replicas "
+                 "(last-write-wins) and repair stale ones")
+    report.table(
+        ["observation", "value"],
+        [["stale replica before quorum read",
+          stale.decode() if stale else "absent"],
+         ["quorum read returns", quorum_value.decode()],
+         ["stale replica after quorum read", repaired.decode()]])
+    assert stale == b"v1"          # genuinely stale
+    assert quorum_value == b"v2"   # majority wins
+    assert repaired == b"v2"       # read repair healed it
+    report.outcome("the stale v1 replica was healed to v2 by the "
+                   "quorum read's read-repair pass")

@@ -1,0 +1,177 @@
+"""E8 — SSDs for the key-value store (Section 4.2).
+
+The paper's three reasons for running Cassandra on SSDs:
+
+1. cold start — "early update events may require many row fetches from
+   the key-value store. Fast random access helps ... warming the slate
+   cache";
+2. concurrent compaction — "Muppet often needs random-seek I/O capacity
+   to fetch uncached slates. Meanwhile, Cassandra also requires I/O
+   capacity for periodic compactions";
+3. write buffering — "we minimize disk I/O for writing ... if we devote
+   the store's main memory to buffering writes".
+
+We measure each on our LSM node with the SSD and HDD device models.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.kvstore.device import StorageDevice
+from repro.kvstore.node import StorageNode
+from repro.sim import SimConfig, SimRuntime, constant_rate
+from repro.slates.manager import FlushPolicy
+from tests.conftest import build_count_app
+
+
+def make_node(kind: str, **kwargs) -> StorageNode:
+    counter = itertools.count()
+    device = StorageDevice.ssd() if kind == "ssd" else StorageDevice.hdd()
+    return StorageNode(kind, device=device,
+                       clock=lambda: float(next(counter)) * 0.001,
+                       **kwargs)
+
+
+def test_e8_cold_start_warmup(benchmark, experiment):
+    """Reason 1: reading N cold slates off disk to warm the cache."""
+    slates = 5_000
+    blob = b"x" * 512
+
+    def run():
+        times = {}
+        for kind in ("ssd", "hdd"):
+            node = make_node(kind, memtable_flush_bytes=1 << 30)
+            for i in range(slates):
+                node.put(f"user{i}", "U1", blob)
+            node.flush()           # everything on disk, cache cold
+            total = 0.0
+            for i in range(slates):
+                _, cost = node.get(f"user{i}", "U1")
+                total += cost
+            times[kind] = total
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment("E8a-cold-start")
+    report.claim("fast random access helps the store respond to the "
+                 "cold-start read volume, warming the slate cache")
+    report.table(
+        ["device", f"time to warm {slates} slates (s)",
+         "per-read (ms)"],
+        [[k, f"{v:.2f}", f"{v / slates * 1e3:.3f}"]
+         for k, v in times.items()])
+    assert times["hdd"] > 20 * times["ssd"]
+    report.outcome(f"warm-up: SSD {times['ssd']:.2f} s vs HDD "
+                   f"{times['hdd']:.1f} s "
+                   f"({times['hdd'] / times['ssd']:.0f}x)")
+
+
+def test_e8_reads_during_compaction(benchmark, experiment):
+    """Reason 2: random reads compete with compaction streaming I/O."""
+    def run():
+        rows = {}
+        for kind in ("ssd", "hdd"):
+            node = make_node(kind, memtable_flush_bytes=16 * 1024,
+                             compaction_threshold=4)
+            read_cost = 0.0
+            reads = 0
+            # Interleave writes (forcing flushes + compactions) with
+            # uncached reads.
+            for i in range(4_000):
+                node.put(f"k{i % 800}", "U1", b"y" * 256)
+                if i % 10 == 0:
+                    _, cost = node.get(f"k{(i * 7) % 800}", "U1")
+                    read_cost += cost
+                    reads += 1
+            rows[kind] = (read_cost / max(1, reads),
+                          node.stats.compactions,
+                          node.device.stats.busy_time_s)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment("E8b-compaction-interference")
+    report.claim("SSDs provide the I/O capacity to sustain uncached "
+                 "slate fetches while compactions run")
+    report.table(
+        ["device", "mean uncached read (ms)", "compactions",
+         "device busy (s)"],
+        [[k, f"{r * 1e3:.3f}", c, f"{b:.2f}"]
+         for k, (r, c, b) in rows.items()])
+    assert rows["hdd"][2] > rows["ssd"][2]
+    report.outcome(
+        f"same workload keeps the HDD busy {rows['hdd'][2]:.2f} s vs "
+        f"{rows['ssd'][2]:.2f} s on SSD — the spindle has no headroom "
+        f"for reads during compaction")
+
+
+def test_e8_write_buffering_absorbs_overwrites(benchmark, experiment):
+    """Reason 3: hot-slate overwrites coalesce in the memtable."""
+    def run():
+        node = make_node("ssd", memtable_flush_bytes=1 << 20)
+        for i in range(20_000):
+            node.put(f"hot{i % 50}", "U1", b"z" * 200)  # 50 hot slates
+        absorbed = node._memtable.absorbed_overwrites
+        node.flush()
+        return absorbed, node.stats.bytes_flushed, 20_000 * 200
+
+    absorbed, flushed_bytes, raw_bytes = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    report = experiment("E8c-write-buffering")
+    report.claim("overwrites of the same row are inexpensive while the "
+                 "row is in memory; delaying flushes minimizes disk "
+                 "writes")
+    report.table(
+        ["metric", "value"],
+        [["writes issued", 20_000],
+         ["overwrites absorbed in memtable", absorbed],
+         ["bytes if every write hit disk", raw_bytes],
+         ["bytes actually flushed", flushed_bytes],
+         ["write amplification avoided",
+          f"{raw_bytes / max(1, flushed_bytes):.0f}x"]])
+    assert absorbed >= 19_000
+    assert flushed_bytes < raw_bytes / 50
+    report.outcome(f"{absorbed}/20000 writes absorbed in memory; disk "
+                   f"saw {flushed_bytes} bytes instead of {raw_bytes}")
+
+
+def test_e8_cluster_cold_start_ssd_vs_hdd(benchmark, experiment):
+    """End to end: a restarted Muppet cluster replays reads against the
+    store; HDD-backed machines fall behind the stream."""
+    def run():
+        results = {}
+        for storage in ("ssd", "hdd"):
+            # Pre-populate the store, then run with a cold cache.
+            source = constant_rate("S1", rate_per_s=2000, duration_s=0.5,
+                                   key_fn=lambda i: f"u{i % 2000}")
+            # Tiny slate cache + small kv memtable: most slate fetches
+            # miss the cache AND the memtable, forcing random reads
+            # against on-disk SSTables — the paper's uncached-fetch path.
+            runtime = SimRuntime(
+                build_count_app(),
+                ClusterSpec.uniform(2, cores=4, storage=storage),
+                SimConfig(flush_policy=FlushPolicy.write_through(),
+                          cache_slates_per_machine=100,
+                          kv_memtable_flush_bytes=16 * 1024,
+                          queue_capacity=200_000),
+                [source])
+            sim_report = runtime.run(60.0)
+            results[storage] = sim_report
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = experiment("E8d-cluster-storage")
+    report.claim("running the store on SSDs keeps end-to-end latency low "
+                 "despite kv-store I/O on the critical path")
+    report.table(
+        ["storage", "p50 (ms)", "p99 (ms)"],
+        [[k, f"{v.latency.p50 * 1e3:.2f}", f"{v.latency.p99 * 1e3:.2f}"]
+         for k, v in results.items()])
+    assert results["hdd"].latency.p99 > results["ssd"].latency.p99
+    report.outcome(
+        f"write-through on HDD: p99 "
+        f"{results['hdd'].latency.p99 * 1e3:.1f} ms vs SSD "
+        f"{results['ssd'].latency.p99 * 1e3:.1f} ms")

@@ -1,0 +1,105 @@
+"""Component micro-benchmarks (pytest-benchmark, wall clock).
+
+Not paper experiments — these are the library's own performance
+regression suite: the hot-path costs of the ring, dispatcher, codec,
+LSM node, slate cache, and reference executor.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.cluster.hashring import HashRing, route_key
+from repro.core import Event, ReferenceExecutor
+from repro.core.slate import Slate, SlateKey
+from repro.kvstore.node import StorageNode
+from repro.muppet.dispatch import TwoChoiceDispatcher
+from repro.slates.cache import SlateCache
+from repro.slates.codec import CompressedJsonCodec, JsonCodec
+from tests.conftest import build_count_app, make_events
+
+
+def test_micro_hashring_lookup(benchmark):
+    ring = HashRing([f"m{i}" for i in range(16)])
+    keys = itertools.cycle([route_key(f"user{i}", "U1")
+                            for i in range(1000)])
+    benchmark(lambda: ring.lookup(next(keys)))
+
+
+def test_micro_dispatcher_choose(benchmark):
+    dispatcher = TwoChoiceDispatcher(num_threads=8)
+    lengths = [3, 1, 4, 1, 5, 9, 2, 6]
+    processing = [None] * 8
+    keys = itertools.cycle([f"user{i}" for i in range(1000)])
+    benchmark(lambda: dispatcher.choose(next(keys), "U1", lengths,
+                                        processing))
+
+
+def test_micro_codec_encode(benchmark):
+    codec = CompressedJsonCodec()
+    slate = {"count": 12345, "interests": ["a", "b", "c"] * 10,
+             "last_seen": 1234567.0}
+    benchmark(codec.encode, slate)
+
+
+def test_micro_codec_decode(benchmark):
+    codec = CompressedJsonCodec()
+    blob = codec.encode({"count": 12345,
+                         "interests": ["a", "b", "c"] * 10})
+    benchmark(codec.decode, blob)
+
+
+def test_micro_plain_json_codec(benchmark):
+    codec = JsonCodec()
+    slate = {"count": 12345, "interests": ["a", "b", "c"] * 10}
+    benchmark(codec.encode, slate)
+
+
+def test_micro_kvstore_put(benchmark):
+    counter = itertools.count()
+    node = StorageNode("n", clock=lambda: float(next(counter)),
+                       memtable_flush_bytes=1 << 30)
+    keys = itertools.cycle([f"row{i}" for i in range(500)])
+    benchmark(lambda: node.put(next(keys), "U1", b"x" * 200))
+
+
+def test_micro_kvstore_get_memtable(benchmark):
+    counter = itertools.count()
+    node = StorageNode("n", clock=lambda: float(next(counter)),
+                       memtable_flush_bytes=1 << 30)
+    for i in range(500):
+        node.put(f"row{i}", "U1", b"x" * 200)
+    keys = itertools.cycle([f"row{i}" for i in range(500)])
+    benchmark(lambda: node.get(next(keys), "U1"))
+
+
+def test_micro_kvstore_get_sstable(benchmark):
+    counter = itertools.count()
+    node = StorageNode("n", clock=lambda: float(next(counter)),
+                       memtable_flush_bytes=1 << 30)
+    for i in range(500):
+        node.put(f"row{i}", "U1", b"x" * 200)
+    node.flush()
+    keys = itertools.cycle([f"row{i}" for i in range(500)])
+    benchmark(lambda: node.get(next(keys), "U1"))
+
+
+def test_micro_slate_cache_hit(benchmark):
+    cache = SlateCache(capacity=1000)
+    slate_keys = [SlateKey("U1", f"k{i}") for i in range(500)]
+    for slate_key in slate_keys:
+        cache.put(Slate(slate_key, {"count": 1}))
+    cycle = itertools.cycle(slate_keys)
+    benchmark(lambda: cache.get(next(cycle)))
+
+
+def test_micro_reference_executor_throughput(benchmark):
+    events = make_events(1000, keys=32)
+
+    def run():
+        return ReferenceExecutor(build_count_app()).run(list(events))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.counters.processed == 2000

@@ -1,0 +1,97 @@
+"""Live HTTP request counters — the Section 2 application list.
+
+"... maintaining live counters of the number of HTTP requests made to
+various parts of a Web site." Workflow: S1 (access-log lines) → M1 (parse
+the request path, key by site section) → S2 → U1 (per-section counters:
+total plus a coarse per-minute rate).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.core.application import Application
+from repro.core.event import Event
+from repro.core.operators import Context, Mapper, Updater
+from repro.core.slate import Slate
+
+#: Default site layout used by the synthetic log generator.
+DEFAULT_SECTIONS = ("home", "search", "product", "cart", "checkout",
+                    "account", "api", "static")
+
+
+class RequestLogMapper(Mapper):
+    """M1: parse an access-log record; key by the path's first segment."""
+
+    def map(self, ctx: Context, event: Event) -> None:
+        path = self._path(event.value)
+        if path is None:
+            return
+        section = path.strip("/").split("/", 1)[0] or "home"
+        ctx.publish(self.config.get("output_sid", "S2"), key=section,
+                    value=json.dumps({"path": path}))
+
+    @staticmethod
+    def _path(value: Any) -> Optional[str]:
+        if isinstance(value, str):
+            try:
+                value = json.loads(value)
+            except ValueError:
+                return None
+        if isinstance(value, dict):
+            path = value.get("path")
+            return path if isinstance(path, str) else None
+        return None
+
+
+class SectionCounter(Updater):
+    """U1: per-section slate with total count and per-minute buckets."""
+
+    def init_slate(self, key: str) -> Dict[str, Any]:
+        return {"total": 0, "current_minute": -1, "minute_count": 0,
+                "last_minute_count": 0}
+
+    def update(self, ctx: Context, event: Event, slate: Slate) -> None:
+        minute = int(event.ts // 60)
+        if minute != slate["current_minute"]:
+            slate["last_minute_count"] = (
+                slate["minute_count"]
+                if slate["current_minute"] >= 0 else 0)
+            slate["current_minute"] = minute
+            slate["minute_count"] = 0
+        slate["total"] += 1
+        slate["minute_count"] += 1
+
+
+def build_http_counters_app(source_sid: str = "S1") -> Application:
+    """Assemble the HTTP-counters workflow."""
+    app = Application("http-request-counters")
+    app.add_stream(source_sid, external=True,
+                   description="web access-log stream")
+    app.add_stream("S2", description="requests keyed by site section")
+    app.add_mapper("M1", RequestLogMapper, subscribes=[source_sid],
+                   publishes=["S2"])
+    app.add_updater("U1", SectionCounter, subscribes=["S2"])
+    return app.validate()
+
+
+def generate_request_events(
+    sid: str = "S1",
+    rate_per_s: float = 200.0,
+    duration_s: float = 10.0,
+    sections: Sequence[str] = DEFAULT_SECTIONS,
+    seed: int = 0,
+) -> Iterator[Event]:
+    """Seeded synthetic access-log stream (sections Zipf-ish by order)."""
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) for i in range(len(sections))]
+    interval = 1.0 / rate_per_s
+    count = int(rate_per_s * duration_s)
+    for i in range(count):
+        ts = i * interval
+        section = rng.choices(list(sections), weights=weights, k=1)[0]
+        path = f"/{section}/item{rng.randrange(1000)}"
+        yield Event(sid, ts, key=f"req{i}",
+                    value=json.dumps({"path": path}))

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``validate`` — load an application config file, print the workflow.
+* ``generate`` — write a synthetic tweet/checkin trace file.
+* ``run`` — run an application over a trace on the local thread
+  runtime; print counters and (optionally) dump an updater's slates.
+* ``simulate`` — run an application over a trace on the simulated
+  cluster; print the performance report as JSON.
+
+Examples::
+
+    python -m repro generate --kind checkins --rate 500 --duration 10 \\
+        --out /tmp/checkins.jsonl
+    python -m repro run --app examples/configs/retailer.json \\
+        --trace /tmp/checkins.jsonl --dump U1
+    python -m repro simulate --app examples/configs/retailer.json \\
+        --trace /tmp/checkins.jsonl --machines 8 --engine muppet2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.configfile import load_application
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Muppet/MapUpdate reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate",
+                              help="check an application config file")
+    validate.add_argument("--app", required=True,
+                          help="application config (JSON)")
+
+    generate = sub.add_parser("generate",
+                              help="write a synthetic event trace")
+    generate.add_argument("--kind", choices=["tweets", "checkins"],
+                          required=True)
+    generate.add_argument("--rate", type=float, default=100.0,
+                          help="events per second")
+    generate.add_argument("--duration", type=float, default=10.0,
+                          help="trace length in seconds")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--sid", default="S1",
+                          help="stream id for the events")
+    generate.add_argument("--out", required=True, help="output JSONL path")
+
+    run = sub.add_parser("run", help="run on the local thread runtime")
+    run.add_argument("--app", required=True)
+    run.add_argument("--trace", required=True)
+    run.add_argument("--threads", type=int, default=4,
+                     help="thread-pool size (muppet2) or workers per "
+                          "function (muppet1)")
+    run.add_argument("--engine", choices=["muppet1", "muppet2"],
+                     default="muppet2",
+                     help="muppet2 = thread pool + central cache; "
+                          "muppet1 = worker-per-function + conductor "
+                          "pipes")
+    run.add_argument("--dump", metavar="UPDATER",
+                     help="print this updater's slates as JSON")
+
+    simulate = sub.add_parser("simulate",
+                              help="run on the simulated cluster")
+    simulate.add_argument("--app", required=True)
+    simulate.add_argument("--trace", required=True)
+    simulate.add_argument("--machines", type=int, default=4)
+    simulate.add_argument("--cores", type=int, default=4)
+    simulate.add_argument("--engine", choices=["muppet1", "muppet2"],
+                          default="muppet2")
+    simulate.add_argument("--duration", type=float, default=None,
+                          help="simulated seconds (default: trace span "
+                               "+ 10)")
+    return parser
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    app = load_application(args.app)
+    print(f"application {app.name!r}: OK")
+    print(f"  streams:   {', '.join(app.streams.sids())}")
+    for spec in app.operators():
+        arrow = " -> ".join(filter(None, [
+            "+".join(spec.subscribes),
+            spec.name,
+            "+".join(spec.publishes) or None,
+        ]))
+        print(f"  {spec.kind:6s} {arrow}")
+    print(f"  cyclic:    {app.has_cycle()}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads.checkins import CheckinGenerator
+    from repro.workloads.traceio import write_events
+    from repro.workloads.tweets import TweetGenerator
+
+    if args.kind == "tweets":
+        generator = TweetGenerator(sid=args.sid, rate_per_s=args.rate,
+                                   seed=args.seed)
+    else:
+        generator = CheckinGenerator(sid=args.sid, rate_per_s=args.rate,
+                                     seed=args.seed)
+    count = write_events(args.out, generator.events(args.duration))
+    print(f"wrote {count} {args.kind} events to {args.out}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.workloads.traceio import read_events
+
+    app = load_application(args.app)
+    if args.engine == "muppet1":
+        from repro.muppet.local1 import Local1Config, LocalMuppet1
+
+        factory = LocalMuppet1(
+            app, Local1Config(workers_per_function=args.threads))
+    else:
+        from repro.muppet.local import LocalConfig, LocalMuppet
+
+        factory = LocalMuppet(app,
+                              LocalConfig(num_threads=args.threads))
+    with factory as runtime:
+        accepted = runtime.ingest_many(read_events(args.trace))
+        drained = runtime.drain()
+        counters = runtime.counters.snapshot()
+        dumped = (runtime.read_slates_of(args.dump)
+                  if args.dump else None)
+    print(f"engine={args.engine}; ingested {accepted} events; "
+          f"drained={drained}")
+    print(json.dumps(counters, indent=2))
+    if runtime.latency.samples:
+        summary = runtime.latency.summary()
+        print(f"latency: p50={summary.p50 * 1e3:.2f} ms  "
+              f"p99={summary.p99 * 1e3:.2f} ms")
+    if dumped is not None:
+        print(json.dumps({"updater": args.dump, "slates": dumped},
+                         indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterSpec
+    from repro.sim import SimConfig, SimRuntime, from_trace
+    from repro.workloads.traceio import read_events
+
+    app = load_application(args.app)
+    events = list(read_events(args.trace))
+    if not events:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    sids = {event.sid for event in events}
+    if len(sids) != 1:
+        print(f"trace mixes streams {sorted(sids)}; one sid per trace",
+              file=sys.stderr)
+        return 1
+    duration = args.duration
+    if duration is None:
+        duration = events[-1].ts + 10.0
+    runtime = SimRuntime(
+        app, ClusterSpec.uniform(args.machines, cores=args.cores),
+        SimConfig(engine=args.engine),
+        [from_trace(events[0].sid, events)])
+    report = runtime.run(duration)
+    payload = {
+        "engine": report.engine,
+        "machines": args.machines,
+        "events": {
+            "published": report.counters.published,
+            "processed": report.counters.processed,
+            "lost": report.counters.lost_total(),
+        },
+        "throughput_events_per_s": round(report.events_per_second(), 1),
+        "latency_ms": (None if report.latency is None else {
+            "p50": round(report.latency.p50 * 1e3, 3),
+            "p95": round(report.latency.p95 * 1e3, 3),
+            "p99": round(report.latency.p99 * 1e3, 3),
+        }),
+        "memory_mb_per_machine": round(report.memory_mb_per_machine, 1),
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+_COMMANDS = {
+    "validate": _cmd_validate,
+    "generate": _cmd_generate,
+    "run": _cmd_run,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Cluster substrate: consistent hashing and topology descriptions."""
+
+from repro.cluster.hashring import HashRing, route_key, stable_hash64
+from repro.cluster.topology import ClusterSpec, MachineSpec, NetworkSpec
+
+__all__ = [
+    "ClusterSpec",
+    "HashRing",
+    "MachineSpec",
+    "NetworkSpec",
+    "route_key",
+    "stable_hash64",
+]

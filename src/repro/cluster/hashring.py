@@ -1,0 +1,177 @@
+"""Consistent hash ring — event routing and kv-store partitioning.
+
+Section 4.1: "give all workers the same hash function to map <event key,
+destination map/update function> to workers ... any worker can instantly
+calculate which worker the event hashes to". Section 4.3: routing is
+"technically accomplished using a hash ring", and when a machine fails,
+"since all workers use the same hash ring, from then on all events with the
+same key will be routed to worker C instead of the (now failed) worker B".
+
+The ring hashes members to many virtual points on a 64-bit circle; a lookup
+hashes the routing key and walks clockwise to the first live member. Members
+can be *excluded* (marked failed) without rebuilding, which is exactly the
+paper's failover: the next point on the ring takes over the failed member's
+arc. The same structure partitions rows across kv-store nodes, where
+``preference_list`` yields the N distinct replica holders.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Generic, Hashable, Iterable, List, Optional, Set, Tuple, TypeVar
+
+from repro.errors import ConfigurationError, WorkerFailedError
+
+M = TypeVar("M", bound=Hashable)
+
+
+def stable_hash64(data: str) -> int:
+    """A process-stable 64-bit hash (Python's ``hash`` is salted per run).
+
+    All workers must compute identical placements across runs and across
+    (simulated) machines, so we use blake2b rather than ``hash()``.
+    """
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing(Generic[M]):
+    """A consistent hash ring over hashable members.
+
+    Args:
+        members: Initial ring members (e.g. worker IDs or node names).
+        replicas: Virtual points per member. More points smooth the load
+            distribution at the cost of memory; 64 keeps the max/min arc
+            ratio within a few percent for tens of members.
+    """
+
+    def __init__(self, members: Iterable[M] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        self._replicas = replicas
+        self._points: List[Tuple[int, M]] = []
+        self._keys: List[int] = []
+        self._members: Set[M] = set()
+        self._excluded: Set[M] = set()
+        for member in members:
+            self.add(member)
+
+    # -- membership -------------------------------------------------------
+    def add(self, member: M) -> None:
+        """Add a member (idempotent for already-present members)."""
+        if member in self._members:
+            return
+        self._members.add(member)
+        for i in range(self._replicas):
+            point = stable_hash64(f"{member!r}#{i}")
+            index = bisect.bisect(self._keys, point)
+            self._keys.insert(index, point)
+            self._points.insert(index, (point, member))
+
+    def remove(self, member: M) -> None:
+        """Permanently remove a member and its virtual points."""
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        self._excluded.discard(member)
+        kept = [(p, m) for (p, m) in self._points if m != member]
+        self._points = kept
+        self._keys = [p for (p, _) in kept]
+
+    def exclude(self, member: M) -> None:
+        """Mark a member failed: lookups skip it but its points remain.
+
+        This is the paper's failure handling — the ring itself is shared
+        and static; each worker keeps a *list of failed machines* and skips
+        them (Section 4.3).
+        """
+        if member in self._members:
+            self._excluded.add(member)
+
+    def restore(self, member: M) -> None:
+        """Clear a member's failed mark."""
+        self._excluded.discard(member)
+
+    @property
+    def members(self) -> Set[M]:
+        """All members, including excluded ones."""
+        return set(self._members)
+
+    @property
+    def live_members(self) -> Set[M]:
+        """Members not currently marked failed."""
+        return self._members - self._excluded
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    # -- lookups ------------------------------------------------------------
+    def lookup(self, routing_key: str) -> M:
+        """The live member owning ``routing_key``.
+
+        Raises:
+            WorkerFailedError: When every member is excluded (no live
+                member can own anything).
+        """
+        for member in self._walk(routing_key):
+            if member not in self._excluded:
+                return member
+        raise WorkerFailedError(
+            "hash ring has no live members to route to"
+        )
+
+    def preference_list(self, routing_key: str, count: int,
+                        include_excluded: bool = False) -> List[M]:
+        """The first ``count`` distinct members clockwise of the key.
+
+        Used by the kv-store to pick replica holders (Cassandra-style).
+        Returns fewer than ``count`` members if the ring is smaller.
+
+        Args:
+            routing_key: The key whose ring position starts the walk.
+            count: Replicas wanted.
+            include_excluded: When True, failed members stay in the list
+                — the *natural* replica set, which hinted handoff needs
+                (the down node's hint is addressed to it, not to some
+                substitute).
+        """
+        result: List[M] = []
+        seen: Set[M] = set()
+        for member in self._walk(routing_key):
+            if member in seen:
+                continue
+            if not include_excluded and member in self._excluded:
+                continue
+            seen.add(member)
+            result.append(member)
+            if len(result) >= count:
+                break
+        return result
+
+    def _walk(self, routing_key: str):
+        """Yield members clockwise from the key's point, with repeats."""
+        if not self._points:
+            return
+        start = bisect.bisect(self._keys, stable_hash64(routing_key))
+        n = len(self._points)
+        for offset in range(n):
+            yield self._points[(start + offset) % n][1]
+
+    def load_distribution(self, keys: Iterable[str]) -> Dict[M, int]:
+        """Count how many of ``keys`` each live member owns (diagnostics)."""
+        counts: Dict[M, int] = {m: 0 for m in self.live_members}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts
+
+
+def route_key(event_key: str, destination: str) -> str:
+    """The paper's routing key: ``<event key, destination function>``.
+
+    Both Muppet's event dispatch and its slate placement hash this pair, so
+    all events with the same key for the same update function land on the
+    same worker — "similar to MapReduce, where all events with the same key
+    go to the same reducer" (Section 4.1).
+    """
+    return f"{destination}\x00{event_key}"

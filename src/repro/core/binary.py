@@ -1,0 +1,137 @@
+"""The Appendix A byte-oriented operator interface, as a compat layer.
+
+Muppet's native Java interfaces (paper Appendix A, Figures 3–4) are
+byte-level: a ``Mapper`` receives ``(submitter, stream, key_bytes,
+event_bytes)`` and publishes with ``submitter.publish(stream, key_bytes,
+event_bytes)``; an ``Updater`` additionally receives ``slate_bytes``
+(``None`` on first access) and stores state with
+``submitter.replaceSlate(new_slate_bytes)``.
+
+This module provides that exact interface in Python —
+:class:`BinaryMapper` / :class:`BinaryUpdater` with a
+:class:`PerformerUtilities` submitter — plus adapters that let
+byte-level operators run unchanged on every engine in this repository.
+:mod:`repro.apps.appendix_a` ports Figures 3 and 4 onto it verbatim.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Optional
+
+from repro.core.event import Event
+from repro.core.operators import Context, Mapper, Updater
+from repro.core.slate import Slate
+from repro.errors import SlateError
+
+#: Slate field under which the opaque byte payload is stored. Engines
+#: persist slates as field dicts; the binary layer keeps the raw bytes in
+#: one field (latin-1-escaped so the JSON codec can carry them).
+_BYTES_FIELD = "__bytes__"
+
+
+class PerformerUtilities:
+    """The Appendix A "submitter": publish events, replace the slate.
+
+    One instance wraps one engine :class:`~repro.core.operators.Context`
+    for the duration of a single map/update invocation.
+    """
+
+    def __init__(self, ctx: Context) -> None:
+        self._ctx = ctx
+        self._replacement: Optional[bytes] = None
+
+    def publish(self, stream: str, key: bytes, event: bytes) -> None:
+        """Emit one event, byte-for-byte the Appendix A signature."""
+        self._ctx.publish(stream, key=key.decode("utf-8"),
+                          value=event.decode("latin-1"))
+
+    # Java-style alias used verbatim in Figure 4.
+    def replaceSlate(self, slate: bytes) -> None:  # noqa: N802
+        """Replace the whole slate with new bytes (Figure 4's call)."""
+        if not isinstance(slate, (bytes, bytearray)):
+            raise SlateError(
+                f"replaceSlate expects bytes, got {type(slate).__name__}"
+            )
+        self._replacement = bytes(slate)
+
+    @property
+    def replacement(self) -> Optional[bytes]:
+        """The bytes passed to replaceSlate, if any (engine use)."""
+        return self._replacement
+
+
+class BinaryMapper(Mapper):
+    """Byte-level map function: subclass and implement :meth:`map_bytes`.
+
+    Mirrors the Java ``Mapper`` interface: constructed from ``(config,
+    name)``; ``getName()`` returns the function name; ``map`` receives
+    the stream name and the key/event as bytes.
+    """
+
+    # Java-style alias.
+    def getName(self) -> str:  # noqa: N802
+        """The function name (Appendix A's ``getName``)."""
+        return self.get_name()
+
+    @abc.abstractmethod
+    def map_bytes(self, submitter: PerformerUtilities, stream: str,
+                  key: bytes, event: bytes) -> None:
+        """Process one event given as raw bytes."""
+
+    def map(self, ctx: Context, event: Event) -> None:
+        submitter = PerformerUtilities(ctx)
+        payload = event.value
+        if isinstance(payload, str):
+            payload = payload.encode("latin-1")
+        elif payload is None:
+            payload = b""
+        self.map_bytes(submitter, event.sid,
+                       event.key.encode("utf-8"), payload)
+
+
+class BinaryUpdater(Updater):
+    """Byte-level update function: implement :meth:`update_bytes`.
+
+    The slate argument is ``None`` the first time a key is seen (the
+    Figure 4 Counter starts from 0 in that case); state is persisted
+    only via ``submitter.replaceSlate``.
+    """
+
+    def getName(self) -> str:  # noqa: N802
+        """The function name (Appendix A's ``getName``)."""
+        return self.get_name()
+
+    @abc.abstractmethod
+    def update_bytes(self, submitter: PerformerUtilities, stream: str,
+                     key: bytes, event: bytes,
+                     slate: Optional[bytes]) -> None:
+        """Process one event; read old slate bytes, replace with new."""
+
+    def init_slate(self, key: str) -> Dict[str, Any]:
+        # Fresh slates carry no byte payload: update_bytes sees None.
+        return {}
+
+    def update(self, ctx: Context, event: Event, slate: Slate) -> None:
+        submitter = PerformerUtilities(ctx)
+        payload = event.value
+        if isinstance(payload, str):
+            payload = payload.encode("latin-1")
+        elif payload is None:
+            payload = b""
+        raw = slate.get(_BYTES_FIELD)
+        old = raw.encode("latin-1") if isinstance(raw, str) else None
+        self.update_bytes(submitter, event.sid,
+                          event.key.encode("utf-8"), payload, old)
+        if submitter.replacement is not None:
+            slate[_BYTES_FIELD] = submitter.replacement.decode("latin-1")
+
+
+def slate_bytes(slate_fields: Dict[str, Any]) -> Optional[bytes]:
+    """Extract the raw byte payload from a binary updater's slate dict.
+
+    Helper for reading binary-updater slates back out of
+    ``read_slate``/``slates_of`` results.
+    """
+    raw = slate_fields.get(_BYTES_FIELD)
+    return raw.encode("latin-1") if isinstance(raw, str) else None

@@ -1,0 +1,123 @@
+"""Events and their ordering — the data model of MapUpdate (Section 3).
+
+An event is the 4-tuple ``(sid, ts, key, value)``:
+
+* ``sid`` — the ID of the stream the event belongs to,
+* ``ts`` — a timestamp, global across all streams,
+* ``key`` — an atomic grouping key (need not be unique across events),
+* ``value`` — an arbitrary payload blob.
+
+The paper requires that events be fed to operators "in the increasing order
+of their timestamps, using a deterministic tie-breaking procedure". We make
+that procedure explicit: ties are broken first by stream ID, then by a
+per-stream sequence number stamped at publication time. :func:`order_key`
+returns the total-order sort key used everywhere (reference executor, local
+runtime, and simulator) so all engines agree on what "timestamp order" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Tuple
+
+#: Type alias: keys are atomic values; we standardize on ``str`` keys.
+Key = str
+
+#: The timestamp type. Timestamps are global across streams. We use floats
+#: (seconds); applications that need wall-clock semantics interpret them as
+#: Unix epoch seconds.
+Timestamp = float
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single immutable stream event ``<sid, ts, k, v>``.
+
+    Attributes:
+        sid: ID of the stream this event belongs to.
+        ts: Global timestamp (seconds). Output events must carry a timestamp
+            strictly greater than their input event's (Section 3), which
+            engines enforce via :class:`repro.core.operators.Emitter`.
+        key: Grouping key. All events with the same key reach the same
+            updater (and therefore the same slate) in Muppet 1.0; in
+            Muppet 2.0 at most two workers may process a key concurrently.
+        value: Arbitrary payload. The paper uses JSON blobs (e.g., a whole
+            tweet); anything picklable/JSON-encodable works here.
+        seq: Per-stream publication sequence number, stamped by the stream
+            registry at publish time. Part of the deterministic tie-break;
+            not meaningful to applications.
+    """
+
+    sid: str
+    ts: Timestamp
+    key: Key
+    value: Any = None
+    seq: int = 0
+
+    def with_stream(self, sid: str, seq: int = 0) -> "Event":
+        """Return a copy of this event re-addressed to stream ``sid``."""
+        return replace(self, sid=sid, seq=seq)
+
+    def order_key(self) -> Tuple[Timestamp, str, int]:
+        """Total-order sort key: ``(ts, sid, seq)``.
+
+        Sorting any set of events by this key yields the unique order in
+        which the MapUpdate semantics feeds them to a subscribing function:
+        increasing timestamp, ties broken by stream ID then publication
+        sequence (the "deterministic tie-breaking procedure" of Section 3).
+        """
+        return (self.ts, self.sid, self.seq)
+
+    def size_bytes(self) -> int:
+        """Approximate serialized size of this event in bytes.
+
+        Used by cost models (network transfer, queue memory accounting).
+        Strings count their UTF-8 length; other payloads are sized via their
+        ``repr`` as a cheap, deterministic proxy.
+        """
+        if isinstance(self.value, (bytes, bytearray)):
+            payload = len(self.value)
+        elif isinstance(self.value, str):
+            payload = len(self.value.encode("utf-8"))
+        elif self.value is None:
+            payload = 0
+        else:
+            payload = len(repr(self.value))
+        return 16 + len(self.sid) + len(self.key) + payload
+
+
+def order_key(event: Event) -> Tuple[Timestamp, str, int]:
+    """Module-level alias of :meth:`Event.order_key` for use as a sort key."""
+    return event.order_key()
+
+
+@dataclass
+class EventCounter:
+    """Mutable counters for event accounting (published/processed/lost).
+
+    The paper logs lost events rather than retrying them ("The event that
+    failed to reach B is lost (and logged as lost)", Section 4.3). Engines
+    share one of these so tests and benchmarks can assert loss bounds.
+    """
+
+    published: int = 0
+    processed: int = 0
+    dropped_overflow: int = 0
+    lost_failure: int = 0
+    diverted_overflow_stream: int = 0
+    throttled: int = 0
+
+    def lost_total(self) -> int:
+        """Events that permanently left the system without being processed."""
+        return self.dropped_overflow + self.lost_failure
+
+    def snapshot(self) -> dict:
+        """Return a plain-dict copy, handy for logging and assertions."""
+        return {
+            "published": self.published,
+            "processed": self.processed,
+            "dropped_overflow": self.dropped_overflow,
+            "lost_failure": self.lost_failure,
+            "diverted_overflow_stream": self.diverted_overflow_stream,
+            "throttled": self.throttled,
+        }

@@ -1,0 +1,160 @@
+"""Slates — the per-(updater, key) memory of a MapUpdate application.
+
+Section 3: a slate ``S(U, k)`` "summarizes all events with key k that an
+update function U has seen so far". It is the pair ``<update U, key k>`` that
+uniquely determines a slate, not the key alone: two updaters keep independent
+slates for the same key.
+
+A slate here is a small mutable mapping (application-defined fields) plus
+metadata the runtime needs: time-to-live, last-update time, and a dirty flag
+for the flush machinery (Section 4.2). Applications should keep slates small
+— "many kilobytes rather than many megabytes" (Section 5); engines can
+enforce a cap via ``max_slate_bytes``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.core.event import Timestamp
+from repro.errors import SlateTooLargeError
+
+#: TTL sentinel meaning "keep forever" — the paper's default.
+TTL_FOREVER: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SlateKey:
+    """The identity of a slate: the pair ``<updater name, event key>``.
+
+    Muppet stores slate ``S(U, k)`` in the key-value store "at row k and
+    column U" (Section 4.2); :meth:`row_column` returns exactly that
+    addressing.
+    """
+
+    updater: str
+    key: str
+
+    def row_column(self) -> Tuple[str, str]:
+        """Key-value-store address ``(row, column) = (event key, updater)``."""
+        return (self.key, self.updater)
+
+
+class Slate:
+    """A live, continuously updated summary for one ``(updater, key)`` pair.
+
+    Behaves as a string-keyed mapping of application fields. The runtime
+    tracks ``dirty`` (changed since last flush to the key-value store) and
+    ``last_update_ts`` (drives TTL garbage collection).
+
+    Attributes:
+        slate_key: Identity ``<updater, key>``.
+        ttl: Seconds after the last update when the slate may be garbage
+            collected (``None`` = forever, the default; Section 3/4.2).
+        created_ts: Timestamp of first initialization.
+        last_update_ts: Timestamp of the most recent write.
+    """
+
+    __slots__ = ("slate_key", "ttl", "created_ts", "last_update_ts",
+                 "dirty", "_data")
+
+    def __init__(
+        self,
+        slate_key: SlateKey,
+        data: Optional[Dict[str, Any]] = None,
+        ttl: Optional[float] = TTL_FOREVER,
+        created_ts: Timestamp = 0.0,
+    ) -> None:
+        self.slate_key = slate_key
+        self.ttl = ttl
+        self.created_ts = created_ts
+        self.last_update_ts = created_ts
+        self.dirty = False
+        self._data: Dict[str, Any] = dict(data) if data else {}
+
+    # -- mapping protocol -------------------------------------------------
+    def __getitem__(self, field_name: str) -> Any:
+        return self._data[field_name]
+
+    def __setitem__(self, field_name: str, value: Any) -> None:
+        self._data[field_name] = value
+        self.dirty = True
+
+    def __delitem__(self, field_name: str) -> None:
+        del self._data[field_name]
+        self.dirty = True
+
+    def __contains__(self, field_name: str) -> bool:
+        return field_name in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, field_name: str, default: Any = None) -> Any:
+        """Return a field value, or ``default`` if absent."""
+        return self._data.get(field_name, default)
+
+    def setdefault(self, field_name: str, default: Any) -> Any:
+        """Like :meth:`dict.setdefault`; marks the slate dirty on insert."""
+        if field_name not in self._data:
+            self._data[field_name] = default
+            self.dirty = True
+        return self._data[field_name]
+
+    # -- runtime hooks -----------------------------------------------------
+    def replace(self, data: Dict[str, Any]) -> None:
+        """Replace the whole contents — the paper's ``replaceSlate`` call."""
+        self._data = dict(data)
+        self.dirty = True
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A shallow copy of the application fields."""
+        return dict(self._data)
+
+    def touch(self, ts: Timestamp) -> None:
+        """Record a write at time ``ts`` (runtime use)."""
+        self.last_update_ts = ts
+        self.dirty = True
+
+    def mark_clean(self) -> None:
+        """Clear the dirty flag after a successful flush (runtime use)."""
+        self.dirty = False
+
+    def expired(self, now: Timestamp) -> bool:
+        """True if the TTL has elapsed since the last update (Section 4.2).
+
+        "Slates that have not been updated (written) for longer than the
+        TTL value may be garbage-collected by the key-value store."
+        """
+        if self.ttl is None:
+            return False
+        return (now - self.last_update_ts) > self.ttl
+
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory/JSON size of the slate contents."""
+        try:
+            return len(json.dumps(self._data, separators=(",", ":"),
+                                  default=str))
+        except (TypeError, ValueError):
+            return len(repr(self._data))
+
+    def check_size(self, max_slate_bytes: Optional[int]) -> None:
+        """Raise :class:`SlateTooLargeError` when over the configured cap."""
+        if max_slate_bytes is None:
+            return
+        size = self.estimated_bytes()
+        if size > max_slate_bytes:
+            raise SlateTooLargeError(
+                f"slate {self.slate_key} is {size} bytes "
+                f"(cap {max_slate_bytes}); the paper advises keeping slates "
+                f"to kilobytes, not megabytes (Section 5)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Slate({self.slate_key.updater}/{self.slate_key.key}, "
+                f"{self._data!r}, dirty={self.dirty})")

@@ -1,0 +1,78 @@
+"""Bloom filter for SSTable point reads.
+
+Cassandra attaches a bloom filter to every SSTable so that point reads skip
+files that cannot contain the requested row. The paper leans on the same
+effect indirectly: "the more times a row is flushed to disk by the store
+since its last file compaction, the more files will have to be checked for
+the row when it needs to be retrieved" (Section 4.2) — bloom filters are
+what keeps that check cheap when the answer is "not here".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+
+class BloomFilter:
+    """A classic k-hash bloom filter over strings.
+
+    Args:
+        expected_items: Sizing hint; the bit array and hash count are
+            derived for roughly ``false_positive_rate`` at this load.
+        false_positive_rate: Target false-positive probability.
+    """
+
+    def __init__(self, expected_items: int,
+                 false_positive_rate: float = 0.01) -> None:
+        expected_items = max(1, expected_items)
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ValueError(
+                f"false_positive_rate must be in (0,1), got "
+                f"{false_positive_rate}"
+            )
+        ln2 = math.log(2.0)
+        bits = math.ceil(-expected_items * math.log(false_positive_rate)
+                         / (ln2 * ln2))
+        self._num_bits = max(8, bits)
+        self._num_hashes = max(1, round((self._num_bits / expected_items)
+                                        * ln2))
+        self._bits = bytearray((self._num_bits + 7) // 8)
+        self._count = 0
+
+    def _positions(self, item: str) -> Iterable[int]:
+        """Derive k bit positions via double hashing of a blake2b digest."""
+        digest = hashlib.blake2b(item.encode("utf-8"),
+                                 digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1  # odd => full period
+        for i in range(self._num_hashes):
+            yield (h1 + i * h2) % self._num_bits
+
+    def add(self, item: str) -> None:
+        """Insert an item."""
+        for pos in self._positions(item):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self._count += 1
+
+    def might_contain(self, item: str) -> bool:
+        """False means definitely absent; True means possibly present."""
+        return all(self._bits[pos >> 3] & (1 << (pos & 7))
+                   for pos in self._positions(item))
+
+    def __contains__(self, item: str) -> bool:
+        return self.might_contain(item)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def size_bits(self) -> int:
+        """The bit-array size (diagnostics)."""
+        return self._num_bits
+
+    @property
+    def num_hashes(self) -> int:
+        """Hash functions applied per item (diagnostics)."""
+        return self._num_hashes

@@ -1,0 +1,317 @@
+"""The replicated key-value store: a cluster of LSM nodes (Section 4.2).
+
+"A Cassandra cluster consists of a set of machines, each running the
+Cassandra program, all configured to recognize one another as parts of the
+same cluster." Rows are partitioned around a consistent hash ring;
+``replication_factor`` consecutive distinct nodes hold each row; reads and
+writes succeed once :class:`ConsistencyLevel` replicas acknowledge —
+ONE / QUORUM / ALL, exactly the three options the paper exposes to Muppet
+applications.
+
+Divergent replica versions reconcile by last-write-wins on the cell's write
+timestamp; reads at QUORUM/ALL perform read repair, writing the winning
+version back to stale replicas. Writes that miss a down replica leave a
+*hint* with the coordinator (hinted handoff, as Cassandra does); the hints
+are delivered when the replica returns via :meth:`ReplicatedKVStore.mark_up`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.hashring import HashRing
+from repro.errors import ConfigurationError, QuorumError, StoreError
+from repro.kvstore.cells import Cell
+from repro.kvstore.api import ConsistencyLevel, ReadResult, WriteResult
+from repro.kvstore.device import StorageDevice, profile_for
+from repro.kvstore.node import StorageNode
+
+
+class ReplicatedKVStore:
+    """A Cassandra-like replicated store over :class:`StorageNode` shards.
+
+    Args:
+        node_names: Names of the member nodes (usually machine names).
+        replication_factor: Copies kept per row (default 3, Cassandra's
+            conventional setting).
+        clock: Time source shared with the engines; drives write
+            timestamps and TTL expiry.
+        device_kind: ``"ssd"`` or ``"hdd"`` for every node (per-node
+            overrides via ``device_overrides``).
+        data_dir: When given, each node persists under a subdirectory.
+        memtable_flush_bytes / compaction_threshold: Passed to each node.
+    """
+
+    def __init__(
+        self,
+        node_names: List[str],
+        replication_factor: int = 3,
+        clock: Callable[[], float] = lambda: 0.0,
+        device_kind: str = "ssd",
+        data_dir: Optional[Path] = None,
+        memtable_flush_bytes: int = 4 * 1024 * 1024,
+        compaction_threshold: int = 8,
+        device_overrides: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if not node_names:
+            raise ConfigurationError("kv-store needs at least one node")
+        if replication_factor < 1:
+            raise ConfigurationError("replication_factor must be >= 1")
+        self.replication_factor = min(replication_factor, len(node_names))
+        self.clock = clock
+        self._ring: HashRing[str] = HashRing(node_names)
+        overrides = device_overrides or {}
+        #: Hinted handoff buffers: writes a down replica missed, keyed by
+        #: the absent node's name, delivered on :meth:`mark_up`.
+        self._hints: Dict[str, List[Cell]] = {}
+        self.hints_stored = 0
+        self.hints_delivered = 0
+        self.max_hints_per_node = 100_000
+        self.nodes: Dict[str, StorageNode] = {}
+        for name in node_names:
+            kind = overrides.get(name, device_kind)
+            node_dir = (Path(data_dir) / name) if data_dir is not None else None
+            self.nodes[name] = StorageNode(
+                name=name,
+                device=StorageDevice(profile_for(kind)),
+                clock=clock,
+                memtable_flush_bytes=memtable_flush_bytes,
+                compaction_threshold=compaction_threshold,
+                data_dir=node_dir,
+            )
+
+    @classmethod
+    def reopen(cls, node_names: List[str], data_dir: Path,
+               **kwargs) -> "ReplicatedKVStore":
+        """Cold-restart a persistent cluster from its data directory.
+
+        Each node reloads its SSTables and replays its commit log (see
+        :meth:`StorageNode.open`) — "persistent slates help resuming,
+        restarting, or recovering the application from crashes"
+        (Section 4.2), here for the store itself.
+        """
+        kwargs.pop("data_dir", None)  # the reopen path owns placement
+        store = cls(node_names, data_dir=None, **kwargs)
+        clock = kwargs.get("clock", store.clock)
+        flush_bytes = kwargs.get("memtable_flush_bytes", 4 * 1024 * 1024)
+        compaction = kwargs.get("compaction_threshold", 8)
+        device_kind = kwargs.get("device_kind", "ssd")
+        overrides = kwargs.get("device_overrides") or {}
+        for name in node_names:
+            node_dir = Path(data_dir) / name
+            node_dir.mkdir(parents=True, exist_ok=True)
+            kind = overrides.get(name, device_kind)
+            store.nodes[name] = StorageNode.open(
+                name, node_dir,
+                device=StorageDevice(profile_for(kind)),
+                clock=clock,
+                memtable_flush_bytes=flush_bytes,
+                compaction_threshold=compaction)
+        return store
+
+    # -- membership / failures ------------------------------------------------
+    def mark_down(self, name: str) -> None:
+        """Take a node out of service (machine failure)."""
+        self._require_node(name).is_down = True
+        self._ring.exclude(name)
+
+    def mark_up(self, name: str) -> None:
+        """Return a node to service; replay its commit log and deliver
+        any hinted writes it missed while down."""
+        node = self._require_node(name)
+        node.recover()
+        self._ring.restore(name)
+        for hint in self._hints.pop(name, []):
+            try:
+                if hint.is_tombstone:
+                    node.delete(hint.row, hint.column)
+                else:
+                    node.put(hint.row, hint.column, hint.value,
+                             ttl=hint.ttl)
+                self.hints_delivered += 1
+            except StoreError:
+                break
+
+    def replicas_for(self, row: str) -> List[str]:
+        """The *natural* replica set for a row, in preference order.
+
+        Down members are included: rows do not migrate during an outage;
+        instead writes leave hints (Cassandra semantics) and reads work
+        from the surviving members of the same set.
+        """
+        return self._ring.preference_list(row, self.replication_factor,
+                                          include_excluded=True)
+
+    def _store_hint(self, name: str, cell: Cell) -> None:
+        hints = self._hints.setdefault(name, [])
+        if len(hints) >= self.max_hints_per_node:
+            hints.pop(0)
+        hints.append(cell)
+        self.hints_stored += 1
+
+    def _require_node(self, name: str) -> StorageNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown kv node {name!r}") from None
+
+    # -- operations -----------------------------------------------------------
+    def write(
+        self,
+        row: str,
+        column: str,
+        value: bytes,
+        ttl: Optional[float] = None,
+        consistency: ConsistencyLevel = ConsistencyLevel.ONE,
+    ) -> WriteResult:
+        """Replicated write; raises :class:`QuorumError` on too few acks."""
+        replicas = self.replicas_for(row)
+        required = consistency.required_acks(self.replication_factor)
+        acks = 0
+        worst_cost = 0.0
+        for name in replicas:
+            node = self.nodes[name]
+            if node.is_down:
+                self._store_hint(name, Cell(row, column, value,
+                                            self.clock(), ttl))
+                continue
+            try:
+                cost = node.put(row, column, value, ttl=ttl)
+            except StoreError:
+                continue
+            acks += 1
+            worst_cost = max(worst_cost, cost)
+        if acks < required:
+            raise QuorumError(
+                f"write {row!r}/{column!r}: {acks} acks < required "
+                f"{required} ({consistency.value})"
+            )
+        return WriteResult(acks=acks, replicas=replicas, cost_s=worst_cost)
+
+    def read(
+        self,
+        row: str,
+        column: str,
+        consistency: ConsistencyLevel = ConsistencyLevel.ONE,
+    ) -> ReadResult:
+        """Replicated read with last-write-wins and read repair."""
+        replicas = self.replicas_for(row)
+        required = consistency.required_acks(self.replication_factor)
+        asked: List[str] = []
+        answers: List[tuple] = []  # (name, value, write_ts, cost)
+        worst_cost = 0.0
+        for name in replicas:
+            node = self.nodes[name]
+            if node.is_down:
+                continue
+            cell = node._memtable.get(row, column)
+            value, cost = node.get(row, column)
+            write_ts = cell.write_ts if cell is not None else 0.0
+            if value is not None and cell is None:
+                # Value came from an SSTable; approximate its version with
+                # the newest run's knowledge by re-deriving from tables.
+                write_ts = self._sstable_write_ts(node, row, column)
+            asked.append(name)
+            answers.append((name, value, write_ts, cost))
+            worst_cost = max(worst_cost, cost)
+            if len(asked) >= required:
+                break
+        if len(asked) < required:
+            raise QuorumError(
+                f"read {row!r}/{column!r}: {len(asked)} replies < required "
+                f"{required} ({consistency.value})"
+            )
+        winner_value: Optional[bytes] = None
+        winner_ts = 0.0
+        for _, value, write_ts, _ in answers:
+            if value is not None and write_ts >= winner_ts:
+                winner_value, winner_ts = value, write_ts
+        if winner_value is not None and len(answers) > 1:
+            self._read_repair(row, column, winner_value, winner_ts, answers)
+        return ReadResult(value=winner_value, write_ts=winner_ts,
+                          replicas_asked=asked, cost_s=worst_cost)
+
+    @staticmethod
+    def _sstable_write_ts(node: StorageNode, row: str, column: str) -> float:
+        for table in reversed(node._sstables):
+            cell = table.get(row, column)
+            if cell is not None:
+                return cell.write_ts
+        return 0.0
+
+    def _read_repair(self, row: str, column: str, value: bytes,
+                     write_ts: float, answers: List[tuple]) -> None:
+        """Push the winning version to stale replicas (global repair).
+
+        Both the replicas that answered with older data and any live
+        replicas the consistency level skipped are checked and healed —
+        Cassandra's GLOBAL read-repair decision, which is what lets a
+        node that missed writes (and whose hints were lost) converge.
+        """
+        answered = {name: replica_value
+                    for name, replica_value, _, __ in answers}
+        for name in self.replicas_for(row):
+            node = self.nodes[name]
+            if node.is_down:
+                continue
+            if name in answered:
+                current = answered[name]
+            else:
+                try:
+                    current, _ = node.get(row, column)
+                except StoreError:
+                    continue
+            if current == value:
+                continue
+            try:
+                node.put(row, column, value)
+            except StoreError:
+                continue
+
+    def delete(self, row: str, column: str,
+               consistency: ConsistencyLevel = ConsistencyLevel.ONE) -> int:
+        """Replicated tombstone write; returns acknowledgement count."""
+        replicas = self.replicas_for(row)
+        required = consistency.required_acks(self.replication_factor)
+        acks = 0
+        for name in replicas:
+            node = self.nodes[name]
+            if node.is_down:
+                self._store_hint(name, Cell(row, column, None,
+                                            self.clock()))
+                continue
+            try:
+                node.delete(row, column)
+                acks += 1
+            except StoreError:
+                continue
+        if acks < required:
+            raise QuorumError(
+                f"delete {row!r}/{column!r}: {acks} acks < {required}"
+            )
+        return acks
+
+    # -- maintenance / introspection ----------------------------------------------
+    def flush_all(self) -> float:
+        """Flush every node's memtable; returns total background cost."""
+        return sum(node.flush() for node in self.nodes.values()
+                   if not node.is_down)
+
+    def compact_all(self) -> float:
+        """Compact every node; returns total background cost."""
+        return sum(node.compact() for node in self.nodes.values()
+                   if not node.is_down)
+
+    def total_cells(self) -> int:
+        """Cells across all nodes (replicas counted separately)."""
+        return sum(node.total_cells() for node in self.nodes.values())
+
+    def stored_bytes(self) -> int:
+        """Bytes across all nodes (replicas counted separately)."""
+        return sum(node.stored_bytes() for node in self.nodes.values())
+
+    def stats_by_node(self) -> Dict[str, Dict[str, int]]:
+        """Per-node operation counters."""
+        return {name: node.stats.as_dict()
+                for name, node in self.nodes.items()}

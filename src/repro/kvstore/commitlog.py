@@ -1,0 +1,114 @@
+"""Commit log: sequential durability for buffered writes.
+
+The memtable delays flushing "as long as possible" (Section 4.2); what makes
+that safe in Cassandra is the commit log — every mutation is appended
+sequentially before being acknowledged, so a crashed node replays the log to
+rebuild its memtable. We implement both an in-memory log (for the simulator
+and fast tests) and an on-disk JSON-lines log (for real-crash tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+from repro.errors import StoreError
+from repro.kvstore.cells import Cell
+
+
+def _encode(cell: Cell) -> str:
+    """One JSON line per mutation; values are latin-1-escaped bytes."""
+    return json.dumps({
+        "row": cell.row,
+        "column": cell.column,
+        "value": (cell.value.decode("latin-1")
+                  if cell.value is not None else None),
+        "write_ts": cell.write_ts,
+        "ttl": cell.ttl,
+    }, separators=(",", ":"))
+
+
+def _decode(line: str) -> Cell:
+    record = json.loads(line)
+    value = record["value"]
+    return Cell(
+        row=record["row"],
+        column=record["column"],
+        value=value.encode("latin-1") if value is not None else None,
+        write_ts=record["write_ts"],
+        ttl=record["ttl"],
+    )
+
+
+class CommitLog:
+    """Append-only mutation log with replay.
+
+    Args:
+        path: File path for a durable log; ``None`` keeps the log purely
+            in memory (simulator mode — device costs are still charged by
+            the node, only persistence is skipped).
+    """
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self._path = Path(path) if path is not None else None
+        self._memory: List[Cell] = []
+        self._bytes = 0
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            # Truncate any stale log: a fresh CommitLog is a fresh segment.
+            self._path.write_text("")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes appended since the last truncation."""
+        return self._bytes
+
+    def append(self, cell: Cell) -> int:
+        """Append one mutation; returns the encoded size in bytes."""
+        encoded = _encode(cell)
+        size = len(encoded) + 1
+        self._bytes += size
+        if self._path is not None:
+            try:
+                with self._path.open("a", encoding="utf-8") as handle:
+                    handle.write(encoded)
+                    handle.write("\n")
+            except OSError as exc:
+                raise StoreError(f"commit log append failed: {exc}") from exc
+        else:
+            self._memory.append(cell)
+        return size
+
+    def replay(self) -> Iterator[Cell]:
+        """Yield every logged mutation in append order (crash recovery)."""
+        if self._path is not None:
+            if not self._path.exists():
+                return
+            with self._path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        yield _decode(line)
+        else:
+            yield from list(self._memory)
+
+    @classmethod
+    def replay_file(cls, path: Path) -> Iterator[Cell]:
+        """Replay an existing on-disk log without truncating it."""
+        log = cls.__new__(cls)
+        log._path = Path(path)
+        log._memory = []
+        log._bytes = 0
+        return log.replay()
+
+    def truncate(self) -> None:
+        """Discard the log after a successful memtable flush."""
+        self._memory.clear()
+        self._bytes = 0
+        if self._path is not None:
+            try:
+                self._path.write_text("")
+            except OSError as exc:
+                raise StoreError(f"commit log truncate failed: {exc}") from exc

@@ -1,0 +1,130 @@
+"""Keyspaces and column families — the Cassandra addressing layer (§4.2).
+
+"The cluster maintains a set of key spaces, each of which contains a set
+of column families. Each column family, in turn, stores data values
+indexed by <key, column> pairs. A Muppet application's configuration
+file identifies a Cassandra cluster ..., a key space within the cluster,
+and a column family within the key space."
+
+:class:`ColumnFamilyView` scopes a :class:`ReplicatedKVStore` to one
+(keyspace, column family): it exposes the same read/write/delete surface
+(so a :class:`~repro.slates.manager.SlateManager` can use it unchanged)
+while namespacing rows internally. Two applications sharing one physical
+cluster through different column families can never collide — exactly
+how multiple Muppet applications shared the production Cassandra
+cluster (2 B slates across "various production Muppet applications",
+Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.kvstore.api import ConsistencyLevel, ReadResult, WriteResult
+from repro.kvstore.cluster import ReplicatedKVStore
+
+#: Separator between namespace components and the row key. NUL cannot
+#: appear in JSON-sourced identifiers, so collisions are impossible.
+_SEP = "\x00"
+
+
+def _validate_identifier(kind: str, value: str) -> str:
+    if not value or _SEP in value:
+        raise ConfigurationError(
+            f"{kind} must be a non-empty string without NUL, "
+            f"got {value!r}"
+        )
+    return value
+
+
+class ColumnFamilyView:
+    """A (keyspace, column family) scope over a replicated store.
+
+    Duck-compatible with :class:`ReplicatedKVStore` for the operations
+    the slate manager uses: ``read``, ``write``, ``delete``. Rows are
+    transparently prefixed; everything else (replication, consistency,
+    hints, TTLs) is the underlying cluster's.
+    """
+
+    def __init__(self, store: ReplicatedKVStore, keyspace: str,
+                 column_family: str) -> None:
+        self._store = store
+        self.keyspace = _validate_identifier("keyspace", keyspace)
+        self.column_family = _validate_identifier("column family",
+                                                  column_family)
+        self._prefix = f"{self.keyspace}{_SEP}{self.column_family}{_SEP}"
+
+    @property
+    def cluster(self) -> ReplicatedKVStore:
+        """The underlying physical cluster."""
+        return self._store
+
+    def _row(self, row: str) -> str:
+        return self._prefix + row
+
+    # -- the SlateManager-facing surface ---------------------------------------
+    def write(self, row: str, column: str, value: bytes,
+              ttl: Optional[float] = None,
+              consistency: ConsistencyLevel = ConsistencyLevel.ONE,
+              ) -> WriteResult:
+        """Write within this column family."""
+        return self._store.write(self._row(row), column, value, ttl=ttl,
+                                 consistency=consistency)
+
+    def read(self, row: str, column: str,
+             consistency: ConsistencyLevel = ConsistencyLevel.ONE,
+             ) -> ReadResult:
+        """Read within this column family."""
+        return self._store.read(self._row(row), column, consistency)
+
+    def delete(self, row: str, column: str,
+               consistency: ConsistencyLevel = ConsistencyLevel.ONE,
+               ) -> int:
+        """Delete within this column family."""
+        return self._store.delete(self._row(row), column, consistency)
+
+    # -- administration ---------------------------------------------------------
+    def row_count(self) -> int:
+        """Cells stored under this column family (replicas included).
+
+        A maintenance scan, not a hot-path operation.
+        """
+        count = 0
+        for node in self._store.nodes.values():
+            for cell_key in list(node._memtable._cells):
+                if cell_key[0].startswith(self._prefix):
+                    count += 1
+            for table in node._sstables:
+                for cell in table.cells():
+                    if cell.row.startswith(self._prefix):
+                        count += 1
+        return count
+
+
+class KeyspaceCatalog:
+    """Registry of the column families defined on one physical cluster.
+
+    Mirrors the paper's configuration shape: the cluster is named once;
+    applications then ask for ``use("production", "muppet_slates")``.
+    """
+
+    def __init__(self, store: ReplicatedKVStore) -> None:
+        self._store = store
+        self._views: Dict[str, ColumnFamilyView] = {}
+
+    def use(self, keyspace: str, column_family: str) -> ColumnFamilyView:
+        """Get (or lazily create) a column-family view."""
+        key = f"{keyspace}{_SEP}{column_family}"
+        view = self._views.get(key)
+        if view is None:
+            view = ColumnFamilyView(self._store, keyspace, column_family)
+            self._views[key] = view
+        return view
+
+    def column_families(self) -> List[str]:
+        """Registered column families as ``"keyspace.cf"`` labels."""
+        return sorted(
+            f"{view.keyspace}.{view.column_family}"
+            for view in self._views.values()
+        )

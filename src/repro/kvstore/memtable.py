@@ -1,0 +1,78 @@
+"""The memtable: the write-buffering heart of the store (Section 4.2).
+
+"Because applications often update popular slates repeatedly, we minimize
+disk I/O for writing at the key-value store if we devote the store's main
+memory to buffering writes. Overwrites of the same row in the key-value
+store are relatively inexpensive if the row is still in memory at the time
+of the write, so it is advantageous for us to delay flushing the writes
+(i.e., the memory table) to disk as long as possible."
+
+The memtable absorbs overwrites: a hot slate written 1,000 times between
+flushes costs one flushed cell, not 1,000. :class:`Memtable` tracks how many
+writes it absorbed so benches (E8/E9) can quantify exactly that saving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.kvstore.cells import Cell, CellKey
+
+
+class Memtable:
+    """An in-memory, mutable buffer of the newest cell per ``(row, column)``.
+
+    Not thread-safe by itself; :class:`repro.kvstore.node.StorageNode`
+    serializes access.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[CellKey, Cell] = {}
+        self._bytes = 0
+        #: Writes that replaced an existing in-memory cell — the disk
+        #: writes the memtable saved (the paper's overwrite argument).
+        self.absorbed_overwrites = 0
+        #: Total writes accepted since the last flush.
+        self.writes = 0
+
+    def put(self, cell: Cell) -> None:
+        """Insert or overwrite the cell for ``(cell.row, cell.column)``."""
+        previous = self._cells.get(cell.key)
+        if previous is not None:
+            self._bytes -= previous.size_bytes()
+            self.absorbed_overwrites += 1
+        self._cells[cell.key] = cell
+        self._bytes += cell.size_bytes()
+        self.writes += 1
+
+    def get(self, row: str, column: str) -> Optional[Cell]:
+        """The newest buffered cell, tombstones included; None if absent."""
+        return self._cells.get((row, column))
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, key: CellKey) -> bool:
+        return key in self._cells
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate memory footprint of the buffered cells."""
+        return self._bytes
+
+    def cells_sorted(self) -> List[Cell]:
+        """All cells in ``(row, column)`` order, ready to flush."""
+        return [self._cells[k] for k in sorted(self._cells)]
+
+    def rows(self) -> Iterator[str]:
+        """Distinct row keys currently buffered."""
+        seen = set()
+        for row, _ in self._cells:
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def clear(self) -> None:
+        """Empty the memtable after a flush (counters persist)."""
+        self._cells.clear()
+        self._bytes = 0

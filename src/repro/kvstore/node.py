@@ -1,0 +1,305 @@
+"""A single LSM storage node — our from-scratch Cassandra stand-in.
+
+Write path: append to the commit log (sequential I/O), then buffer in the
+memtable; when the memtable exceeds its threshold, flush it as a new SSTable
+(sequential I/O) and truncate the log. When the SSTable count reaches the
+compaction threshold, merge all runs into one, purging TTL-expired cells and
+tombstones. Read path: memtable first (free), then SSTables newest-first,
+charging one random read per file actually probed; bloom filters skip files
+that cannot hold the row.
+
+This reproduces the economics the paper relies on in Section 4.2:
+overwrites of hot slates are absorbed in memory, flushes and compactions
+are streaming I/O that competes with read-serving random I/O (the SSD
+argument), and TTL garbage collection happens at compaction time.
+
+Time is externalized: the node never sleeps; every operation *returns* its
+simulated duration, and heavy background work (flush/compaction) accrues in
+``pending_background_s`` for the caller's background-I/O thread to drain —
+matching Muppet 2.0's dedicated background kv-store thread (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import StoreError
+from repro.kvstore.cells import Cell
+from repro.kvstore.commitlog import CommitLog
+from repro.kvstore.device import StorageDevice
+from repro.kvstore.memtable import Memtable
+from repro.kvstore.sstable import SSTable, merge_sstables
+
+
+@dataclass
+class NodeStats:
+    """Operation counters for one storage node."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    memtable_hits: int = 0
+    sstables_probed: int = 0
+    bloom_skips: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    bytes_flushed: int = 0
+    bytes_compacted: int = 0
+    ttl_purged_cells: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot for logging/benchmarks."""
+        return dict(self.__dict__)
+
+
+class StorageNode:
+    """One node of the key-value store: commit log + memtable + SSTables.
+
+    Args:
+        name: Node name (usually the machine name it is co-located with).
+        device: The storage device model charged for every I/O.
+        clock: Returns "now" in seconds — wall clock for the local
+            runtime, virtual clock for the simulator. Drives TTL expiry.
+        memtable_flush_bytes: Flush threshold; larger values buffer more
+            overwrites (the paper delays flushing "as long as possible").
+        compaction_threshold: Number of SSTables that triggers a full
+            (size-tiered, single-tier) compaction.
+        data_dir: Directory for persistent SSTables and commit log;
+            ``None`` keeps everything in memory (costs still charged).
+
+    Thread safety: callers serialize access (the engines funnel kv-store
+    traffic through one background I/O thread, as Muppet 2.0 does).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        device: Optional[StorageDevice] = None,
+        clock: Callable[[], float] = lambda: 0.0,
+        memtable_flush_bytes: int = 4 * 1024 * 1024,
+        compaction_threshold: int = 8,
+        data_dir: Optional[Path] = None,
+    ) -> None:
+        self.name = name
+        self.device = device or StorageDevice.ssd()
+        self.clock = clock
+        self.memtable_flush_bytes = memtable_flush_bytes
+        self.compaction_threshold = max(2, compaction_threshold)
+        self._data_dir = Path(data_dir) if data_dir is not None else None
+        log_path = (self._data_dir / f"{name}.commitlog"
+                    if self._data_dir is not None else None)
+        self._log = CommitLog(log_path)
+        self._memtable = Memtable()
+        self._sstables: List[SSTable] = []  # oldest first
+        self.stats = NodeStats()
+        #: Simulated seconds of flush/compaction work awaiting the
+        #: background I/O thread.
+        self.pending_background_s = 0.0
+        self.is_down = False
+
+    # -- write path ------------------------------------------------------------
+    def put(self, row: str, column: str, value: bytes,
+            ttl: Optional[float] = None) -> float:
+        """Write one cell; returns the foreground I/O time in seconds."""
+        self._check_up()
+        if ttl is not None and not isinstance(ttl, (int, float)):
+            raise StoreError(
+                f"ttl must be a number of seconds or None, got {ttl!r}"
+            )
+        cell = Cell(row, column, value, write_ts=self.clock(), ttl=ttl)
+        return self._apply(cell)
+
+    def delete(self, row: str, column: str) -> float:
+        """Write a tombstone; returns the foreground I/O time."""
+        self._check_up()
+        self.stats.deletes += 1
+        cell = Cell(row, column, None, write_ts=self.clock())
+        return self._apply(cell)
+
+    def _apply(self, cell: Cell) -> float:
+        self.stats.puts += 1
+        size = self._log.append(cell)
+        cost = self.device.charge_sequential_write(size)
+        self._memtable.put(cell)
+        if self._memtable.size_bytes >= self.memtable_flush_bytes:
+            self.flush()
+        return cost
+
+    # -- read path ----------------------------------------------------------
+    def get(self, row: str, column: str) -> Tuple[Optional[bytes], float]:
+        """Read the live value for (row, column).
+
+        Returns:
+            ``(value, cost_s)`` where value is None when absent, deleted,
+            or TTL-expired, and cost_s is the simulated read time.
+        """
+        self._check_up()
+        self.stats.gets += 1
+        now = self.clock()
+        cell = self._memtable.get(row, column)
+        if cell is not None:
+            self.stats.memtable_hits += 1
+            return (cell.value if cell.live(now) else None), 0.0
+
+        cost = 0.0
+        for table in reversed(self._sstables):  # newest first
+            if not table.might_contain(row, column):
+                self.stats.bloom_skips += 1
+                continue
+            self.stats.sstables_probed += 1
+            found = table.get(row, column)
+            # Bloom false positive: charge the probe, keep searching.
+            probe_size = found.size_bytes() if found is not None else 64
+            cost += self.device.charge_random_read(probe_size)
+            if found is not None:
+                return (found.value if found.live(now) else None), cost
+        return None, cost
+
+    def scan_row(self, row: str) -> Tuple[Dict[str, bytes], float]:
+        """All live columns of a row (the bulk-read path of Section 5)."""
+        self._check_up()
+        now = self.clock()
+        newest: Dict[str, Cell] = {}
+        cost = 0.0
+        for table in self._sstables:
+            for cell in table.scan_row(row):
+                cost += self.device.charge_random_read(cell.size_bytes())
+                existing = newest.get(cell.column)
+                if existing is None or cell.supersedes(existing):
+                    newest[cell.column] = cell
+        for key, cell in list(self._memtable._cells.items()):
+            if key[0] != row:
+                continue
+            existing = newest.get(cell.column)
+            if existing is None or cell.supersedes(existing):
+                newest[cell.column] = cell
+        live = {c.column: c.value for c in newest.values()
+                if c.live(now) and c.value is not None}
+        return live, cost
+
+    # -- maintenance -------------------------------------------------------------
+    def flush(self) -> float:
+        """Flush the memtable to a new SSTable; returns background cost."""
+        if len(self._memtable) == 0:
+            return 0.0
+        path = None
+        if self._data_dir is not None:
+            path = self._data_dir / f"{self.name}-{len(self._sstables)}-{self.stats.flushes}.sst"
+        table = SSTable(self._memtable.cells_sorted(), path=path)
+        self._sstables.append(table)
+        cost = self.device.charge_sequential_write(table.size_bytes)
+        self.pending_background_s += cost
+        self.stats.flushes += 1
+        self.stats.bytes_flushed += table.size_bytes
+        self._memtable.clear()
+        self._log.truncate()
+        if len(self._sstables) >= self.compaction_threshold:
+            cost += self.compact()
+        return cost
+
+    def compact(self) -> float:
+        """Merge all SSTables into one; purge TTL-expired cells/tombstones.
+
+        Returns the background I/O time (read inputs + write output).
+        """
+        if len(self._sstables) <= 1:
+            return 0.0
+        now = self.clock()
+        input_bytes = sum(t.size_bytes for t in self._sstables)
+        input_cells = sum(len(t) for t in self._sstables)
+        cost = self.device.charge_sequential_read(input_bytes)
+        path = None
+        if self._data_dir is not None:
+            path = self._data_dir / f"{self.name}-compacted-{self.stats.compactions}.sst"
+        merged = merge_sstables(self._sstables, now=now, path=path)
+        cost += self.device.charge_sequential_write(merged.size_bytes)
+        self.stats.ttl_purged_cells += input_cells - len(merged)
+        for table in self._sstables:
+            table.delete_file()
+        self._sstables = [merged] if len(merged) else []
+        self.stats.compactions += 1
+        self.stats.bytes_compacted += input_bytes
+        self.pending_background_s += cost
+        return cost
+
+    def take_background_cost(self) -> float:
+        """Drain accrued flush/compaction time (background-thread hook)."""
+        cost = self.pending_background_s
+        self.pending_background_s = 0.0
+        return cost
+
+    @classmethod
+    def open(cls, name: str, data_dir: Path, **kwargs) -> "StorageNode":
+        """Reopen a node from its persisted state (cold process restart).
+
+        Loads every ``*.sst`` run in ``data_dir`` (oldest generation
+        first) and replays the commit log into a fresh memtable — the
+        full durability story: flushed data comes back from SSTables,
+        acknowledged-but-unflushed writes from the log.
+        """
+        data_dir = Path(data_dir)
+        log_path = data_dir / f"{name}.commitlog"
+        pending: List[Cell] = []
+        if log_path.exists():
+            pending = list(CommitLog.replay_file(log_path))
+        node = cls(name, data_dir=data_dir, **kwargs)
+        # The constructor truncated the log file; re-apply the replayed
+        # mutations so they are buffered (and re-logged) again.
+        # Order runs oldest-first by file timestamp (lexicographic names
+        # would mis-order flush #10 before #9), so newest-first reads
+        # resolve duplicate keys correctly.
+        sst_paths = sorted(data_dir.glob("*.sst"),
+                           key=lambda p: (p.stat().st_mtime_ns, p.name))
+        for generation, path in enumerate(sst_paths, start=1):
+            node._sstables.append(SSTable.load(path,
+                                               generation=generation))
+        for cell in pending:
+            node._memtable.put(cell)
+            node._log.append(cell)
+        return node
+
+    # -- failure / recovery ---------------------------------------------------
+    def crash(self) -> None:
+        """Simulate a process crash: lose the memtable, keep durable state."""
+        self._memtable = Memtable()
+        self.is_down = True
+
+    def recover(self) -> int:
+        """Replay the commit log into a fresh memtable; returns cells."""
+        replayed = 0
+        for cell in self._log.replay():
+            self._memtable.put(cell)
+            replayed += 1
+        self.is_down = False
+        return replayed
+
+    def _check_up(self) -> None:
+        if self.is_down:
+            raise StoreError(f"storage node {self.name!r} is down")
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def sstable_count(self) -> int:
+        """Current number of on-disk runs."""
+        return len(self._sstables)
+
+    @property
+    def memtable_bytes(self) -> int:
+        """Current memtable footprint."""
+        return self._memtable.size_bytes
+
+    @property
+    def absorbed_overwrites(self) -> int:
+        """Disk writes avoided by in-memory overwrites (Section 4.2)."""
+        return self._memtable.absorbed_overwrites
+
+    def total_cells(self) -> int:
+        """Cells across memtable and SSTables (duplicates included)."""
+        return len(self._memtable) + sum(len(t) for t in self._sstables)
+
+    def stored_bytes(self) -> int:
+        """Approximate bytes across memtable and SSTables."""
+        return (self._memtable.size_bytes
+                + sum(t.size_bytes for t in self._sstables))

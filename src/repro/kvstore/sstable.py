@@ -1,0 +1,171 @@
+"""SSTables: immutable sorted runs flushed from the memtable.
+
+Each flush writes one SSTable; point reads consult SSTables newest-first,
+skipping files whose bloom filter rules the row out. This is the mechanism
+behind the paper's observation that "the more times a row is flushed to
+disk by the store since its last file compaction, the more files will have
+to be checked for the row when it needs to be retrieved" (Section 4.2) —
+compaction (see :mod:`repro.kvstore.node`) merges runs back down.
+
+SSTables can live purely in memory (simulator mode) or be persisted as
+JSON-lines files in a data directory (durability tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import StoreError
+from repro.kvstore.bloom import BloomFilter
+from repro.kvstore.cells import Cell, CellKey
+
+_sstable_ids = itertools.count(1)
+
+
+class SSTable:
+    """One immutable sorted run of cells.
+
+    Args:
+        cells: Cells in any order; stored sorted by ``(row, column)``.
+            For duplicate keys the newest ``write_ts`` wins.
+        generation: Monotonic ID; higher = newer. Auto-assigned when 0.
+        path: Optional file to persist the run to (JSON lines).
+    """
+
+    def __init__(self, cells: Iterable[Cell], generation: int = 0,
+                 path: Optional[Path] = None) -> None:
+        newest: Dict[CellKey, Cell] = {}
+        for cell in cells:
+            existing = newest.get(cell.key)
+            if existing is None or cell.supersedes(existing):
+                newest[cell.key] = cell
+        self._cells: Dict[CellKey, Cell] = dict(sorted(newest.items()))
+        self.generation = generation or next(_sstable_ids)
+        self._bloom = BloomFilter(expected_items=max(1, len(self._cells)))
+        for row, column in self._cells:
+            self._bloom.add(f"{row}\x00{column}")
+        self._size = sum(c.size_bytes() for c in self._cells.values())
+        self._path = Path(path) if path is not None else None
+        if self._path is not None:
+            self._persist()
+
+    # -- reads --------------------------------------------------------------
+    def might_contain(self, row: str, column: str) -> bool:
+        """Bloom-filter check; False means the cell is definitely absent."""
+        return self._bloom.might_contain(f"{row}\x00{column}")
+
+    def get(self, row: str, column: str) -> Optional[Cell]:
+        """The cell (including tombstones) or None."""
+        return self._cells.get((row, column))
+
+    def cells(self) -> List[Cell]:
+        """All cells in ``(row, column)`` order."""
+        return list(self._cells.values())
+
+    def scan_row(self, row: str) -> List[Cell]:
+        """All cells of one row (bulk-read path, Section 5)."""
+        return [c for (r, _), c in self._cells.items() if r == row]
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate on-disk size of the run."""
+        return self._size
+
+    @property
+    def path(self) -> Optional[Path]:
+        """The backing file, if persisted."""
+        return self._path
+
+    # -- persistence ----------------------------------------------------------
+    def _persist(self) -> None:
+        assert self._path is not None
+        try:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            with self._path.open("w", encoding="utf-8") as handle:
+                for cell in self._cells.values():
+                    handle.write(json.dumps({
+                        "row": cell.row,
+                        "column": cell.column,
+                        "value": (cell.value.decode("latin-1")
+                                  if cell.value is not None else None),
+                        "write_ts": cell.write_ts,
+                        "ttl": cell.ttl,
+                    }, separators=(",", ":")))
+                    handle.write("\n")
+        except OSError as exc:
+            raise StoreError(f"sstable persist failed: {exc}") from exc
+
+    @classmethod
+    def load(cls, path: Path, generation: int = 0) -> "SSTable":
+        """Reconstruct an SSTable from a persisted JSON-lines file."""
+        cells: List[Cell] = []
+        try:
+            with Path(path).open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    value = record["value"]
+                    cells.append(Cell(
+                        row=record["row"],
+                        column=record["column"],
+                        value=(value.encode("latin-1")
+                               if value is not None else None),
+                        write_ts=record["write_ts"],
+                        ttl=record["ttl"],
+                    ))
+        except OSError as exc:
+            raise StoreError(f"sstable load failed: {exc}") from exc
+        table = cls(cells, generation=generation)
+        table._path = Path(path)
+        return table
+
+    def delete_file(self) -> None:
+        """Remove the backing file after compaction supersedes this run."""
+        if self._path is not None:
+            try:
+                self._path.unlink(missing_ok=True)
+            except OSError as exc:
+                raise StoreError(f"sstable delete failed: {exc}") from exc
+
+
+def merge_sstables(tables: List[SSTable], now: float,
+                   drop_tombstones: bool = True,
+                   path: Optional[Path] = None) -> SSTable:
+    """Size-tiered compaction: merge runs into one, purging garbage.
+
+    Keeps, per ``(row, column)``, only the newest cell; drops cells whose
+    TTL has expired by ``now`` (the store-side garbage collection of
+    Section 4.2) and, optionally, tombstones (safe when merging *all* runs
+    of the store, as our compaction does).
+
+    Args:
+        tables: Runs to merge (any order).
+        now: Current time, for TTL expiry decisions.
+        drop_tombstones: Purge delete markers from the output.
+        path: Optional file for the merged run.
+
+    Returns:
+        The merged SSTable (new generation).
+    """
+    newest: Dict[CellKey, Cell] = {}
+    for table in tables:
+        for cell in table.cells():
+            existing = newest.get(cell.key)
+            if existing is None or cell.supersedes(existing):
+                newest[cell.key] = cell
+    survivors = []
+    for cell in newest.values():
+        if cell.expired(now):
+            continue  # TTL GC happens here, at compaction.
+        if drop_tombstones and cell.is_tombstone:
+            continue
+        survivors.append(cell)
+    return SSTable(survivors, path=path)

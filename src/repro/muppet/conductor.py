@@ -1,0 +1,180 @@
+"""The Muppet 1.0 worker pair: Perl conductor + JVM task processor (§4.5).
+
+"Each worker was implemented as two tightly coupled processes: a Perl
+process called a conductor, and a process running the JVM called a task
+processor. The conductor is in charge of all 'Muppet logistics,'
+including retrieving the next event from its queue of incoming events;
+sending the event (together with a slate, if necessary) to the JVM task
+processor; receiving the output events (and a modified slate if
+applicable) from the JVM task processor; hashing the output events to
+their appropriate destinations; enqueueing the events at their
+destination workers' queues."
+
+This module makes the pair concrete: a framed message protocol between
+the two "processes" (length-prefixed JSON frames over an in-memory pipe),
+with every byte crossing the boundary counted. The simulator's Muppet 1.0
+engine uses :class:`IPCAccountant` to charge a byte-accurate
+serialization cost per event — which is how the §4.5 complaint "Passing
+data between processes ... can be computationally wasteful" becomes
+measurable (bench E3).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.event import Event
+from repro.errors import ConfigurationError, ReproError
+
+#: Frame header: 4-byte big-endian payload length.
+_HEADER = struct.Struct(">I")
+
+
+class FramingError(ReproError):
+    """A malformed frame crossed the conductor/task-processor pipe."""
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Length-prefix one JSON message, as the pipe protocol requires."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frames(buffer: bytes) -> Tuple[List[Dict[str, Any]], bytes]:
+    """Split a byte buffer into complete frames plus the unparsed tail."""
+    messages: List[Dict[str, Any]] = []
+    offset = 0
+    while len(buffer) - offset >= _HEADER.size:
+        (length,) = _HEADER.unpack_from(buffer, offset)
+        start = offset + _HEADER.size
+        if len(buffer) - start < length:
+            break
+        try:
+            messages.append(json.loads(buffer[start:start + length]))
+        except ValueError as exc:
+            raise FramingError(f"corrupt frame at offset {offset}: "
+                               f"{exc}") from exc
+        offset = start + length
+    return messages, buffer[offset:]
+
+
+@dataclass
+class PipeStats:
+    """Bytes and frames crossing the process boundary, per direction."""
+
+    frames_to_task: int = 0
+    bytes_to_task: int = 0
+    frames_to_conductor: int = 0
+    bytes_to_conductor: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """All IPC traffic for this worker pair."""
+        return self.bytes_to_task + self.bytes_to_conductor
+
+
+class TaskProcessor:
+    """The JVM side: runs the operator on a decoded request frame.
+
+    "The JVM task processor's sole task is to run the map or update code
+    to process the event passed to it by the conductor, then send the
+    output events back to the conductor."
+    """
+
+    def __init__(self, run_operator) -> None:
+        """``run_operator(event_dict, slate_dict_or_None) ->
+        (output_event_dicts, new_slate_dict_or_None)``."""
+        self._run_operator = run_operator
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Process one request frame; return the response frame body."""
+        outputs, new_slate = self._run_operator(request["event"],
+                                                request.get("slate"))
+        response: Dict[str, Any] = {"outputs": outputs}
+        if new_slate is not None:
+            response["slate"] = new_slate
+        return response
+
+
+class Conductor:
+    """The Perl side: frames requests, parses responses, counts bytes.
+
+    One :class:`Conductor` + one :class:`TaskProcessor` = one Muppet 1.0
+    worker. The conductor serializes the event (and the slate, for
+    updaters) across the pipe and deserializes the outputs (and modified
+    slate) coming back — the double-serialization Muppet 2.0 eliminated.
+    """
+
+    def __init__(self, task: TaskProcessor) -> None:
+        self._task = task
+        self.stats = PipeStats()
+        self._inbound = b""
+
+    def process_event(
+        self,
+        event: Event,
+        slate: Optional[Dict[str, Any]] = None,
+        flags: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[List[Dict[str, Any]], Optional[Dict[str, Any]]]:
+        """Round-trip one event through the task processor.
+
+        Args:
+            event: The event to process.
+            slate: Current slate contents for updaters.
+            flags: Extra request fields merged into the event frame
+                (e.g. timer markers).
+
+        Returns ``(output event dicts, modified slate or None)``.
+        """
+        event_body: Dict[str, Any] = {"sid": event.sid, "ts": event.ts,
+                                      "key": event.key,
+                                      "value": event.value}
+        if flags:
+            event_body.update(flags)
+        request: Dict[str, Any] = {"event": event_body}
+        if slate is not None:
+            request["slate"] = slate
+        frame = encode_frame(request)
+        self.stats.frames_to_task += 1
+        self.stats.bytes_to_task += len(frame)
+
+        # The "pipe": decode on the far side, run, encode the response.
+        decoded, rest = decode_frames(frame)
+        if rest or len(decoded) != 1:
+            raise FramingError("request did not decode to one frame")
+        response_body = self._task.handle(decoded[0])
+        response = encode_frame(response_body)
+        self.stats.frames_to_conductor += 1
+        self.stats.bytes_to_conductor += len(response)
+
+        messages, self._inbound = decode_frames(self._inbound + response)
+        if len(messages) != 1:
+            raise FramingError("response did not decode to one frame")
+        body = messages[0]
+        return body.get("outputs", []), body.get("slate")
+
+
+@dataclass(frozen=True)
+class IPCAccountant:
+    """Byte-accurate IPC cost model for the simulator's 1.0 engine.
+
+    Cost per event = ``fixed_s`` (process wakeups, syscalls) plus
+    ``per_byte_s`` times the frame bytes both ways: the event in, the
+    slate in and back (updaters), the outputs back.
+    """
+
+    fixed_s: float = 120e-6
+    per_byte_s: float = 4e-9
+
+    def __post_init__(self) -> None:
+        if self.fixed_s < 0 or self.per_byte_s < 0:
+            raise ConfigurationError("IPC costs must be >= 0")
+
+    def cost(self, event_bytes: int, slate_bytes: int = 0,
+             output_bytes: int = 0) -> float:
+        """Seconds of IPC work for one invocation."""
+        crossing = event_bytes + 2 * slate_bytes + output_bytes + 48
+        return self.fixed_s + self.per_byte_s * crossing

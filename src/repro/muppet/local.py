@@ -1,0 +1,474 @@
+"""LocalMuppet: a real-thread, single-machine Muppet 2.0 runtime.
+
+Where :mod:`repro.sim` reproduces cluster-scale behaviour under a virtual
+clock, this module is Muppet 2.0 on one actual machine, with actual
+threads — "we start up many threads of execution in a dedicated thread
+pool per machine. Each thread in this thread pool is now a worker, capable
+of running any map or update function" (Section 4.5). It powers the
+runnable examples and the wall-clock pytest benchmarks.
+
+Faithful details:
+
+* one shared operator instance per function ("each map and update function
+  is constructed only once and shared by all threads");
+* one central slate cache/manager, with per-slate locks so that the up to
+  two threads the dispatcher may send one key to never corrupt a slate;
+* primary/secondary two-choice dispatch with queue locking;
+* bounded queues with drop / divert / block-the-source overflow handling;
+* a background I/O thread that periodically flushes dirty slates to the
+  key-value store;
+* timer support for windowed applications (hot topics, Example 5).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.application import Application
+from repro.core.event import Event, EventCounter
+from repro.core.operators import Context, Mapper, Operator, TimerRequest, Updater
+from repro.core.slate import Slate, SlateKey
+from repro.errors import ConfigurationError, EngineStoppedError, WorkflowError
+from repro.kvstore.api import ConsistencyLevel
+from repro.kvstore.cluster import ReplicatedKVStore
+from repro.metrics import LatencyRecorder
+from repro.muppet.dispatch import TwoChoiceDispatcher
+from repro.muppet.queues import BoundedQueue, OverflowPolicy
+from repro.slates.manager import FlushPolicy, SlateManager
+
+
+@dataclass
+class LocalConfig:
+    """Knobs for the local thread runtime."""
+
+    num_threads: int = 4
+    queue_capacity: int = 10_000
+    overflow: OverflowPolicy = field(default_factory=OverflowPolicy.drop)
+    dispatch_factor: float = 2.0
+    cache_slates: int = 100_000
+    flush_policy: FlushPolicy = field(
+        default_factory=lambda: FlushPolicy.every(0.5))
+    consistency: ConsistencyLevel = ConsistencyLevel.ONE
+    kv_nodes: int = 1
+    kv_replication: int = 1
+    flusher_period_s: float = 0.1
+    record_latency: bool = True
+    max_slate_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ConfigurationError("num_threads must be >= 1")
+
+
+class _WorkItem:
+    """One queued delivery: an event (or timer) for one function."""
+
+    __slots__ = ("event", "dest_fn", "birth", "is_timer", "timer_payload")
+
+    def __init__(self, event: Event, dest_fn: str, birth: float,
+                 is_timer: bool = False, timer_payload: Any = None) -> None:
+        self.event = event
+        self.dest_fn = dest_fn
+        self.birth = birth
+        self.is_timer = is_timer
+        self.timer_payload = timer_payload
+
+
+class LocalMuppet:
+    """Run one MapUpdate application on local threads.
+
+    Typical use::
+
+        runtime = LocalMuppet(app, LocalConfig(num_threads=4))
+        runtime.start()
+        for event in events:
+            runtime.ingest(event)
+        runtime.drain()
+        counts = runtime.read_slate("U1", "walmart")
+        runtime.stop()
+
+    Or as a context manager (start/stop automatic)::
+
+        with LocalMuppet(app) as runtime:
+            ...
+    """
+
+    def __init__(self, app: Application,
+                 config: Optional[LocalConfig] = None,
+                 store: Optional[ReplicatedKVStore] = None) -> None:
+        app.validate()
+        self.app = app
+        self.config = config or LocalConfig()
+        cfg = self.config
+        self.store = store if store is not None else ReplicatedKVStore(
+            node_names=[f"kv{i}" for i in range(cfg.kv_nodes)],
+            replication_factor=cfg.kv_replication,
+            clock=time.monotonic,
+        )
+        self.manager = SlateManager(
+            store=self.store,
+            cache_capacity=cfg.cache_slates,
+            flush_policy=cfg.flush_policy,
+            clock=time.monotonic,
+            consistency=cfg.consistency,
+            max_slate_bytes=cfg.max_slate_bytes,
+        )
+        self.counters = EventCounter()
+        self.latency = LatencyRecorder()
+        self.dispatcher = TwoChoiceDispatcher(cfg.num_threads,
+                                              cfg.dispatch_factor)
+        self._instances: Dict[str, Operator] = {
+            spec.name: spec.instantiate() for spec in app.operators()
+        }
+        self._queues: List[BoundedQueue[_WorkItem]] = [
+            BoundedQueue(cfg.queue_capacity) for _ in range(cfg.num_threads)
+        ]
+        self._processing: List[Optional[Tuple[str, str]]] = (
+            [None] * cfg.num_threads)
+        self._dispatch_lock = threading.Lock()
+        self._work_available = threading.Condition(self._dispatch_lock)
+        self._manager_lock = threading.Lock()
+        self._slate_locks: Dict[SlateKey, threading.Lock] = {}
+        self._slate_locks_guard = threading.Lock()
+        self._latency_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._inflight = 0
+        self._idle = threading.Condition(threading.Lock())
+        self._timers: List[Tuple[float, int, TimerRequest, float]] = []
+        self._timer_seq = itertools.count()
+        self._timer_cond = threading.Condition()
+        #: Event-time watermark: the max source timestamp ingested so far.
+        #: Timers fire when the watermark passes their ``at_ts``.
+        self._watermark = float("-inf")
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        self._stopped = False
+        #: Operator invocations that raised; the event is logged as failed
+        #: and the worker moves on (user code must not kill the engine).
+        self.operator_errors = 0
+        self.last_error: Optional[BaseException] = None
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "LocalMuppet":
+        """Spin up worker, timer, and background-flush threads."""
+        if self._running:
+            return self
+        if self._stopped:
+            raise EngineStoppedError("LocalMuppet cannot be restarted")
+        self._running = True
+        for i in range(self.config.num_threads):
+            thread = threading.Thread(target=self._worker_loop, args=(i,),
+                                      name=f"muppet-worker-{i}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        flusher = threading.Thread(target=self._flusher_loop,
+                                   name="muppet-flusher", daemon=True)
+        flusher.start()
+        self._threads.append(flusher)
+        timer = threading.Thread(target=self._timer_loop,
+                                 name="muppet-timer", daemon=True)
+        timer.start()
+        self._threads.append(timer)
+        return self
+
+    def stop(self) -> None:
+        """Stop all threads and flush remaining dirty slates."""
+        if not self._running:
+            return
+        self._running = False
+        self._stopped = True
+        with self._work_available:
+            self._work_available.notify_all()
+        with self._timer_cond:
+            self._timer_cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        with self._manager_lock:
+            self.manager.flush_all_dirty()
+
+    def __enter__(self) -> "LocalMuppet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- ingestion --------------------------------------------------------------
+    def ingest(self, event: Event, block: bool = True,
+               timeout: float = 30.0) -> bool:
+        """Feed one external event (the M0 role, Section 4.1).
+
+        Args:
+            event: Must target an external stream of the application.
+            block: With the ``throttle`` overflow policy, wait for queue
+                space (source throttling); otherwise full queues follow
+                the drop/divert policy immediately.
+            timeout: Max seconds to wait when blocking.
+
+        Returns:
+            True if the event entered the system (fully or diverted);
+            False if it was dropped.
+        """
+        if not self._running:
+            raise EngineStoppedError("runtime is not running")
+        spec = self.app.streams.spec(event.sid)
+        if not spec.external:
+            raise WorkflowError(
+                f"ingest targets external streams only, got {event.sid!r}"
+            )
+        stamped = self.app.streams.stamp(event)
+        with self._counter_lock:
+            self.counters.published += 1
+        with self._timer_cond:
+            if stamped.ts > self._watermark:
+                self._watermark = stamped.ts
+                self._timer_cond.notify_all()
+        birth = time.monotonic()
+        ok = True
+        for sub in self.app.subscribers_of(stamped.sid):
+            item = _WorkItem(stamped, sub.name, birth)
+            ok = self._dispatch(item, from_source=block,
+                                timeout=timeout) and ok
+        return ok
+
+    def ingest_many(self, events, block: bool = True) -> int:
+        """Feed a sequence of events; returns how many were accepted."""
+        accepted = 0
+        for event in events:
+            if self.ingest(event, block=block):
+                accepted += 1
+        return accepted
+
+    # -- dispatch -----------------------------------------------------------------
+    def _dispatch(self, item: _WorkItem, from_source: bool = False,
+                  timeout: float = 30.0, allow_divert: bool = True) -> bool:
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._dispatch_lock:
+                lengths = [len(q) for q in self._queues]
+                index = self.dispatcher.choose(
+                    item.event.key, item.dest_fn, lengths, self._processing)
+                if self._queues[index].offer(item):
+                    self._inflight_add(1)
+                    self._work_available.notify_all()
+                    return True
+            # Queue full: apply the overflow policy (Section 4.3).
+            policy = self.config.overflow
+            if policy.kind == "drop" or not allow_divert:
+                with self._counter_lock:
+                    self.counters.dropped_overflow += 1
+                return False
+            if policy.kind == "divert":
+                return self._divert(item)
+            # throttle: block the source until space frees up.
+            if not from_source or time.monotonic() >= deadline:
+                with self._counter_lock:
+                    self.counters.dropped_overflow += 1
+                return False
+            with self._counter_lock:
+                self.counters.throttled += 1
+            time.sleep(0.001)
+
+    def _divert(self, item: _WorkItem) -> bool:
+        sid = self.config.overflow.overflow_sid
+        assert sid is not None
+        with self._counter_lock:
+            self.counters.diverted_overflow_stream += 1
+        diverted = self.app.streams.stamp(item.event.with_stream(sid))
+        delivered = False
+        for sub in self.app.subscribers_of(sid):
+            # A diverted event that overflows again is dropped — degraded
+            # service must not recurse into further diversion.
+            delivered = self._dispatch(
+                _WorkItem(diverted, sub.name, item.birth),
+                allow_divert=False) or delivered
+        return delivered
+
+    def _inflight_add(self, delta: int) -> None:
+        with self._idle:
+            self._inflight += delta
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    def drain(self, timeout: float = 60.0, flush_timers: bool = True) -> bool:
+        """Block until every queued/in-flight event has been processed.
+
+        With ``flush_timers`` (the default), any timers still pending once
+        the queues empty are fired in timestamp order — end-of-stream
+        semantics, so windowed applications (hot topics) emit their final
+        windows when a bounded run finishes.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            if not self._wait_idle(deadline):
+                return False
+            if not flush_timers:
+                return True
+            with self._timer_cond:
+                if not self._timers:
+                    return True
+                _, __, timer, birth = heapq.heappop(self._timers)
+            self._fire_timer(timer, birth)
+
+    def _wait_idle(self, deadline: float) -> bool:
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(min(remaining, 0.1))
+        return True
+
+    # -- workers ----------------------------------------------------------------
+    def _worker_loop(self, index: int) -> None:
+        queue = self._queues[index]
+        while True:
+            with self._work_available:
+                item = queue.poll()
+                while item is None:
+                    if not self._running:
+                        return
+                    self._work_available.wait(0.1)
+                    item = queue.poll()
+                self._processing[index] = (item.event.key, item.dest_fn)
+            try:
+                self._process(item)
+            except Exception as exc:
+                # A failing map/update costs one event, not the worker.
+                with self._counter_lock:
+                    self.operator_errors += 1
+                self.last_error = exc
+            finally:
+                with self._dispatch_lock:
+                    self._processing[index] = None
+                self._inflight_add(-1)
+
+    def _process(self, item: _WorkItem) -> None:
+        spec = self.app.operator(item.dest_fn)
+        instance = self._instances[spec.name]
+        event = item.event
+        ctx = Context(spec.name, event.ts, spec.publishes, event.key)
+        if spec.kind == "map":
+            assert isinstance(instance, Mapper)
+            instance.map(ctx, event)
+        else:
+            assert isinstance(instance, Updater)
+            slate_lock = self._slate_lock(SlateKey(spec.name, event.key))
+            with slate_lock:
+                with self._manager_lock:
+                    slate = self.manager.get(instance, event.key)
+                if item.is_timer:
+                    instance.on_timer(ctx, event.key, slate,
+                                      item.timer_payload)
+                else:
+                    instance.update(ctx, event, slate)
+                slate.touch(event.ts)
+                with self._manager_lock:
+                    self.manager.note_update(slate)
+            if self.config.record_latency and not item.is_timer:
+                with self._latency_lock:
+                    self.latency.record(time.monotonic() - item.birth)
+        with self._counter_lock:
+            self.counters.processed += 1
+        for out in ctx.emitted:
+            stamped = self.app.streams.stamp(out, from_operator=True)
+            with self._counter_lock:
+                self.counters.published += 1
+            for sub in self.app.subscribers_of(stamped.sid):
+                self._dispatch(_WorkItem(stamped, sub.name, item.birth))
+        for timer in ctx.timers:
+            self._schedule_timer(timer, item.birth)
+
+    def _slate_lock(self, slate_key: SlateKey) -> threading.Lock:
+        with self._slate_locks_guard:
+            lock = self._slate_locks.get(slate_key)
+            if lock is None:
+                lock = threading.Lock()
+                self._slate_locks[slate_key] = lock
+            return lock
+
+    # -- timers -------------------------------------------------------------------
+    def _schedule_timer(self, timer: TimerRequest, birth: float) -> None:
+        """Register an event-time timer (fires when the watermark — the
+        max ingested source timestamp — passes its ``at_ts``)."""
+        with self._timer_cond:
+            heapq.heappush(self._timers,
+                           (timer.at_ts, next(self._timer_seq), timer, birth))
+            self._timer_cond.notify_all()
+
+    def _fire_timer(self, timer: TimerRequest, birth: float) -> None:
+        timer_event = Event(sid=f"!timer:{timer.updater}",
+                            ts=timer.at_ts, key=timer.key)
+        item = _WorkItem(timer_event, timer.updater, birth,
+                         is_timer=True, timer_payload=timer.payload)
+        self._dispatch(item)
+
+    def _timer_loop(self) -> None:
+        while True:
+            fired: Optional[Tuple[TimerRequest, float]] = None
+            with self._timer_cond:
+                if not self._running:
+                    return
+                if self._timers and self._timers[0][0] <= self._watermark:
+                    _, __, timer, birth = heapq.heappop(self._timers)
+                    fired = (timer, birth)
+                else:
+                    self._timer_cond.wait(0.05)
+            if fired is not None:
+                self._fire_timer(*fired)
+
+    # -- background flush ---------------------------------------------------------
+    def _flusher_loop(self) -> None:
+        """The Muppet 2.0 background kv-store I/O thread (Section 4.5)."""
+        while self._running:
+            time.sleep(self.config.flusher_period_s)
+            with self._manager_lock:
+                self.manager.flush_due()
+
+    # -- reads -------------------------------------------------------------------
+    def read_slate(self, updater: str, key: str) -> Optional[Dict[str, Any]]:
+        """Read a slate's current contents from the cache (fresh), else
+        the store — the Section 4.4 slate-fetch semantics."""
+        slate_key = SlateKey(updater, key)
+        with self._manager_lock:
+            slate = self.manager.cache.peek(slate_key)
+            if slate is not None:
+                return slate.as_dict()
+        try:
+            result = self.store.read(key, updater)
+        except Exception:
+            return None
+        if result.value is None:
+            return None
+        return self.manager.codec.decode(result.value)
+
+    def read_slates_of(self, updater: str) -> Dict[str, Dict[str, Any]]:
+        """All cached slates of one updater."""
+        found: Dict[str, Dict[str, Any]] = {}
+        with self._manager_lock:
+            for slate_key in self.manager.cache.resident():
+                if slate_key.updater == updater:
+                    slate = self.manager.cache.peek(slate_key)
+                    if slate is not None:
+                        found[slate_key.key] = slate.as_dict()
+        return found
+
+    def status(self) -> Dict[str, Any]:
+        """Basic status: queue depths and counters (Section 4.5's HTTP
+        status endpoint exposes "the event count of the largest event
+        queues")."""
+        with self._dispatch_lock:
+            depths = [len(q) for q in self._queues]
+        with self._counter_lock:
+            counters = self.counters.snapshot()
+        return {
+            "queues": depths,
+            "largest_queue": max(depths) if depths else 0,
+            "counters": counters,
+            "threads": self.config.num_threads,
+            "running": self._running,
+        }

@@ -1,0 +1,71 @@
+"""The Muppet master: failure bookkeeping only (Sections 4.1, 4.3).
+
+Unlike MapReduce, the master is *not* on the data path — "Muppet lets the
+workers pass events directly to one another without going through any
+master. (The master in Muppet is used for handling failures.)" A worker
+that cannot contact a peer reports the peer's machine to the master; the
+master broadcasts the failure to all workers, which update their local
+failed-machine lists so the shared hash ring routes around the dead
+machine from then on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Set
+
+#: Callback invoked on every worker when the master broadcasts a failure.
+FailureListener = Callable[[str], None]
+
+
+@dataclass
+class MasterStats:
+    """Failure-handling counters."""
+
+    reports_received: int = 0
+    broadcasts_sent: int = 0
+    duplicate_reports: int = 0
+
+
+class Master:
+    """Receives failure reports and broadcasts them to the cluster.
+
+    The master is deliberately tiny: its only state is the set of machines
+    known dead. Detection is the *workers'* job — they notice failures on
+    send, which the paper argues beats MapReduce-style periodic pings
+    because "a worker is frequently contacted" at streaming rates.
+    """
+
+    def __init__(self) -> None:
+        self._failed: Set[str] = set()
+        self._listeners: List[FailureListener] = []
+        self.stats = MasterStats()
+
+    def subscribe(self, listener: FailureListener) -> None:
+        """Register a worker/machine callback for failure broadcasts."""
+        self._listeners.append(listener)
+
+    def report_failure(self, machine: str) -> bool:
+        """A worker reports that ``machine`` is unreachable.
+
+        Returns True if this was news (a broadcast went out); False for
+        duplicate reports, which are absorbed without re-broadcasting.
+        """
+        self.stats.reports_received += 1
+        if machine in self._failed:
+            self.stats.duplicate_reports += 1
+            return False
+        self._failed.add(machine)
+        self.stats.broadcasts_sent += 1
+        for listener in list(self._listeners):
+            listener(machine)
+        return True
+
+    def failed_machines(self) -> Set[str]:
+        """Machines currently known dead."""
+        return set(self._failed)
+
+    def forget(self, machine: str) -> None:
+        """Clear a machine's failed status (after operator intervention;
+        the paper's cluster membership is otherwise static, Section 5)."""
+        self._failed.discard(machine)

@@ -1,0 +1,91 @@
+"""Event replay — the paper's named future work (Section 4.3).
+
+"The event that failed to reach B is lost (and logged as lost) ...
+Currently, low latency is far more important ... Developing a replay
+capability to recover the lost events is a subject of future work."
+
+This module implements that capability as an opt-in extension: senders
+journal recently sent events per destination machine; when the master
+broadcasts a machine failure, journal entries destined for the dead
+machine within a time horizon are re-sent through the (now rerouted)
+ring.
+
+Semantics become **at-least-once** for the horizon window: events that
+the dead machine had already processed may be replayed and processed
+again, so counting applications can over-count by up to the horizon's
+in-flight volume. Without replay, Muppet's native semantics are
+at-most-once (bounded loss). Bench E6 quantifies both sides.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ReplayStats:
+    """Journal accounting."""
+
+    recorded: int = 0
+    pruned: int = 0
+    replayed: int = 0
+
+
+class ReplayJournal:
+    """A bounded, time-horizoned journal of sent events.
+
+    Args:
+        horizon_s: How far back replay reaches. Should cover failure
+            *detection* time plus queueing delay on the dead machine;
+            longer horizons recover more but duplicate more.
+        max_entries: Hard memory bound; oldest entries drop first.
+    """
+
+    def __init__(self, horizon_s: float = 0.25,
+                 max_entries: int = 200_000) -> None:
+        if horizon_s <= 0:
+            raise ConfigurationError("horizon_s must be positive")
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1")
+        self.horizon_s = horizon_s
+        self.max_entries = max_entries
+        #: (sent_at, destination machine, payload) in send order.
+        self._entries: Deque[Tuple[float, str, Any]] = deque()
+        self.stats = ReplayStats()
+
+    def record(self, dest_machine: str, payload: Any, now: float) -> None:
+        """Journal one sent event."""
+        self._prune(now)
+        if len(self._entries) >= self.max_entries:
+            self._entries.popleft()
+            self.stats.pruned += 1
+        self._entries.append((now, dest_machine, payload))
+        self.stats.recorded += 1
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.horizon_s
+        while self._entries and self._entries[0][0] < cutoff:
+            self._entries.popleft()
+            self.stats.pruned += 1
+
+    def take_for(self, dest_machine: str, now: float) -> List[Any]:
+        """Remove and return journaled payloads sent to ``dest_machine``
+        within the horizon (oldest first)."""
+        self._prune(now)
+        kept: Deque[Tuple[float, str, Any]] = deque()
+        replayable: List[Any] = []
+        for sent_at, machine, payload in self._entries:
+            if machine == dest_machine:
+                replayable.append(payload)
+            else:
+                kept.append((sent_at, machine, payload))
+        self._entries = kept
+        self.stats.replayed += len(replayable)
+        return replayable
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,172 @@
+"""Side effects from map/update functions (Section 5).
+
+Two pieces of Section 5 operational experience, as library support:
+
+1. **Bulk slate dumps** — "we have advised bulk-dump users to log the
+   relevant slate data that they wish to process in bulk later as a part
+   of the applications' update functions. This approach allows users to
+   write less than the entire slate ... and provides steady-state write
+   behavior ... These writes can be streamed ... into HDFS, for example,
+   if further processing in Hadoop is desired."
+   :class:`SlateLogSink` is that append-only stream: updaters call
+   ``sink.log(key, record)`` from ``update``; consumers read partitioned
+   append files later.
+
+2. **Shared-logger contention** — "asking mappers and updaters to write
+   to a common log can introduce lock contention for the common logger,
+   thereby dramatically slowing down the workers."
+   :class:`SharedLogger` (one lock for everybody) and
+   :class:`PerWorkerLogger` (a lock-free log per worker, merged on read)
+   let bench E16 measure exactly that slowdown on real threads.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class SlateLogSink:
+    """Append-only, partitioned log for steady-state slate dumps.
+
+    Records are JSON lines of ``{"ts", "updater", "key", "data"}``,
+    partitioned by updater (one file/buffer per updater, like per-table
+    HDFS directories). Thread-safe; writes are buffered per partition so
+    the I/O pattern is steady-state sequential append — the behaviour
+    the paper prefers over bulk HTTP scans.
+
+    Args:
+        directory: Where partitions are persisted; ``None`` keeps them
+            in memory (tests, simulation).
+    """
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self._directory = Path(directory) if directory else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self._buffers: Dict[str, io.StringIO] = {}
+        self._lock = threading.Lock()
+        self.records_written = 0
+
+    def log(self, updater: str, key: str, data: Any,
+            ts: float = 0.0) -> None:
+        """Append one record from inside an update function.
+
+        ``data`` is typically a *subset* of the slate ("less than the
+        entire slate"), chosen by the application.
+        """
+        line = json.dumps({"ts": ts, "updater": updater, "key": key,
+                           "data": data}, separators=(",", ":"))
+        with self._lock:
+            buffer = self._buffers.get(updater)
+            if buffer is None:
+                buffer = io.StringIO()
+                self._buffers[updater] = buffer
+            buffer.write(line)
+            buffer.write("\n")
+            self.records_written += 1
+
+    def flush(self) -> List[Path]:
+        """Persist all partitions (no-op paths in memory mode)."""
+        written: List[Path] = []
+        if self._directory is None:
+            return written
+        with self._lock:
+            for updater, buffer in self._buffers.items():
+                path = self._directory / f"{updater}.jsonl"
+                with path.open("a", encoding="utf-8") as handle:
+                    handle.write(buffer.getvalue())
+                buffer.seek(0)
+                buffer.truncate()
+                written.append(path)
+        return written
+
+    def read(self, updater: str) -> Iterator[Dict[str, Any]]:
+        """Read a partition back (memory + any persisted file)."""
+        if self._directory is not None:
+            path = self._directory / f"{updater}.jsonl"
+            if path.exists():
+                with path.open("r", encoding="utf-8") as handle:
+                    for line in handle:
+                        if line.strip():
+                            yield json.loads(line)
+        with self._lock:
+            buffer = self._buffers.get(updater)
+            content = buffer.getvalue() if buffer else ""
+        for line in content.splitlines():
+            if line.strip():
+                yield json.loads(line)
+
+
+@dataclass
+class LoggerStats:
+    """Contention accounting for the logger comparison."""
+
+    records: int = 0
+    lock_wait_s: float = 0.0
+
+
+class SharedLogger:
+    """One log, one lock — the anti-pattern the paper warns about.
+
+    ``write_cost_s`` simulates the formatting/IO time spent *inside* the
+    critical section, which is what makes the contention bite.
+    """
+
+    def __init__(self, write_cost_s: float = 20e-6) -> None:
+        if write_cost_s < 0:
+            raise ConfigurationError("write_cost_s must be >= 0")
+        self._lock = threading.Lock()
+        self._lines: List[str] = []
+        self._write_cost_s = write_cost_s
+        self.stats = LoggerStats()
+
+    def log(self, line: str) -> None:
+        """Append under the shared lock (measures wait time)."""
+        start = time.perf_counter()
+        with self._lock:
+            waited = time.perf_counter() - start
+            if self._write_cost_s:
+                time.sleep(self._write_cost_s)
+            self._lines.append(line)
+            self.stats.records += 1
+            self.stats.lock_wait_s += waited
+
+    def lines(self) -> List[str]:
+        """All logged lines."""
+        with self._lock:
+            return list(self._lines)
+
+
+class PerWorkerLogger:
+    """One private log per worker; merged on read — contention-free."""
+
+    def __init__(self, workers: int, write_cost_s: float = 20e-6) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self._logs: List[List[str]] = [[] for _ in range(workers)]
+        self._write_cost_s = write_cost_s
+        self.stats = LoggerStats()
+        self._stats_lock = threading.Lock()
+
+    def log(self, worker_index: int, line: str) -> None:
+        """Append to the worker's private log (no shared lock)."""
+        if self._write_cost_s:
+            time.sleep(self._write_cost_s)
+        self._logs[worker_index].append(line)
+        with self._stats_lock:
+            self.stats.records += 1
+
+    def lines(self) -> List[str]:
+        """All lines, merged across workers."""
+        merged: List[str] = []
+        for log in self._logs:
+            merged.extend(log)
+        return merged

@@ -1,0 +1,35 @@
+"""Virtual clock for discrete-event simulation.
+
+The simulator replaces the authors' physical cluster (our substitution per
+DESIGN.md): operator code runs for real, but *time* is virtual. Every
+component that needs "now" — kv-store TTLs, flush intervals, latency
+recorders — takes a ``clock`` callable, and in simulation that callable is
+bound to a :class:`VirtualClock`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def __call__(self) -> float:
+        """Clock-callable protocol: ``clock()`` == ``clock.now()``."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move time forward to ``t``; moving backwards is an error."""
+        if t < self._now:
+            raise SimulationError(
+                f"virtual clock cannot move backwards: {t} < {self._now}"
+            )
+        self._now = t

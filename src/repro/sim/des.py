@@ -1,0 +1,86 @@
+"""A minimal deterministic discrete-event scheduler.
+
+Events are ``(time, priority, seq, callback)`` entries in a heap; ties on
+time break by priority then insertion sequence, so runs are bit-for-bit
+reproducible. Callbacks receive the simulator and may schedule further
+events. This is the substrate under :class:`repro.sim.runtime.SimRuntime`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+#: A scheduled callback. It receives the simulator so it can schedule more.
+Action = Callable[["Simulator"], None]
+
+
+class Simulator:
+    """Deterministic event loop over a :class:`VirtualClock`.
+
+    Args:
+        clock: The clock to drive; a fresh one is created if omitted.
+        max_steps: Safety valve against runaway schedules.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None,
+                 max_steps: int = 50_000_000) -> None:
+        self.clock = clock or VirtualClock()
+        self._heap: List[Tuple[float, int, int, Action]] = []
+        self._seq = itertools.count()
+        self._max_steps = max_steps
+        self.steps = 0
+
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now()
+
+    def schedule(self, at: float, action: Action, priority: int = 0) -> None:
+        """Schedule ``action`` at absolute time ``at``.
+
+        Lower ``priority`` runs first among same-time events (e.g. failure
+        broadcasts before ordinary sends).
+        """
+        if at < self.clock.now():
+            raise SimulationError(
+                f"cannot schedule at {at} before now={self.clock.now()}"
+            )
+        heapq.heappush(self._heap, (at, priority, next(self._seq), action))
+
+    def schedule_in(self, delay: float, action: Action,
+                    priority: int = 0) -> None:
+        """Schedule ``action`` after ``delay`` seconds."""
+        self.schedule(self.clock.now() + max(0.0, delay), action, priority)
+
+    def run_until(self, t_end: float) -> None:
+        """Process events up to and including time ``t_end``."""
+        while self._heap and self._heap[0][0] <= t_end:
+            at, _, __, action = heapq.heappop(self._heap)
+            self.clock.advance_to(at)
+            self.steps += 1
+            if self.steps > self._max_steps:
+                raise SimulationError(
+                    f"simulation exceeded max_steps={self._max_steps}"
+                )
+            action(self)
+        self.clock.advance_to(max(self.clock.now(), t_end))
+
+    def run(self) -> None:
+        """Process events until the schedule is empty."""
+        while self._heap:
+            at, _, __, action = heapq.heappop(self._heap)
+            self.clock.advance_to(at)
+            self.steps += 1
+            if self.steps > self._max_steps:
+                raise SimulationError(
+                    f"simulation exceeded max_steps={self._max_steps}"
+                )
+            action(self)
+
+    def pending(self) -> int:
+        """Number of scheduled events not yet executed."""
+        return len(self._heap)

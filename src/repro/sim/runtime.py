@@ -1,0 +1,947 @@
+"""SimRuntime: Muppet 1.0 / 2.0 on a simulated cluster (Sections 4, 5).
+
+This is the substitution substrate declared in DESIGN.md: the authors ran
+Muppet on a physical cluster of tens of machines; we run the *same
+application code* on a discrete-event simulation of such a cluster. Every
+map/update invocation actually executes (slates really change), while CPU,
+network, and storage time are charged from :class:`~repro.sim.costs.
+CostModel`, :class:`~repro.cluster.topology.NetworkSpec`, and the kv-store
+device models.
+
+Both engines are implemented on the same scaffolding, differing exactly
+where the paper says they differ (Section 4.5):
+
+* **Muppet 1.0** — one worker *process* per (function, machine) slot; each
+  worker owns a private slate manager (fragmented caches) and its own copy
+  of the operator code; every event pays conductor↔task-processor IPC;
+  routing hashes ``<key, function>`` straight to the one owning worker.
+* **Muppet 2.0** — a thread pool per machine; any thread runs any
+  function; one central slate manager and one shared operator instance per
+  machine; incoming events go through the primary/secondary two-choice
+  dispatcher; a background I/O thread flushes dirty slates.
+
+Failures follow Section 4.3: senders discover dead machines on contact,
+report to the master, and the master broadcast excludes the machine from
+the shared hash ring; in-flight and queued events on the dead machine are
+lost and counted. Queue overflow follows Sections 4.3/5: drop, divert to an
+overflow stream, or source-throttle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.cluster.hashring import HashRing, route_key
+from repro.cluster.topology import ClusterSpec
+from repro.core.application import Application, OperatorSpec
+from repro.core.event import Event, EventCounter
+from repro.core.operators import Context, Mapper, Operator, TimerRequest, Updater
+from repro.core.slate import Slate, SlateKey
+from repro.errors import ConfigurationError, SimulationError
+from repro.kvstore.api import ConsistencyLevel
+from repro.kvstore.cluster import ReplicatedKVStore
+from repro.metrics import LatencyRecorder, LatencySummary, ThroughputReport
+from repro.muppet.dispatch import SingleChoiceDispatcher, TwoChoiceDispatcher
+from repro.muppet.master import Master
+from repro.muppet.queues import BoundedQueue, OverflowPolicy, SourceThrottle
+from repro.sim.costs import CostModel
+from repro.sim.des import Simulator
+from repro.sim.sources import Source
+from repro.slates.manager import FlushPolicy, SlateManager
+
+ENGINE_MUPPET1 = "muppet1"
+ENGINE_MUPPET2 = "muppet2"
+
+
+@dataclass
+class SimConfig:
+    """Tunable knobs of a simulated Muppet deployment.
+
+    Attributes mirror the paper's configuration surface: engine version,
+    queue limits and overflow policy, slate cache size and flush interval,
+    kv-store consistency/replication, and the Muppet 1.0 worker layout
+    versus the Muppet 2.0 thread pool.
+    """
+
+    engine: str = ENGINE_MUPPET2
+    queue_capacity: int = 5_000
+    overflow: OverflowPolicy = field(default_factory=OverflowPolicy.drop)
+    dispatch_factor: float = 2.0
+    costs: CostModel = field(default_factory=CostModel)
+    cache_slates_per_machine: int = 100_000
+    flush_policy: FlushPolicy = field(default_factory=lambda: FlushPolicy.every(1.0))
+    consistency: ConsistencyLevel = ConsistencyLevel.ONE
+    kv_replication: int = 3
+    kv_memtable_flush_bytes: int = 4 * 1024 * 1024
+    kv_compaction_threshold: int = 8
+    #: Muppet 1.0: worker processes per function per machine.
+    workers_per_function_per_machine: int = 1
+    #: Muppet 1.0: per-function overrides of the above (e.g. Figure 2's
+    #: three mappers and two updaters: ``{"M1": 3, "U1": 2}``).
+    workers_per_function: Optional[Dict[str, int]] = None
+    #: Muppet 2.0: use the primary/secondary two-choice dispatcher
+    #: (Section 4.5). False falls back to single-owner hashing — the
+    #: ablation knob for bench E4.
+    two_choice: bool = True
+    #: Muppet 2.0: worker threads per machine (default: the core count,
+    #: "as large as the parallelization of the application code allows").
+    threads_per_machine: Optional[int] = None
+    #: Resident size of one loaded copy of the application code (MB); the
+    #: Muppet 1.0 memory penalty is one copy per worker process.
+    operator_code_mb: float = 64.0
+    #: Updater names at which end-to-end latency is recorded (None = all).
+    latency_sinks: Optional[Set[str]] = None
+    throttle: Optional[SourceThrottle] = None
+    throttle_check_s: float = 0.01
+    retry_delay_s: float = 0.01
+    flusher_period_s: float = 0.1
+    max_slate_bytes: Optional[int] = None
+    #: Kill the co-located kv node when a machine fails (the paper keeps
+    #: Cassandra on a separate cluster, so the default is False).
+    kill_kv_on_machine_failure: bool = False
+    #: Event replay horizon in seconds — the Section 4.3 future-work
+    #: extension (see :mod:`repro.muppet.replay`). ``None`` disables
+    #: replay (the paper's production behaviour: lost and logged).
+    replay_horizon_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in (ENGINE_MUPPET1, ENGINE_MUPPET2):
+            raise ConfigurationError(
+                f"engine must be {ENGINE_MUPPET1!r} or {ENGINE_MUPPET2!r}"
+            )
+        if self.overflow.kind == "throttle" and self.throttle is None:
+            self.throttle = SourceThrottle()
+
+
+@dataclass
+class _Envelope:
+    """An event in flight, carrying provenance for latency accounting."""
+
+    event: Event
+    birth_ts: float
+    dest_fn: str
+    is_timer: bool = False
+    timer_payload: Any = None
+    #: Set once the envelope has been diverted to an overflow stream;
+    #: a second overflow then drops it (no diversion recursion).
+    diverted: bool = False
+
+
+class _Worker:
+    """One execution slot: a 1.0 worker process or a 2.0 thread."""
+
+    __slots__ = ("wid", "machine", "index", "function", "queue", "busy",
+                 "current", "waiting", "mgr")
+
+    def __init__(self, wid: str, machine: "_Machine", index: int,
+                 function: Optional[str], queue_capacity: int,
+                 mgr: SlateManager) -> None:
+        self.wid = wid
+        self.machine = machine
+        self.index = index
+        self.function = function          # None => any function (2.0)
+        self.queue: BoundedQueue[_Envelope] = BoundedQueue(queue_capacity)
+        self.busy = False
+        self.current: Optional[Tuple[str, str]] = None
+        self.waiting = False
+        self.mgr = mgr
+
+
+class _Machine:
+    """A simulated cluster machine hosting workers and a kv node."""
+
+    def __init__(self, name: str, cores: int) -> None:
+        self.name = name
+        self.cores = cores
+        self.alive = True
+        self.free_cores = cores
+        self.waiting: Deque[_Worker] = deque()
+        self.workers: List[_Worker] = []
+        self.dispatcher: Optional[TwoChoiceDispatcher] = None
+        self.shared_instances: Dict[str, Operator] = {}
+        self.central_mgr: Optional[SlateManager] = None
+        self.device_busy_until = 0.0
+
+    def queue_depth_fraction(self) -> float:
+        """Worst queue fullness across this machine's workers."""
+        worst = 0.0
+        for worker in self.workers:
+            cap = worker.queue.max_size or 1
+            worst = max(worst, len(worker.queue) / cap)
+        return worst
+
+
+@dataclass
+class SimReport:
+    """Everything a benchmark needs from one simulated run."""
+
+    engine: str
+    duration_s: float
+    counters: EventCounter
+    latency: Optional[LatencySummary]
+    latency_by_updater: Dict[str, LatencySummary]
+    throughput: ThroughputReport
+    dispatch_stats: Dict[str, Any]
+    master_stats: Dict[str, int]
+    queue_peak_depth: int
+    slate_contention_events: int
+    max_workers_per_slate: int
+    failure_detection_s: Optional[float]
+    throttle_paused_s: float
+    memory_mb_per_machine: float
+    kv_stats: Dict[str, Dict[str, int]]
+    device_stats: Dict[str, Dict[str, float]]
+    steps: int
+
+    def events_per_second(self) -> float:
+        """Processed updater/mapper deliveries per simulated second."""
+        return self.throughput.events_per_second
+
+
+class SimRuntime:
+    """Runs one MapUpdate application on a simulated Muppet cluster.
+
+    Args:
+        app: A validated application.
+        cluster: The machine/network topology to simulate.
+        config: Engine and policy knobs.
+        sources: External-stream feeds.
+        failures: Optional ``[(time_s, machine_name), ...]`` kill schedule.
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        cluster: ClusterSpec,
+        config: Optional[SimConfig] = None,
+        sources: Iterable[Source] = (),
+        failures: Iterable[Tuple[float, str]] = (),
+    ) -> None:
+        app.validate()
+        self.app = app
+        self.cluster = cluster
+        self.config = config or SimConfig()
+        self.sources = list(sources)
+        self.failures = sorted(failures)
+        self.sim = Simulator()
+        self.counters = EventCounter()
+        self.master = Master()
+        self.latency: Dict[str, LatencyRecorder] = {}
+        self._known_failed: Set[str] = set()
+        self._failure_time: Optional[float] = None
+        self._detection_time: Optional[float] = None
+        self._contention_events = 0
+        self._max_workers_per_slate = 1
+        self._processing_counts: Dict[Tuple[str, str], int] = {}
+
+        self.store = ReplicatedKVStore(
+            node_names=cluster.names(),
+            replication_factor=self.config.kv_replication,
+            clock=self.sim.clock,
+            device_overrides={m.name: m.storage for m in cluster.machines},
+            memtable_flush_bytes=self.config.kv_memtable_flush_bytes,
+            compaction_threshold=self.config.kv_compaction_threshold,
+        )
+        from repro.muppet.replay import ReplayJournal
+
+        self.replay_journal = (
+            ReplayJournal(self.config.replay_horizon_s)
+            if self.config.replay_horizon_s is not None else None)
+        self.counters_replayed = 0
+        self.machines: Dict[str, _Machine] = {}
+        self._build_machines()
+        self._build_rings()
+
+    # -- construction ------------------------------------------------------
+    def _new_manager(self, capacity: int) -> SlateManager:
+        return SlateManager(
+            store=self.store,
+            cache_capacity=max(1, capacity),
+            flush_policy=self.config.flush_policy,
+            clock=self.sim.clock,
+            consistency=self.config.consistency,
+            max_slate_bytes=self.config.max_slate_bytes,
+        )
+
+    def _build_machines(self) -> None:
+        cfg = self.config
+        for spec in self.cluster.machines:
+            machine = _Machine(spec.name, spec.cores)
+            if cfg.engine == ENGINE_MUPPET2:
+                threads = cfg.threads_per_machine or spec.cores
+                machine.central_mgr = self._new_manager(
+                    cfg.cache_slates_per_machine)
+                if cfg.two_choice:
+                    machine.dispatcher = TwoChoiceDispatcher(
+                        threads, cfg.dispatch_factor)
+                else:
+                    machine.dispatcher = SingleChoiceDispatcher(threads)
+                machine.shared_instances = {
+                    s.name: s.instantiate() for s in self.app.operators()
+                }
+                for i in range(threads):
+                    machine.workers.append(_Worker(
+                        wid=f"{spec.name}/t{i}", machine=machine, index=i,
+                        function=None, queue_capacity=cfg.queue_capacity,
+                        mgr=machine.central_mgr))
+            else:
+                # Muppet 1.0: worker process pairs per function.
+                overrides = cfg.workers_per_function or {}
+                total_workers = sum(
+                    overrides.get(s.name,
+                                  cfg.workers_per_function_per_machine)
+                    for s in self.app.operators())
+                per_worker_cache = max(
+                    1, cfg.cache_slates_per_machine // max(1, total_workers))
+                index = 0
+                for op_spec in self.app.operators():
+                    worker_count = overrides.get(
+                        op_spec.name, cfg.workers_per_function_per_machine)
+                    for j in range(worker_count):
+                        worker = _Worker(
+                            wid=f"{spec.name}/{op_spec.name}#{j}",
+                            machine=machine, index=index,
+                            function=op_spec.name,
+                            queue_capacity=cfg.queue_capacity,
+                            mgr=self._new_manager(per_worker_cache))
+                        # Each 1.0 worker loads its own copy of the code.
+                        machine.shared_instances[worker.wid] = (
+                            op_spec.instantiate())
+                        machine.workers.append(worker)
+                        index += 1
+            self.machines[spec.name] = machine
+
+    def _build_rings(self) -> None:
+        if self.config.engine == ENGINE_MUPPET2:
+            self._machine_ring: HashRing[str] = HashRing(
+                self.cluster.names())
+            self._function_rings: Dict[str, HashRing[str]] = {}
+        else:
+            self._machine_ring = HashRing(self.cluster.names())
+            self._function_rings = {}
+            for op_spec in self.app.operators():
+                workers = [
+                    w.wid
+                    for machine in self.machines.values()
+                    for w in machine.workers
+                    if w.function == op_spec.name
+                ]
+                self._function_rings[op_spec.name] = HashRing(workers)
+            self._worker_by_id: Dict[str, _Worker] = {
+                w.wid: w
+                for machine in self.machines.values()
+                for w in machine.workers
+            }
+
+    # -- top-level run -------------------------------------------------------
+    def run(self, duration_s: float) -> SimReport:
+        """Simulate ``duration_s`` seconds and summarize the outcome."""
+        for source in self.sources:
+            self._start_source(source)
+        for at, machine in self.failures:
+            self.sim.schedule(at, self._make_failure(machine), priority=-1)
+        self._schedule_flusher()
+        if self.config.throttle is not None:
+            self._schedule_throttle_monitor()
+        self.sim.run_until(duration_s)
+        if self.config.throttle is not None:
+            self.config.throttle.finish(self.sim.now())
+        return self._report(duration_s)
+
+    # -- sources -----------------------------------------------------------------
+    def _start_source(self, source: Source) -> None:
+        iterator = source.events
+        state = {"next": next(iterator, None)}
+
+        def step(sim: Simulator) -> None:
+            event = state["next"]
+            if event is None:
+                return
+            throttle = self.config.throttle
+            if throttle is not None and throttle.paused:
+                self.counters.throttled += 1
+                sim.schedule_in(self.config.throttle_check_s, step)
+                return
+            if event.ts > sim.now():
+                sim.schedule(event.ts, step)
+                return
+            self._inject(event)
+            state["next"] = next(iterator, None)
+            sim.schedule_in(0.0, step)
+
+        self.sim.schedule_in(0.0, step)
+
+    def _inject(self, event: Event) -> None:
+        """M0 reads one source event and hashes it onward (Section 4.1)."""
+        stamped = self.app.streams.stamp(event)
+        self.counters.published += 1
+        birth = self.sim.now()
+        for spec in self.app.subscribers_of(stamped.sid):
+            envelope = _Envelope(stamped, birth, spec.name)
+            self._send(envelope, from_machine=None,
+                       extra_delay=self.config.costs.source_service_s)
+
+    # -- routing / sending ------------------------------------------------------
+    def _send(self, envelope: _Envelope, from_machine: Optional[str],
+              extra_delay: float = 0.0) -> None:
+        machine = self._destination_machine(envelope)
+        if machine is None:
+            self.counters.lost_failure += 1
+            return
+        if not machine.alive:
+            self._handle_dead_destination(machine, envelope)
+            return
+        if self.replay_journal is not None:
+            self.replay_journal.record(machine.name, envelope,
+                                       self.sim.now())
+        same = from_machine == machine.name
+        delay = extra_delay + self.cluster.network.transfer_time(
+            envelope.event.size_bytes(), same_machine=same)
+        self.sim.schedule_in(delay,
+                             lambda sim: self._deliver(machine, envelope))
+
+    def _destination_machine(self, envelope: _Envelope) -> Optional[_Machine]:
+        key = route_key(envelope.event.key, envelope.dest_fn)
+        try:
+            if self.config.engine == ENGINE_MUPPET2:
+                name = self._machine_ring.lookup(key)
+                return self.machines[name]
+            ring = self._function_rings[envelope.dest_fn]
+            wid = ring.lookup(key)
+            return self._worker_by_id[wid].machine
+        except Exception:
+            return None
+
+    def _handle_dead_destination(self, machine: _Machine,
+                                 envelope: _Envelope) -> None:
+        """Sender-side failure detection (Section 4.3): the event is lost
+        (and logged as lost); the master broadcast then reroutes."""
+        self.counters.lost_failure += 1
+        if machine.name in self._known_failed:
+            return
+        latency = self.cluster.network.latency_s
+
+        def broadcast(sim: Simulator) -> None:
+            if machine.name in self._known_failed:
+                return
+            self._known_failed.add(machine.name)
+            self.master.report_failure(machine.name)
+            self._machine_ring.exclude(machine.name)
+            for ring in self._function_rings.values():
+                for worker in machine.workers:
+                    ring.exclude(worker.wid)
+            if self._detection_time is None and self._failure_time is not None:
+                self._detection_time = sim.now() - self._failure_time
+            if self.replay_journal is not None:
+                # Section 4.3 future work, implemented: re-send the
+                # horizon's worth of events that targeted the dead
+                # machine. The ring now routes them to survivors.
+                for lost in self.replay_journal.take_for(machine.name,
+                                                         sim.now()):
+                    self.counters_replayed += 1
+                    self._send(lost, from_machine=None)
+
+        # Report to master (one hop) + broadcast to workers (one hop).
+        self.sim.schedule_in(2 * latency, broadcast, priority=-1)
+
+    # -- delivery / queues -----------------------------------------------------
+    def _deliver(self, machine: _Machine, envelope: _Envelope) -> None:
+        if not machine.alive:
+            self._handle_dead_destination(machine, envelope)
+            return
+        worker = self._choose_worker(machine, envelope)
+        if worker is None:
+            # The ring moved this key (failure broadcast raced the send);
+            # re-route from scratch.
+            self._send(envelope, from_machine=machine.name)
+            return
+        if worker.queue.offer(envelope):
+            self._try_start(worker)
+            return
+        self._overflow(machine, worker, envelope)
+
+    def _choose_worker(self, machine: _Machine,
+                       envelope: _Envelope) -> Optional[_Worker]:
+        if self.config.engine == ENGINE_MUPPET2:
+            assert machine.dispatcher is not None
+            lengths = [len(w.queue) for w in machine.workers]
+            processing = [w.current for w in machine.workers]
+            index = machine.dispatcher.choose(
+                envelope.event.key, envelope.dest_fn, lengths, processing)
+            return machine.workers[index]
+        ring = self._function_rings[envelope.dest_fn]
+        wid = ring.lookup(route_key(envelope.event.key, envelope.dest_fn))
+        worker = self._worker_by_id[wid]
+        if worker.machine is not machine:
+            # A failure broadcast moved this key between send and deliver.
+            return None
+        return worker
+
+    def _overflow(self, machine: _Machine, worker: _Worker,
+                  envelope: _Envelope) -> None:
+        policy = self.config.overflow
+        if policy.kind == "drop" or envelope.diverted:
+            self.counters.dropped_overflow += 1
+            return
+        if policy.kind == "divert":
+            assert policy.overflow_sid is not None
+            self.counters.diverted_overflow_stream += 1
+            diverted = envelope.event.with_stream(policy.overflow_sid)
+            stamped = self.app.streams.stamp(diverted)
+            for spec in self.app.subscribers_of(policy.overflow_sid):
+                self._send(_Envelope(stamped, envelope.birth_ts, spec.name,
+                                     diverted=True),
+                           from_machine=machine.name)
+            return
+        # throttle: hold the event and retry; the throttle monitor pauses
+        # the sources meanwhile, so the queue drains.
+        self.counters.throttled += 1
+        self.sim.schedule_in(self.config.retry_delay_s,
+                             lambda sim: self._deliver(machine, envelope))
+
+    # -- execution -------------------------------------------------------------
+    def _try_start(self, worker: _Worker) -> None:
+        machine = worker.machine
+        if not machine.alive or worker.busy or len(worker.queue) == 0:
+            return
+        if machine.free_cores <= 0:
+            if not worker.waiting:
+                machine.waiting.append(worker)
+                worker.waiting = True
+            return
+        machine.free_cores -= 1
+        envelope = worker.queue.poll()
+        assert envelope is not None
+        worker.busy = True
+        item = (envelope.event.key, envelope.dest_fn)
+        worker.current = item
+        count = self._processing_counts.get(item, 0) + 1
+        self._processing_counts[item] = count
+        if count > self._max_workers_per_slate:
+            self._max_workers_per_slate = count
+        service, outputs, timers = self._execute(worker, envelope, count)
+        self.sim.schedule_in(
+            service,
+            lambda sim: self._finish(worker, envelope, outputs, timers))
+
+    def _operator_instance(self, worker: _Worker, fn: str) -> Operator:
+        machine = worker.machine
+        if self.config.engine == ENGINE_MUPPET2:
+            return machine.shared_instances[fn]
+        return machine.shared_instances[worker.wid]
+
+    def _execute(self, worker: _Worker, envelope: _Envelope,
+                 concurrent: int) -> Tuple[float, List[Event], List[TimerRequest]]:
+        """Run the operator now; return (service time, outputs, timers)."""
+        cfg = self.config
+        costs = cfg.costs
+        machine = worker.machine
+        spec = self.app.operator(envelope.dest_fn)
+        instance = self._operator_instance(worker, spec.name)
+        event = envelope.event
+        ctx = Context(spec.name, event.ts, spec.publishes, event.key)
+
+        service = costs.dispatch_lock_s * (2 if cfg.engine == ENGINE_MUPPET2
+                                           else 1)
+        if cfg.engine == ENGINE_MUPPET1:
+            # Conductor <-> task-processor IPC: fixed wakeup cost plus a
+            # byte-accurate serialization charge (see muppet.conductor).
+            from repro.muppet.conductor import IPCAccountant
+
+            ipc = IPCAccountant(fixed_s=costs.ipc_overhead_s)
+            if len(machine.workers) > machine.cores:
+                service += costs.context_switch_s
+        else:
+            ipc = None
+
+        if spec.kind == "map":
+            assert isinstance(instance, Mapper)
+            if envelope.is_timer:
+                raise SimulationError("timer delivered to a mapper")
+            instance.map(ctx, event)
+            service += costs.map_time(instance.cost_factor)
+            if ipc is not None:
+                out_bytes = sum(e.size_bytes() for e in ctx.emitted)
+                service += ipc.cost(event.size_bytes(),
+                                    output_bytes=out_bytes)
+        else:
+            assert isinstance(instance, Updater)
+            mgr = worker.mgr
+            slate = mgr.get(instance, event.key)
+            read_io = mgr.take_pending_io()
+            service += self._charge_device(machine, read_io)
+            if envelope.is_timer:
+                instance.on_timer(ctx, event.key, slate,
+                                  envelope.timer_payload)
+            else:
+                instance.update(ctx, event, slate)
+            slate.touch(event.ts)
+            mgr.note_update(slate)
+            write_io = mgr.take_pending_io()
+            service += self._charge_device(machine, write_io)
+            service += costs.update_time(instance.cost_factor,
+                                         slate.estimated_bytes())
+            if ipc is not None:
+                out_bytes = sum(e.size_bytes() for e in ctx.emitted)
+                service += ipc.cost(event.size_bytes(),
+                                    slate_bytes=slate.estimated_bytes(),
+                                    output_bytes=out_bytes)
+            if concurrent > 1:
+                service += costs.slate_contention_s
+                self._contention_events += 1
+        return service, list(ctx.emitted), list(ctx.timers)
+
+    def _charge_device(self, machine: _Machine, io_s: float) -> float:
+        """Queue synchronous I/O behind the machine's storage device."""
+        if io_s <= 0:
+            return 0.0
+        now = self.sim.now()
+        start = max(now, machine.device_busy_until)
+        done = start + io_s
+        machine.device_busy_until = done
+        return done - now
+
+    def _finish(self, worker: _Worker, envelope: _Envelope,
+                outputs: List[Event], timers: List[TimerRequest]) -> None:
+        machine = worker.machine
+        item = worker.current
+        if item is not None:
+            remaining = self._processing_counts.get(item, 1) - 1
+            if remaining <= 0:
+                self._processing_counts.pop(item, None)
+            else:
+                self._processing_counts[item] = remaining
+        worker.busy = False
+        worker.current = None
+        machine.free_cores += 1
+        if not machine.alive:
+            self.counters.lost_failure += 1
+            return
+        self.counters.processed += 1
+
+        spec = self.app.operator(envelope.dest_fn)
+        if spec.kind == "update" and not envelope.is_timer:
+            sinks = self.config.latency_sinks
+            if sinks is None or spec.name in sinks:
+                self.latency.setdefault(spec.name, LatencyRecorder()).record(
+                    self.sim.now() - envelope.birth_ts)
+
+        for out in outputs:
+            stamped = self.app.streams.stamp(out, from_operator=True)
+            self.counters.published += 1
+            for sub in self.app.subscribers_of(stamped.sid):
+                self._send(_Envelope(stamped, envelope.birth_ts, sub.name),
+                           from_machine=machine.name)
+        for timer in timers:
+            self._schedule_timer(machine, envelope, timer)
+
+        while machine.free_cores > 0 and machine.waiting:
+            next_worker = machine.waiting.popleft()
+            next_worker.waiting = False
+            self._try_start(next_worker)
+        self._try_start(worker)
+
+    def _schedule_timer(self, machine: _Machine, envelope: _Envelope,
+                        timer: TimerRequest) -> None:
+        fire_at = max(self.sim.now() + 1e-9, timer.at_ts)
+        timer_event = Event(sid=f"!timer:{timer.updater}", ts=timer.at_ts,
+                            key=timer.key)
+        timer_env = _Envelope(timer_event, envelope.birth_ts, timer.updater,
+                              is_timer=True, timer_payload=timer.payload)
+
+        def fire(sim: Simulator) -> None:
+            self._send(timer_env, from_machine=machine.name)
+
+        self.sim.schedule(fire_at, fire)
+
+    # -- background processes ----------------------------------------------------
+    def _schedule_flusher(self) -> None:
+        period = self.config.flusher_period_s
+
+        def tick(sim: Simulator) -> None:
+            for machine in self.machines.values():
+                if not machine.alive:
+                    continue
+                managers = ({machine.central_mgr}
+                            if machine.central_mgr is not None
+                            else {w.mgr for w in machine.workers})
+                io = 0.0
+                for mgr in managers:
+                    if mgr is None:
+                        continue
+                    mgr.flush_due()
+                    io += mgr.take_pending_io()
+                node = self.store.nodes.get(machine.name)
+                if node is not None:
+                    io += node.take_background_cost()
+                if io > 0:
+                    machine.device_busy_until = (
+                        max(sim.now(), machine.device_busy_until) + io)
+            sim.schedule_in(period, tick)
+
+        self.sim.schedule_in(period, tick)
+
+    def _schedule_throttle_monitor(self) -> None:
+        throttle = self.config.throttle
+        assert throttle is not None
+        period = self.config.throttle_check_s
+
+        def tick(sim: Simulator) -> None:
+            worst = max((m.queue_depth_fraction()
+                         for m in self.machines.values() if m.alive),
+                        default=0.0)
+            throttle.observe(worst, sim.now())
+            sim.schedule_in(period, tick)
+
+        self.sim.schedule_in(period, tick)
+
+    # -- elastic membership (Section 5 "Changing the Number of Machines
+    # on the Fly", implemented as an extension) --------------------------------
+    def schedule_add_machine(self, at: float, name: str,
+                             cores: int = 4) -> None:
+        """Add a machine to the worker ring at simulated time ``at``.
+
+        The paper calls out the hard part: moving a key while its slate
+        has unflushed changes on the old owner would need the slate
+        "replicated at both A and B". Our design answer is a *rebalance
+        barrier*: immediately before the ring change, every dirty slate
+        is flushed to the key-value store. The new owner then simply
+        misses its cache and refetches — the normal Section 4.2 path.
+        The co-located kv-store ring stays fixed (the paper's Cassandra
+        cluster is managed separately).
+
+        Residual hazard (bounded, not eliminated): an event already *in
+        flight* to the old owner when the ring changes still updates the
+        old owner's now-orphaned cache copy, and that update can lose
+        the last-write-wins race against the new owner's flushes — at
+        most the in-flight window's worth of updates, typically zero to
+        a few events. Eliminating it would need the dual-owner slate
+        coordination the paper deems "highly difficult".
+        """
+        from repro.cluster.topology import MachineSpec
+
+        def join(sim: Simulator) -> None:
+            if name in self.machines:
+                return
+            self._rebalance_flush()
+            spec = MachineSpec(name, cores=cores)
+            machine = _Machine(spec.name, spec.cores)
+            cfg = self.config
+            if cfg.engine == ENGINE_MUPPET2:
+                threads = cfg.threads_per_machine or spec.cores
+                machine.central_mgr = self._new_manager(
+                    cfg.cache_slates_per_machine)
+                if cfg.two_choice:
+                    machine.dispatcher = TwoChoiceDispatcher(
+                        threads, cfg.dispatch_factor)
+                else:
+                    machine.dispatcher = SingleChoiceDispatcher(threads)
+                machine.shared_instances = {
+                    s.name: s.instantiate() for s in self.app.operators()
+                }
+                for i in range(threads):
+                    machine.workers.append(_Worker(
+                        wid=f"{spec.name}/t{i}", machine=machine,
+                        index=i, function=None,
+                        queue_capacity=cfg.queue_capacity,
+                        mgr=machine.central_mgr))
+                self._machine_ring.add(spec.name)
+            else:
+                overrides = cfg.workers_per_function or {}
+                total = sum(
+                    overrides.get(s.name,
+                                  cfg.workers_per_function_per_machine)
+                    for s in self.app.operators())
+                per_worker_cache = max(
+                    1, cfg.cache_slates_per_machine // max(1, total))
+                index = 0
+                for op_spec in self.app.operators():
+                    count = overrides.get(
+                        op_spec.name,
+                        cfg.workers_per_function_per_machine)
+                    for j in range(count):
+                        worker = _Worker(
+                            wid=f"{spec.name}/{op_spec.name}#{j}",
+                            machine=machine, index=index,
+                            function=op_spec.name,
+                            queue_capacity=cfg.queue_capacity,
+                            mgr=self._new_manager(per_worker_cache))
+                        machine.shared_instances[worker.wid] = (
+                            op_spec.instantiate())
+                        machine.workers.append(worker)
+                        self._function_rings[op_spec.name].add(worker.wid)
+                        self._worker_by_id[worker.wid] = worker
+                        index += 1
+            self.machines[spec.name] = machine
+            self._reroute_queued_after_ring_change()
+
+        self.sim.schedule(at, join, priority=-1)
+
+    def _reroute_queued_after_ring_change(self) -> None:
+        """Move queued events whose keys changed owner to the new owner.
+
+        Without this, a deep backlog queued at the old owner would keep
+        updating its orphaned cache copy while fresh events hit the new
+        owner — divergence far beyond the in-flight window under load.
+        """
+        for machine in list(self.machines.values()):
+            if not machine.alive:
+                continue
+            for worker in machine.workers:
+                kept: List[_Envelope] = []
+                for envelope in worker.queue.drain():
+                    target = self._destination_machine(envelope)
+                    moved = target is None or target is not machine
+                    if not moved and self.config.engine == ENGINE_MUPPET1:
+                        ring = self._function_rings[envelope.dest_fn]
+                        wid = ring.lookup(route_key(envelope.event.key,
+                                                    envelope.dest_fn))
+                        moved = wid != worker.wid
+                    if moved:
+                        self._send(envelope, from_machine=machine.name)
+                    else:
+                        kept.append(envelope)
+                for envelope in kept:
+                    worker.queue.offer(envelope)
+
+    def _rebalance_flush(self) -> None:
+        """Flush every dirty slate cluster-wide before a ring change, so
+        no key moves while its freshest state is only in a cache."""
+        for machine in self.machines.values():
+            if not machine.alive:
+                continue
+            managers = ({machine.central_mgr}
+                        if machine.central_mgr is not None
+                        else {w.mgr for w in machine.workers})
+            io = 0.0
+            for mgr in managers:
+                if mgr is None:
+                    continue
+                mgr.flush_all_dirty()
+                io += mgr.take_pending_io()
+            if io > 0:
+                machine.device_busy_until = (
+                    max(self.sim.now(), machine.device_busy_until) + io)
+
+    # -- failures ---------------------------------------------------------------
+    def _make_failure(self, machine_name: str):
+        def kill(sim: Simulator) -> None:
+            machine = self.machines[machine_name]
+            if not machine.alive:
+                return
+            machine.alive = False
+            if self._failure_time is None:
+                self._failure_time = sim.now()
+            for worker in machine.workers:
+                lost = worker.queue.drain()
+                self.counters.lost_failure += len(lost)
+                if worker.mgr is not machine.central_mgr:
+                    worker.mgr.crash()
+            if machine.central_mgr is not None:
+                machine.central_mgr.crash()
+            if self.config.kill_kv_on_machine_failure:
+                self.store.mark_down(machine_name)
+
+        return kill
+
+    # -- results ---------------------------------------------------------------
+    def slate(self, updater: str, key: str) -> Optional[Dict[str, Any]]:
+        """Read a slate's final contents from cache, else the kv-store.
+
+        Mirrors the HTTP slate fetch (Section 4.4): the cache answer wins
+        because it is fresher than the durable store.
+        """
+        slate_key = SlateKey(updater, key)
+        for machine in self.machines.values():
+            managers = ([machine.central_mgr] if machine.central_mgr
+                        else [w.mgr for w in machine.workers])
+            for mgr in managers:
+                if mgr is None:
+                    continue
+                slate = mgr.cache.peek(slate_key)
+                if slate is not None:
+                    return slate.as_dict()
+        try:
+            result = self.store.read(key, updater)
+        except Exception:
+            return None
+        if result.value is None:
+            return None
+        from repro.slates.codec import DEFAULT_CODEC
+
+        return DEFAULT_CODEC.decode(result.value)
+
+    def slates_of(self, updater: str) -> Dict[str, Dict[str, Any]]:
+        """All cached slates of one updater (post-run inspection)."""
+        found: Dict[str, Dict[str, Any]] = {}
+        for machine in self.machines.values():
+            managers = ([machine.central_mgr] if machine.central_mgr
+                        else [w.mgr for w in machine.workers])
+            for mgr in managers:
+                if mgr is None:
+                    continue
+                for slate_key in mgr.cache.resident():
+                    if slate_key.updater == updater:
+                        slate = mgr.cache.peek(slate_key)
+                        if slate is not None:
+                            found[slate_key.key] = slate.as_dict()
+        return found
+
+    def memory_mb_per_machine(self) -> float:
+        """Average resident MB per machine: code copies + slate caches.
+
+        Muppet 1.0 loads the code once per worker process; 2.0 loads it
+        once per machine (Section 4.5's first limitation).
+        """
+        total = 0.0
+        for machine in self.machines.values():
+            if self.config.engine == ENGINE_MUPPET2:
+                total += self.config.operator_code_mb
+                if machine.central_mgr is not None:
+                    total += machine.central_mgr.cache.total_bytes() / 1e6
+            else:
+                total += self.config.operator_code_mb * len(machine.workers)
+                total += sum(w.mgr.cache.total_bytes()
+                             for w in machine.workers) / 1e6
+        return total / max(1, len(self.machines))
+
+    def _report(self, duration_s: float) -> SimReport:
+        all_latencies = LatencyRecorder()
+        by_updater: Dict[str, LatencySummary] = {}
+        for name, recorder in self.latency.items():
+            if len(recorder):
+                by_updater[name] = recorder.summary()
+                all_latencies.extend(recorder.samples)
+        dispatch: Dict[str, Any] = {}
+        queue_peak = 0
+        for machine in self.machines.values():
+            if machine.dispatcher is not None:
+                stats = machine.dispatcher.stats
+                for key, value in vars(stats).items():
+                    dispatch[key] = dispatch.get(key, 0) + value
+            for worker in machine.workers:
+                queue_peak = max(queue_peak, worker.queue.stats.peak_depth)
+        return SimReport(
+            engine=self.config.engine,
+            duration_s=duration_s,
+            counters=self.counters,
+            latency=(all_latencies.summary() if len(all_latencies) else None),
+            latency_by_updater=by_updater,
+            throughput=ThroughputReport(self.counters.processed, duration_s),
+            dispatch_stats=dispatch,
+            master_stats=vars(self.master.stats).copy(),
+            queue_peak_depth=queue_peak,
+            slate_contention_events=self._contention_events,
+            max_workers_per_slate=self._max_workers_per_slate,
+            failure_detection_s=self._detection_time,
+            throttle_paused_s=(self.config.throttle.paused_time_s
+                               if self.config.throttle else 0.0),
+            memory_mb_per_machine=self.memory_mb_per_machine(),
+            kv_stats=self.store.stats_by_node(),
+            device_stats={name: node.device.stats.as_dict()
+                          for name, node in self.store.nodes.items()},
+            steps=self.sim.steps,
+        )

@@ -1,0 +1,83 @@
+"""Slate serialization codecs (Section 4.2).
+
+"Our applications often use JSON to encode slates for language independence
+and flexibility, so Muppet compresses each slate before storing it in the
+key-value store." The default codec is therefore JSON + zlib; a plain JSON
+codec exists for ablation benches that measure what the compression buys.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any, Dict, Protocol
+
+from repro.errors import SlateError
+
+
+class SlateCodec(Protocol):
+    """Encodes slate field dicts to bytes for the key-value store."""
+
+    name: str
+
+    def encode(self, data: Dict[str, Any]) -> bytes:
+        """Serialize slate contents."""
+        ...
+
+    def decode(self, blob: bytes) -> Dict[str, Any]:
+        """Deserialize slate contents."""
+        ...
+
+
+class JsonCodec:
+    """Plain JSON (UTF-8), no compression — ablation baseline."""
+
+    name = "json"
+
+    def encode(self, data: Dict[str, Any]) -> bytes:
+        try:
+            return json.dumps(data, separators=(",", ":"),
+                              sort_keys=True).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise SlateError(f"slate not JSON-encodable: {exc}") from exc
+
+    def decode(self, blob: bytes) -> Dict[str, Any]:
+        try:
+            data = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise SlateError(f"corrupt slate blob: {exc}") from exc
+        if not isinstance(data, dict):
+            raise SlateError(
+                f"slate blob decoded to {type(data).__name__}, expected dict"
+            )
+        return data
+
+
+class CompressedJsonCodec:
+    """JSON + zlib — the paper's production encoding.
+
+    Args:
+        level: zlib compression level (1 fast … 9 small; 6 default).
+    """
+
+    name = "json+zlib"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 1 <= level <= 9:
+            raise SlateError(f"zlib level must be 1..9, got {level}")
+        self._level = level
+        self._json = JsonCodec()
+
+    def encode(self, data: Dict[str, Any]) -> bytes:
+        return zlib.compress(self._json.encode(data), self._level)
+
+    def decode(self, blob: bytes) -> Dict[str, Any]:
+        try:
+            raw = zlib.decompress(blob)
+        except zlib.error as exc:
+            raise SlateError(f"corrupt compressed slate: {exc}") from exc
+        return self._json.decode(raw)
+
+
+#: The production default, matching the paper.
+DEFAULT_CODEC = CompressedJsonCodec()

@@ -1,0 +1,242 @@
+"""SlateManager: the cache-over-store slate lifecycle (Section 4.2).
+
+"When the updater U needs the slate with key k, Muppet first checks the
+cache ... If the slate is not found, Muppet retrieves the slate from the
+Cassandra cluster by reading the value indexed by the pair <k, U>. The
+retrieved value is decompressed then passed to the updater. If the requested
+slate does not exist in Cassandra ... Muppet initializes a new slate in the
+cache."
+
+The manager also implements the flush spectrum: "dirty (updated) slates are
+periodically flushed to the key-value store. The application can set the
+flushing interval, ranging from 'immediate write-through' to 'only when
+evicted from cache'."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.operators import Updater
+from repro.core.slate import Slate, SlateKey
+from repro.errors import ConfigurationError, StoreError
+from repro.kvstore.api import ConsistencyLevel
+from repro.kvstore.cluster import ReplicatedKVStore
+from repro.slates.cache import SlateCache
+from repro.slates.codec import DEFAULT_CODEC, SlateCodec
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """When dirty slates are written to the key-value store.
+
+    Attributes:
+        kind: ``"write_through"`` (flush on every update),
+            ``"interval"`` (flush dirty slates every ``interval_s``), or
+            ``"on_evict"`` (flush only when the cache evicts a dirty
+            slate).
+        interval_s: Flush period for the ``"interval"`` kind.
+    """
+
+    kind: str = "interval"
+    interval_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write_through", "interval", "on_evict"):
+            raise ConfigurationError(
+                f"unknown flush policy {self.kind!r}; use write_through, "
+                f"interval, or on_evict"
+            )
+        if self.kind == "interval" and self.interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+
+    @classmethod
+    def write_through(cls) -> "FlushPolicy":
+        """Immediate write-through — maximal durability."""
+        return cls(kind="write_through")
+
+    @classmethod
+    def every(cls, seconds: float) -> "FlushPolicy":
+        """Periodic flushing of dirty slates."""
+        return cls(kind="interval", interval_s=seconds)
+
+    @classmethod
+    def on_evict(cls) -> "FlushPolicy":
+        """Flush only at eviction — minimal write volume, maximal loss
+        exposure on crash (Section 4.3 accepts this trade)."""
+        return cls(kind="on_evict")
+
+
+@dataclass
+class SlateManagerStats:
+    """KV traffic and loss accounting for one slate manager."""
+
+    kv_reads: int = 0
+    kv_writes: int = 0
+    kv_read_misses: int = 0
+    initialized: int = 0
+    ttl_resets: int = 0
+    lost_dirty_on_crash: int = 0
+
+
+class SlateManager:
+    """Owns one slate cache and its synchronization with the kv-store.
+
+    Muppet 1.0 builds one manager per worker (fragmented caches);
+    Muppet 2.0 builds one per machine (the central cache). Engines
+    serialize access per manager.
+
+    Args:
+        store: Backing replicated store; ``None`` disables persistence
+            (slates then live only in cache — the Storm/S4 situation the
+            paper contrasts against).
+        cache_capacity: Resident-slate limit for the LRU cache.
+        codec: Serialization codec (JSON+zlib by default, like Muppet).
+        flush_policy: See :class:`FlushPolicy`.
+        clock: Time source for TTLs and flush scheduling.
+        consistency: Consistency level for kv reads/writes.
+        max_slate_bytes: Optional hard cap on slate size (Section 5's
+            "keep slates small" advice, enforced).
+    """
+
+    def __init__(
+        self,
+        store: Optional[ReplicatedKVStore],
+        cache_capacity: int = 10_000,
+        codec: SlateCodec = DEFAULT_CODEC,
+        flush_policy: FlushPolicy = FlushPolicy.every(1.0),
+        clock: Callable[[], float] = lambda: 0.0,
+        consistency: ConsistencyLevel = ConsistencyLevel.ONE,
+        max_slate_bytes: Optional[int] = None,
+    ) -> None:
+        self.store = store
+        self.codec = codec
+        self.flush_policy = flush_policy
+        self.clock = clock
+        self.consistency = consistency
+        self.max_slate_bytes = max_slate_bytes
+        self.cache = SlateCache(cache_capacity, on_evict=self._evicted)
+        self.stats = SlateManagerStats()
+        self._last_interval_flush = 0.0
+        #: Simulated I/O seconds accrued by kv traffic since last drain
+        #: (the engines' background I/O thread picks this up).
+        self.pending_io_s = 0.0
+
+    # -- fetch ------------------------------------------------------------------
+    def get(self, updater: Updater, key: str) -> Slate:
+        """Fetch the slate for (updater, key): cache → store → initialize.
+
+        TTL expiry is honored at every layer: an expired cached slate is
+        re-initialized; the store returns nothing for expired cells.
+        """
+        now = self.clock()
+        slate_key = SlateKey(updater.get_name(), key)
+        slate = self.cache.get(slate_key)
+        if slate is not None and slate.expired(now):
+            self.cache.remove(slate_key)
+            self.stats.ttl_resets += 1
+            slate = None
+        if slate is not None:
+            return slate
+
+        slate = self._fetch_from_store(updater, slate_key, now)
+        if slate is None:
+            slate = Slate(slate_key, updater.init_slate(key),
+                          ttl=updater.slate_ttl, created_ts=now)
+            self.stats.initialized += 1
+        self.cache.put(slate)
+        return slate
+
+    def _fetch_from_store(self, updater: Updater, slate_key: SlateKey,
+                          now: float) -> Optional[Slate]:
+        if self.store is None:
+            return None
+        row, column = slate_key.row_column()
+        self.stats.kv_reads += 1
+        try:
+            result = self.store.read(row, column, self.consistency)
+        except StoreError:
+            self.stats.kv_read_misses += 1
+            return None
+        self.pending_io_s += result.cost_s
+        if result.value is None:
+            self.stats.kv_read_misses += 1
+            return None
+        slate = Slate(slate_key, self.codec.decode(result.value),
+                      ttl=updater.slate_ttl, created_ts=now)
+        slate.last_update_ts = result.write_ts
+        if slate.expired(now):
+            self.stats.ttl_resets += 1
+            return None
+        slate.mark_clean()
+        return slate
+
+    # -- write-back ------------------------------------------------------------
+    def note_update(self, slate: Slate) -> None:
+        """Record that an updater just modified ``slate``.
+
+        Under write-through this immediately persists; otherwise the slate
+        stays dirty for the periodic/evict flush.
+        """
+        slate.check_size(self.max_slate_bytes)
+        if self.flush_policy.kind == "write_through":
+            self._flush_slate(slate)
+
+    def flush_due(self) -> int:
+        """Flush dirty slates if the interval policy says it is time.
+
+        Returns the number of slates flushed. Call frequently (engines call
+        it from their background I/O thread).
+        """
+        if self.flush_policy.kind != "interval":
+            return 0
+        now = self.clock()
+        if now - self._last_interval_flush < self.flush_policy.interval_s:
+            return 0
+        self._last_interval_flush = now
+        return self.flush_all_dirty()
+
+    def flush_all_dirty(self) -> int:
+        """Flush every dirty resident slate; returns the count."""
+        flushed = 0
+        for slate in list(self.cache.dirty_slates()):
+            self._flush_slate(slate)
+            flushed += 1
+        return flushed
+
+    def _flush_slate(self, slate: Slate) -> None:
+        if self.store is None:
+            slate.mark_clean()
+            return
+        row, column = slate.slate_key.row_column()
+        blob = self.codec.encode(slate.as_dict())
+        result = self.store.write(row, column, blob, ttl=slate.ttl,
+                                  consistency=self.consistency)
+        self.pending_io_s += result.cost_s
+        self.stats.kv_writes += 1
+        slate.mark_clean()
+
+    def _evicted(self, slate: Slate) -> None:
+        """Cache eviction hook: persist dirty victims (all policies)."""
+        if slate.dirty:
+            self._flush_slate(slate)
+
+    # -- failure ---------------------------------------------------------------
+    def crash(self) -> int:
+        """Lose the cache without flushing, as when a machine dies.
+
+        "When an updater fails, whatever changes that it has made to the
+        slates and that have not yet been flushed to the key-value store
+        are lost" (Section 4.3). Returns the number of dirty slates lost.
+        """
+        lost = sum(1 for _ in self.cache.dirty_slates())
+        self.stats.lost_dirty_on_crash += lost
+        self.cache.clear()
+        return lost
+
+    def take_pending_io(self) -> float:
+        """Drain accrued kv I/O time (background-thread hook)."""
+        cost = self.pending_io_s
+        self.pending_io_s = 0.0
+        return cost

@@ -1,0 +1,23 @@
+"""Synthetic workload generators: tweets, checkins, Zipf key skew."""
+
+from repro.workloads.checkins import (NON_RETAIL_VENUES, RETAILER_SPELLINGS,
+                                      CheckinGenerator, parse_checkin)
+from repro.workloads.tweets import (DEFAULT_TOPICS, TopicBurst,
+                                    TweetGenerator, parse_tweet)
+from repro.workloads.traceio import read_events, write_events
+from repro.workloads.zipf import ZipfSampler, zipf_key_fn
+
+__all__ = [
+    "CheckinGenerator",
+    "DEFAULT_TOPICS",
+    "NON_RETAIL_VENUES",
+    "RETAILER_SPELLINGS",
+    "TopicBurst",
+    "TweetGenerator",
+    "ZipfSampler",
+    "parse_checkin",
+    "parse_tweet",
+    "read_events",
+    "write_events",
+    "zipf_key_fn",
+]

@@ -1,0 +1,57 @@
+"""Event trace files: persist and replay streams as JSON lines.
+
+One event per line: ``{"sid", "ts", "key", "value", "seq"}``. Traces are
+how the CLI feeds recorded/synthetic streams into the engines, and how
+deterministic experiment inputs are shared between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.core.event import Event
+from repro.errors import ConfigurationError
+
+
+def write_events(path: Union[str, Path], events: Iterable[Event]) -> int:
+    """Write events to a JSONL trace; returns the count written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps({
+                "sid": event.sid,
+                "ts": event.ts,
+                "key": event.key,
+                "value": event.value,
+                "seq": event.seq,
+            }, separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_events(path: Union[str, Path]) -> Iterator[Event]:
+    """Stream events back from a JSONL trace."""
+    path = Path(path)
+    try:
+        handle = path.open("r", encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace {path}: {exc}") from exc
+    with handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                yield Event(sid=record["sid"], ts=float(record["ts"]),
+                            key=record["key"], value=record.get("value"),
+                            seq=int(record.get("seq", 0)))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: bad trace record: {exc}"
+                ) from exc

@@ -1,0 +1,112 @@
+"""Shared fixtures and helper applications for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List
+
+import pytest
+
+from repro.core import Application, Event, Mapper, Updater
+
+
+class EchoMapper(Mapper):
+    """Forwards every event to the configured output stream unchanged."""
+
+    def map(self, ctx, event):
+        ctx.publish(self.config.get("output_sid", "S2"), event.key,
+                    event.value)
+
+
+class UppercaseMapper(Mapper):
+    """Uppercases string payloads (a visibly transforming map)."""
+
+    def map(self, ctx, event):
+        value = event.value.upper() if isinstance(event.value, str) \
+            else event.value
+        ctx.publish(self.config.get("output_sid", "S2"), event.key, value)
+
+
+class CountingUpdater(Updater):
+    """The canonical counting updater: one ``count`` field per key."""
+
+    def init_slate(self, key):
+        return {"count": 0}
+
+    def update(self, ctx, event, slate):
+        slate["count"] += 1
+
+
+class SummingUpdater(Updater):
+    """Sums numeric payloads per key (commutative + associative)."""
+
+    def init_slate(self, key):
+        return {"total": 0}
+
+    def update(self, ctx, event, slate):
+        slate["total"] += event.value or 0
+
+
+class ForwardingUpdater(Updater):
+    """Counts and forwards each event (for multi-stage workflows)."""
+
+    def init_slate(self, key):
+        return {"count": 0}
+
+    def update(self, ctx, event, slate):
+        slate["count"] += 1
+        ctx.publish(self.config.get("output_sid", "S3"), event.key,
+                    slate["count"])
+
+
+def build_count_app() -> Application:
+    """S1 → M1(echo) → S2 → U1(count): the minimal end-to-end app."""
+    app = Application("count")
+    app.add_stream("S1", external=True)
+    app.add_stream("S2")
+    app.add_mapper("M1", EchoMapper, subscribes=["S1"], publishes=["S2"])
+    app.add_updater("U1", CountingUpdater, subscribes=["S2"])
+    return app.validate()
+
+
+def build_two_stage_app() -> Application:
+    """S1 → M1 → S2 → U1(forward) → S3 → U2(count)."""
+    app = Application("two-stage")
+    app.add_stream("S1", external=True)
+    app.add_stream("S2")
+    app.add_stream("S3")
+    app.add_mapper("M1", EchoMapper, subscribes=["S1"], publishes=["S2"])
+    app.add_updater("U1", ForwardingUpdater, subscribes=["S2"],
+                    publishes=["S3"])
+    app.add_updater("U2", CountingUpdater, subscribes=["S3"])
+    return app.validate()
+
+
+def make_events(count: int, sid: str = "S1", keys: int = 5,
+                spacing: float = 0.01) -> List[Event]:
+    """``count`` events on ``sid`` cycling over ``keys`` distinct keys."""
+    return [Event(sid, ts=i * spacing, key=f"k{i % keys}", value=i)
+            for i in range(count)]
+
+
+@pytest.fixture
+def count_app() -> Application:
+    """A fresh minimal counting application."""
+    return build_count_app()
+
+
+@pytest.fixture
+def two_stage_app() -> Application:
+    """A fresh two-stage counting application."""
+    return build_two_stage_app()
+
+
+@pytest.fixture
+def ticking_clock():
+    """A callable clock advancing 1.0 s per call (deterministic)."""
+    counter = itertools.count()
+
+    def clock() -> float:
+        return float(next(counter))
+
+    return clock

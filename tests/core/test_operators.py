@@ -1,0 +1,109 @@
+"""Operator API: Context publication rules, timers, construction contract."""
+
+import pytest
+
+from repro.core.event import Event
+from repro.core.operators import (MIN_TS_INCREMENT, Context, Mapper,
+                                  TimerRequest, Updater)
+from repro.errors import TimestampError, WorkflowError
+
+
+class TestContextPublish:
+    def make_ctx(self, outputs=("S2",), ts=10.0, key="k"):
+        return Context("M1", ts, tuple(outputs), key)
+
+    def test_publish_collects_events(self):
+        ctx = self.make_ctx()
+        ctx.publish("S2", "a", 1)
+        ctx.publish("S2", "b", 2)
+        assert [(e.key, e.value) for e in ctx.emitted] == [("a", 1),
+                                                           ("b", 2)]
+
+    def test_default_timestamp_advances(self):
+        """Section 3: output ts strictly greater than input ts."""
+        ctx = self.make_ctx(ts=10.0)
+        event = ctx.publish("S2", "a")
+        assert event.ts == pytest.approx(10.0 + MIN_TS_INCREMENT)
+
+    def test_explicit_future_timestamp_accepted(self):
+        ctx = self.make_ctx(ts=10.0)
+        assert ctx.publish("S2", "a", ts=11.0).ts == 11.0
+
+    def test_equal_timestamp_rejected(self):
+        ctx = self.make_ctx(ts=10.0)
+        with pytest.raises(TimestampError, match="strictly greater"):
+            ctx.publish("S2", "a", ts=10.0)
+
+    def test_past_timestamp_rejected(self):
+        ctx = self.make_ctx(ts=10.0)
+        with pytest.raises(TimestampError):
+            ctx.publish("S2", "a", ts=9.0)
+
+    def test_undeclared_output_stream_rejected(self):
+        ctx = self.make_ctx(outputs=("S2",))
+        with pytest.raises(WorkflowError, match="not declared"):
+            ctx.publish("S3", "a")
+
+    def test_now_mirrors_input_ts(self):
+        assert self.make_ctx(ts=42.0).now == 42.0
+
+
+class TestContextTimers:
+    def test_set_timer_records_request_with_key(self):
+        ctx = Context("U1", 10.0, (), "walmart")
+        ctx.set_timer(70.0, payload={"w": 1})
+        assert ctx.timers == [TimerRequest("U1", "walmart", 70.0,
+                                           {"w": 1})]
+
+    def test_timer_must_be_in_the_future(self):
+        ctx = Context("U1", 10.0, (), "k")
+        with pytest.raises(TimestampError):
+            ctx.set_timer(10.0)
+
+
+class _NamedMapper(Mapper):
+    def map(self, ctx, event):
+        pass
+
+
+class _NamedUpdater(Updater):
+    def update(self, ctx, event, slate):
+        pass
+
+
+class TestConstructionContract:
+    """Appendix A: operators built from (config, name); names identify
+    functions because one class may serve several functions."""
+
+    def test_name_from_constructor(self):
+        op = _NamedMapper({"x": 1}, "M7")
+        assert op.get_name() == "M7"
+        assert op.config == {"x": 1}
+
+    def test_same_class_two_names(self):
+        a = _NamedUpdater(name="U1")
+        b = _NamedUpdater(name="U2")
+        assert a.get_name() != b.get_name()
+
+    def test_default_name_is_class_name(self):
+        assert _NamedMapper().get_name() == "_NamedMapper"
+
+    def test_config_is_copied(self):
+        config = {"x": 1}
+        op = _NamedMapper(config, "M")
+        config["x"] = 2
+        assert op.config["x"] == 1
+
+    def test_updater_ttl_from_config(self):
+        """Section 4.2: TTL is configurable per update function."""
+        op = _NamedUpdater({"slate_ttl": 3600.0}, "U")
+        assert op.slate_ttl == 3600.0
+
+    def test_updater_ttl_default_forever(self):
+        assert _NamedUpdater().slate_ttl is None
+
+    def test_default_init_slate_is_empty(self):
+        assert _NamedUpdater().init_slate("k") == {}
+
+    def test_cost_factor_default(self):
+        assert _NamedMapper().cost_factor == 1.0

@@ -1,0 +1,124 @@
+"""Slates: mapping behaviour, dirty tracking, TTL, size caps."""
+
+import pytest
+
+from repro.core.slate import Slate, SlateKey, TTL_FOREVER
+from repro.errors import SlateTooLargeError
+
+
+def make_slate(**kwargs) -> Slate:
+    return Slate(SlateKey("U1", "k1"), **kwargs)
+
+
+class TestSlateKey:
+    def test_identity_is_updater_and_key(self):
+        assert SlateKey("U1", "k") == SlateKey("U1", "k")
+        assert SlateKey("U1", "k") != SlateKey("U2", "k")
+
+    def test_row_column_addressing(self):
+        """Section 4.2: slate S(U,k) lives at row k, column U."""
+        assert SlateKey("U1", "walmart").row_column() == ("walmart", "U1")
+
+    def test_same_key_different_updaters_coexist(self):
+        """Section 3: <U, k> determines the slate, not k alone."""
+        slates = {SlateKey("U1", "k"): 1, SlateKey("U2", "k"): 2}
+        assert len(slates) == 2
+
+
+class TestMappingProtocol:
+    def test_get_set_del(self):
+        slate = make_slate(data={"a": 1})
+        slate["b"] = 2
+        assert slate["a"] == 1 and slate["b"] == 2
+        del slate["a"]
+        assert "a" not in slate and len(slate) == 1
+
+    def test_get_with_default(self):
+        slate = make_slate()
+        assert slate.get("missing", 42) == 42
+
+    def test_setdefault_inserts_once(self):
+        slate = make_slate()
+        assert slate.setdefault("x", 1) == 1
+        assert slate.setdefault("x", 9) == 1
+
+    def test_iteration_and_len(self):
+        slate = make_slate(data={"a": 1, "b": 2})
+        assert sorted(slate) == ["a", "b"]
+        assert len(slate) == 2
+
+    def test_as_dict_is_a_copy(self):
+        slate = make_slate(data={"a": 1})
+        snapshot = slate.as_dict()
+        snapshot["a"] = 99
+        assert slate["a"] == 1
+
+    def test_replace_is_the_papers_replace_slate(self):
+        slate = make_slate(data={"a": 1})
+        slate.mark_clean()
+        slate.replace({"count": 7})
+        assert slate.as_dict() == {"count": 7}
+        assert slate.dirty
+
+
+class TestDirtyTracking:
+    def test_fresh_slate_is_clean(self):
+        assert not make_slate(data={"a": 1}).dirty
+
+    def test_write_marks_dirty(self):
+        slate = make_slate()
+        slate["x"] = 1
+        assert slate.dirty
+
+    def test_setdefault_existing_does_not_dirty(self):
+        slate = make_slate(data={"x": 1})
+        slate.mark_clean()
+        slate.setdefault("x", 2)
+        assert not slate.dirty
+
+    def test_touch_and_mark_clean_cycle(self):
+        slate = make_slate()
+        slate.touch(5.0)
+        assert slate.dirty and slate.last_update_ts == 5.0
+        slate.mark_clean()
+        assert not slate.dirty
+
+
+class TestTTL:
+    def test_default_is_forever(self):
+        slate = make_slate()
+        assert slate.ttl is TTL_FOREVER
+        assert not slate.expired(now=1e12)
+
+    def test_expires_after_ttl_since_last_update(self):
+        slate = make_slate(ttl=10.0, created_ts=0.0)
+        assert not slate.expired(now=10.0)
+        assert slate.expired(now=10.1)
+
+    def test_update_refreshes_ttl(self):
+        """Section 4.2: TTL counts since the last *write*."""
+        slate = make_slate(ttl=10.0, created_ts=0.0)
+        slate.touch(8.0)
+        assert not slate.expired(now=15.0)
+        assert slate.expired(now=18.1)
+
+
+class TestSizing:
+    def test_estimated_bytes_tracks_json_size(self):
+        small = make_slate(data={"c": 1})
+        big = make_slate(data={"c": "x" * 10_000})
+        assert big.estimated_bytes() > small.estimated_bytes() + 9_000
+
+    def test_unencodable_data_falls_back_to_repr(self):
+        slate = make_slate(data={"obj": object()})
+        assert slate.estimated_bytes() > 0
+
+    def test_check_size_enforces_cap(self):
+        """Section 5: keep slates to kilobytes, not megabytes."""
+        slate = make_slate(data={"blob": "x" * 2_000})
+        slate.check_size(max_slate_bytes=None)  # disabled: fine
+        with pytest.raises(SlateTooLargeError, match="kilobytes"):
+            slate.check_size(max_slate_bytes=1_000)
+
+    def test_check_size_passes_under_cap(self):
+        make_slate(data={"c": 1}).check_size(max_slate_bytes=1_000)

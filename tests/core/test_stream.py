@@ -1,0 +1,92 @@
+"""Streams: registry, stamping, external-stream protection, merging."""
+
+import pytest
+
+from repro.core.event import Event
+from repro.core.stream import StreamRegistry, StreamSpec, merge_by_timestamp
+from repro.errors import WorkflowError
+
+
+class TestStreamRegistry:
+    def test_declare_and_lookup(self):
+        reg = StreamRegistry([StreamSpec("S1", external=True)])
+        assert "S1" in reg
+        assert reg.spec("S1").external
+
+    def test_unknown_stream_raises(self):
+        reg = StreamRegistry()
+        with pytest.raises(WorkflowError, match="unknown stream"):
+            reg.spec("nope")
+
+    def test_redeclare_same_kind_is_idempotent(self):
+        reg = StreamRegistry()
+        reg.declare(StreamSpec("S1"))
+        reg.declare(StreamSpec("S1"))
+        assert reg.sids() == ["S1"]
+
+    def test_redeclare_conflicting_kind_raises(self):
+        reg = StreamRegistry([StreamSpec("S1", external=True)])
+        with pytest.raises(WorkflowError, match="external and internal"):
+            reg.declare(StreamSpec("S1", external=False))
+
+    def test_sid_partition(self):
+        reg = StreamRegistry([StreamSpec("A", external=True),
+                              StreamSpec("B"), StreamSpec("C")])
+        assert reg.external_sids() == ["A"]
+        assert reg.internal_sids() == ["B", "C"]
+        assert reg.sids() == ["A", "B", "C"]
+
+
+class TestStamping:
+    def test_sequence_numbers_increase_per_stream(self):
+        reg = StreamRegistry([StreamSpec("S1"), StreamSpec("S2")])
+        a = reg.stamp(Event("S1", 0.0, "k"))
+        b = reg.stamp(Event("S1", 0.0, "k"))
+        c = reg.stamp(Event("S2", 0.0, "k"))
+        assert (a.seq, b.seq) == (0, 1)
+        assert c.seq == 0  # independent counter per stream
+
+    def test_stamp_preserves_other_fields(self):
+        reg = StreamRegistry([StreamSpec("S1")])
+        stamped = reg.stamp(Event("S1", 3.0, "k", "payload"))
+        assert (stamped.sid, stamped.ts, stamped.key, stamped.value) == \
+            ("S1", 3.0, "k", "payload")
+
+    def test_operator_cannot_publish_into_external_stream(self):
+        """Section 5's deadlock-freedom invariant for source throttling."""
+        reg = StreamRegistry([StreamSpec("EXT", external=True)])
+        with pytest.raises(WorkflowError, match="input-only"):
+            reg.stamp(Event("EXT", 0.0, "k"), from_operator=True)
+
+    def test_source_can_publish_into_external_stream(self):
+        reg = StreamRegistry([StreamSpec("EXT", external=True)])
+        assert reg.stamp(Event("EXT", 0.0, "k")).seq == 0
+
+    def test_stamp_unknown_stream_raises(self):
+        reg = StreamRegistry()
+        with pytest.raises(WorkflowError):
+            reg.stamp(Event("S1", 0.0, "k"))
+
+
+class TestMergeByTimestamp:
+    def test_merges_the_paper_example(self):
+        """Section 3: e (21:23 on S1) is fed before f (21:25 on S2)."""
+        s1 = [Event("S1", 21 * 60 + 23.0, "e")]
+        s2 = [Event("S2", 21 * 60 + 25.0, "f")]
+        merged = merge_by_timestamp(s2, s1)
+        assert [e.key for e in merged] == ["e", "f"]
+
+    def test_tie_break_by_sid_then_seq(self):
+        s1 = [Event("S1", 1.0, "a", seq=1), Event("S1", 1.0, "b", seq=0)]
+        s2 = [Event("S2", 1.0, "c", seq=0)]
+        merged = merge_by_timestamp(s1, s2)
+        assert [e.key for e in merged] == ["b", "a", "c"]
+
+    def test_empty_inputs(self):
+        assert merge_by_timestamp([], []) == []
+
+    def test_merge_is_stable_total_order(self):
+        events = [Event("S1", float(i % 3), f"k{i}", seq=i)
+                  for i in range(10)]
+        merged = merge_by_timestamp(events)
+        assert merged == sorted(events, key=lambda e: e.order_key())

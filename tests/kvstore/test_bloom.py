@@ -1,0 +1,48 @@
+"""Bloom filter: no false negatives; bounded false positives."""
+
+import pytest
+
+from repro.kvstore.bloom import BloomFilter
+
+
+class TestBloomFilter:
+    def test_contains_added_items(self):
+        bloom = BloomFilter(expected_items=100)
+        for i in range(100):
+            bloom.add(f"item{i}")
+        assert all(bloom.might_contain(f"item{i}") for i in range(100))
+
+    def test_no_false_negatives_ever(self):
+        bloom = BloomFilter(expected_items=10)  # deliberately undersized
+        items = [f"x{i}" for i in range(1000)]
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    def test_false_positive_rate_roughly_bounded(self):
+        bloom = BloomFilter(expected_items=1000, false_positive_rate=0.01)
+        for i in range(1000):
+            bloom.add(f"present{i}")
+        false_positives = sum(
+            1 for i in range(10_000) if bloom.might_contain(f"absent{i}"))
+        assert false_positives / 10_000 < 0.05  # 5x headroom over target
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(expected_items=10)
+        assert not bloom.might_contain("anything")
+
+    def test_len_counts_insertions(self):
+        bloom = BloomFilter(expected_items=10)
+        bloom.add("a")
+        bloom.add("a")
+        assert len(bloom) == 2
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(expected_items=10, false_positive_rate=1.5)
+
+    def test_sizing_grows_with_expected_items(self):
+        small = BloomFilter(expected_items=10)
+        large = BloomFilter(expected_items=10_000)
+        assert large.size_bits > small.size_bits
+        assert small.num_hashes >= 1

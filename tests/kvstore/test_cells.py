@@ -1,0 +1,60 @@
+"""Cells: tombstones, TTL expiry, last-write-wins, sizing."""
+
+from repro.kvstore.cells import Cell
+
+
+class TestCellBasics:
+    def test_key_is_row_column(self):
+        cell = Cell("walmart", "U1", b"v", 1.0)
+        assert cell.key == ("walmart", "U1")
+
+    def test_value_cell_is_not_tombstone(self):
+        assert not Cell("r", "c", b"v", 1.0).is_tombstone
+
+    def test_tombstone(self):
+        cell = Cell("r", "c", None, 1.0)
+        assert cell.is_tombstone
+        assert not cell.live(now=1.0)
+
+
+class TestTTL:
+    def test_no_ttl_never_expires(self):
+        assert not Cell("r", "c", b"v", 0.0).expired(now=1e12)
+
+    def test_expires_after_ttl(self):
+        cell = Cell("r", "c", b"v", write_ts=10.0, ttl=5.0)
+        assert not cell.expired(now=15.0)
+        assert cell.expired(now=15.1)
+
+    def test_live_combines_tombstone_and_ttl(self):
+        live = Cell("r", "c", b"v", 0.0, ttl=10.0)
+        assert live.live(now=5.0)
+        assert not live.live(now=11.0)
+
+
+class TestLastWriteWins:
+    def test_newer_supersedes_older(self):
+        old = Cell("r", "c", b"old", 1.0)
+        new = Cell("r", "c", b"new", 2.0)
+        assert new.supersedes(old)
+        assert not old.supersedes(new)
+
+    def test_tie_keeps_self(self):
+        a = Cell("r", "c", b"a", 1.0)
+        b = Cell("r", "c", b"b", 1.0)
+        assert a.supersedes(b) and b.supersedes(a)
+
+    def test_tombstone_can_supersede_value(self):
+        value = Cell("r", "c", b"v", 1.0)
+        delete = Cell("r", "c", None, 2.0)
+        assert delete.supersedes(value)
+
+
+class TestSizing:
+    def test_size_includes_names_and_payload(self):
+        small = Cell("r", "c", b"", 0.0)
+        big = Cell("r", "c", b"x" * 100, 0.0)
+        assert big.size_bytes() == small.size_bytes() + 100
+
+    def test_tombstone_size_positive(self):
+        assert Cell("row", "col", None, 0.0).size_bytes() > 0

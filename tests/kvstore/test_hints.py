@@ -1,0 +1,82 @@
+"""Hinted handoff: writes missed during an outage catch up on rejoin."""
+
+import itertools
+
+import pytest
+
+from repro.kvstore.api import ConsistencyLevel
+from repro.kvstore.cluster import ReplicatedKVStore
+
+
+def make_store(nodes=3, rf=3):
+    counter = itertools.count()
+    return ReplicatedKVStore([f"n{i}" for i in range(nodes)],
+                             replication_factor=rf,
+                             clock=lambda: float(next(counter)))
+
+
+class TestHintedHandoff:
+    def test_hint_stored_for_down_replica(self):
+        store = make_store()
+        replicas = store.replicas_for("row")
+        store.mark_down(replicas[0])
+        store.write("row", "col", b"v", consistency=ConsistencyLevel.QUORUM)
+        assert store.hints_stored == 1
+
+    def test_hints_delivered_on_rejoin(self):
+        store = make_store()
+        replicas = store.replicas_for("row")
+        victim = replicas[0]
+        store.mark_down(victim)
+        store.write("row", "col", b"missed",
+                    consistency=ConsistencyLevel.QUORUM)
+        store.mark_up(victim)
+        assert store.hints_delivered == 1
+        value, _ = store.nodes[victim].get("row", "col")
+        assert value == b"missed"
+
+    def test_recovered_node_serves_reads_alone(self):
+        """After handoff, even a ONE read that lands on the recovered
+        node returns the latest value (no read repair needed)."""
+        store = make_store()
+        replicas = store.replicas_for("row")
+        victim = replicas[0]
+        store.write("row", "col", b"v1", consistency=ConsistencyLevel.ALL)
+        store.mark_down(victim)
+        store.write("row", "col", b"v2",
+                    consistency=ConsistencyLevel.QUORUM)
+        store.mark_up(victim)
+        for other in replicas[1:]:
+            store.mark_down(other)  # force the read onto the victim
+        assert store.read("row", "col",
+                          ConsistencyLevel.ONE).value == b"v2"
+
+    def test_tombstone_hints(self):
+        store = make_store()
+        replicas = store.replicas_for("row")
+        victim = replicas[0]
+        store.write("row", "col", b"v", consistency=ConsistencyLevel.ALL)
+        store.mark_down(victim)
+        store.delete("row", "col", ConsistencyLevel.QUORUM)
+        store.mark_up(victim)
+        value, _ = store.nodes[victim].get("row", "col")
+        assert value is None
+
+    def test_hint_buffer_bounded(self):
+        store = make_store()
+        store.max_hints_per_node = 10
+        replicas = store.replicas_for("row")
+        store.mark_down(replicas[0])
+        for i in range(50):
+            store.write("row", f"col{i}", b"v",
+                        consistency=ConsistencyLevel.QUORUM)
+        assert len(store._hints[replicas[0]]) == 10
+
+    def test_natural_replicas_do_not_migrate_during_outage(self):
+        """Rows stay with their natural replica set; the down member is
+        hinted, not replaced (Cassandra semantics)."""
+        store = make_store(nodes=4, rf=3)
+        before = store.replicas_for("row")
+        store.mark_down(before[0])
+        after = store.replicas_for("row")
+        assert after == before

@@ -1,0 +1,113 @@
+"""Keyspace/column-family scoping over one physical cluster."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kvstore.cluster import ReplicatedKVStore
+from repro.kvstore.keyspace import ColumnFamilyView, KeyspaceCatalog
+
+
+def make_store():
+    counter = itertools.count()
+    return ReplicatedKVStore(["n0", "n1"], replication_factor=2,
+                             clock=lambda: float(next(counter)))
+
+
+class TestColumnFamilyView:
+    def test_roundtrip(self):
+        view = ColumnFamilyView(make_store(), "prod", "slates")
+        view.write("walmart", "U1", b"v")
+        assert view.read("walmart", "U1").value == b"v"
+
+    def test_isolation_between_column_families(self):
+        """Two Muppet applications on one cluster never collide."""
+        store = make_store()
+        app_a = ColumnFamilyView(store, "prod", "app_a")
+        app_b = ColumnFamilyView(store, "prod", "app_b")
+        app_a.write("walmart", "U1", b"from-a")
+        app_b.write("walmart", "U1", b"from-b")
+        assert app_a.read("walmart", "U1").value == b"from-a"
+        assert app_b.read("walmart", "U1").value == b"from-b"
+
+    def test_isolation_between_keyspaces(self):
+        store = make_store()
+        prod = ColumnFamilyView(store, "prod", "slates")
+        staging = ColumnFamilyView(store, "staging", "slates")
+        prod.write("k", "U1", b"p")
+        assert staging.read("k", "U1").value is None
+
+    def test_delete_scoped(self):
+        store = make_store()
+        a = ColumnFamilyView(store, "ks", "a")
+        b = ColumnFamilyView(store, "ks", "b")
+        a.write("k", "U1", b"v")
+        b.write("k", "U1", b"v")
+        a.delete("k", "U1")
+        assert a.read("k", "U1").value is None
+        assert b.read("k", "U1").value == b"v"
+
+    def test_row_count_scoped(self):
+        store = make_store()
+        a = ColumnFamilyView(store, "ks", "a")
+        b = ColumnFamilyView(store, "ks", "b")
+        for i in range(5):
+            a.write(f"k{i}", "U1", b"v")
+        b.write("k", "U1", b"v")
+        assert a.row_count() == 10  # 5 rows x 2 replicas
+        assert b.row_count() == 2
+
+    def test_identifier_validation(self):
+        store = make_store()
+        with pytest.raises(ConfigurationError):
+            ColumnFamilyView(store, "", "cf")
+        with pytest.raises(ConfigurationError):
+            ColumnFamilyView(store, "ks", "bad\x00name")
+
+    def test_slate_manager_runs_on_a_view(self):
+        """The manager's store dependency is duck-typed: a column-family
+        view drops in, giving each application its own namespace."""
+        from repro.core.operators import Updater
+        from repro.slates.manager import FlushPolicy, SlateManager
+
+        class Count(Updater):
+            def init_slate(self, key):
+                return {"count": 0}
+
+            def update(self, ctx, event, slate):
+                slate["count"] += 1
+
+        counter = itertools.count()
+        clock = lambda: float(next(counter))
+        store = ReplicatedKVStore(["n0"], replication_factor=1,
+                                  clock=clock)
+        view = ColumnFamilyView(store, "prod", "muppet_slates")
+        manager = SlateManager(view, cache_capacity=1,
+                               flush_policy=FlushPolicy.write_through(),
+                               clock=clock)
+        updater = Count(name="U1")
+        slate = manager.get(updater, "walmart")
+        slate["count"] = 9
+        slate.touch(clock())
+        manager.note_update(slate)
+        manager.get(updater, "other")  # evict
+        assert manager.get(updater, "walmart")["count"] == 9
+        # The physical row is namespaced.
+        assert store.read("walmart", "U1").value is None
+        assert view.read("walmart", "U1").value is not None
+
+
+class TestKeyspaceCatalog:
+    def test_use_caches_views(self):
+        catalog = KeyspaceCatalog(make_store())
+        a1 = catalog.use("prod", "slates")
+        a2 = catalog.use("prod", "slates")
+        assert a1 is a2
+
+    def test_listing(self):
+        catalog = KeyspaceCatalog(make_store())
+        catalog.use("prod", "slates")
+        catalog.use("staging", "slates")
+        assert catalog.column_families() == ["prod.slates",
+                                             "staging.slates"]

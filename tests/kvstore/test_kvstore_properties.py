@@ -1,0 +1,68 @@
+"""Property-based tests on the LSM node: it must behave like a map."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.node import StorageNode
+
+rows = st.text(alphabet="abcdexyz", min_size=1, max_size=4)
+columns = st.sampled_from(["U1", "U2", "U3"])
+values = st.binary(min_size=0, max_size=64)
+
+#: A workload: a list of (op, row, column, value) tuples.
+operations = st.lists(
+    st.tuples(st.sampled_from(["put", "delete", "flush", "compact"]),
+              rows, columns, values),
+    min_size=0, max_size=80)
+
+
+def run_node(ops, **node_kwargs):
+    counter = itertools.count()
+    node = StorageNode("n", clock=lambda: float(next(counter)),
+                       **node_kwargs)
+    model = {}
+    for op, row, column, value in ops:
+        if op == "put":
+            node.put(row, column, value)
+            model[(row, column)] = value
+        elif op == "delete":
+            node.delete(row, column)
+            model.pop((row, column), None)
+        elif op == "flush":
+            node.flush()
+        else:
+            node.compact()
+    return node, model
+
+
+class TestNodeActsLikeAMap:
+    @settings(max_examples=60, deadline=None)
+    @given(operations)
+    def test_reads_match_model(self, ops):
+        node, model = run_node(ops)
+        for (row, column), expected in model.items():
+            assert node.get(row, column)[0] == expected
+        # Deleted/absent keys read as None.
+        for op, row, column, _ in ops:
+            if (row, column) not in model:
+                assert node.get(row, column)[0] is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(operations)
+    def test_aggressive_flushing_changes_nothing(self, ops):
+        """Tiny memtable (flush per write) must be semantically invisible."""
+        node, model = run_node(ops, memtable_flush_bytes=1,
+                               compaction_threshold=3)
+        for (row, column), expected in model.items():
+            assert node.get(row, column)[0] == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(operations)
+    def test_crash_recovery_preserves_acknowledged_writes(self, ops):
+        node, model = run_node(ops)
+        node.crash()
+        node.recover()
+        for (row, column), expected in model.items():
+            assert node.get(row, column)[0] == expected

@@ -1,0 +1,167 @@
+"""StorageNode: LSM read/write paths, flush, compaction, crash recovery."""
+
+import itertools
+from pathlib import Path
+
+import pytest
+
+from repro.errors import StoreError
+from repro.kvstore.device import StorageDevice
+from repro.kvstore.node import StorageNode
+
+
+def make_clock(step: float = 1.0):
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+def make_node(**kwargs) -> StorageNode:
+    kwargs.setdefault("clock", make_clock())
+    return StorageNode("n1", **kwargs)
+
+
+class TestReadWrite:
+    def test_put_then_get(self):
+        node = make_node()
+        node.put("r", "U1", b"v")
+        value, _ = node.get("r", "U1")
+        assert value == b"v"
+
+    def test_get_absent(self):
+        value, cost = make_node().get("r", "c")
+        assert value is None
+
+    def test_overwrite_returns_newest(self):
+        node = make_node()
+        node.put("r", "c", b"v1")
+        node.put("r", "c", b"v2")
+        assert node.get("r", "c")[0] == b"v2"
+
+    def test_delete_hides_value(self):
+        node = make_node()
+        node.put("r", "c", b"v")
+        node.delete("r", "c")
+        assert node.get("r", "c")[0] is None
+
+    def test_memtable_hit_is_free(self):
+        node = make_node()
+        node.put("r", "c", b"v")
+        _, cost = node.get("r", "c")
+        assert cost == 0.0
+        assert node.stats.memtable_hits == 1
+
+    def test_sstable_read_charges_device(self):
+        node = make_node(memtable_flush_bytes=1)  # flush on every put
+        node.put("r", "c", b"v")
+        _, cost = node.get("r", "c")
+        assert cost > 0.0
+        assert node.stats.sstables_probed >= 1
+
+    def test_ttl_expired_read_is_none(self):
+        node = make_node()
+        node.put("r", "c", b"v", ttl=0.5)  # clock steps 1.0 per call
+        assert node.get("r", "c")[0] is None
+
+
+class TestFlushAndCompaction:
+    def test_flush_moves_memtable_to_sstable(self):
+        node = make_node()
+        node.put("r", "c", b"v")
+        node.flush()
+        assert node.memtable_bytes == 0
+        assert node.sstable_count == 1
+        assert node.get("r", "c")[0] == b"v"
+
+    def test_flush_threshold_triggers_automatically(self):
+        node = make_node(memtable_flush_bytes=200)
+        for i in range(50):
+            node.put(f"r{i}", "c", b"x" * 40)
+        assert node.stats.flushes >= 1
+
+    def test_compaction_threshold_collapses_runs(self):
+        node = make_node(memtable_flush_bytes=1, compaction_threshold=4)
+        for i in range(10):
+            node.put(f"r{i}", "c", b"v")
+        assert node.sstable_count < 4
+        assert node.stats.compactions >= 1
+
+    def test_compaction_purges_ttl_garbage(self):
+        clock = make_clock(10.0)  # big steps so TTLs lapse quickly
+        node = StorageNode("n", clock=clock, memtable_flush_bytes=1,
+                           compaction_threshold=100)
+        node.put("dead", "c", b"v", ttl=1.0)
+        node.put("alive", "c", b"v")
+        purged_before = node.stats.ttl_purged_cells
+        node.compact()
+        assert node.stats.ttl_purged_cells > purged_before
+        assert node.get("alive", "c")[0] == b"v"
+        assert node.get("dead", "c")[0] is None
+
+    def test_more_flushes_more_files_to_check(self):
+        """The paper's observation: un-compacted rows cost more probes."""
+        node = make_node(memtable_flush_bytes=1, compaction_threshold=100)
+        for i in range(6):
+            node.put("hot", "c", f"v{i}".encode())
+        many_runs = node.sstable_count
+        node.get("hot", "c")
+        assert many_runs == 6
+        node.compact()
+        assert node.sstable_count == 1
+
+    def test_background_cost_accrues_and_drains(self):
+        node = make_node()
+        node.put("r", "c", b"v" * 1000)
+        node.flush()
+        assert node.pending_background_s > 0
+        drained = node.take_background_cost()
+        assert drained > 0
+        assert node.take_background_cost() == 0.0
+
+
+class TestCrashRecovery:
+    def test_crash_loses_memtable_recover_replays_log(self):
+        node = make_node()
+        node.put("r", "c", b"precious")
+        node.crash()
+        with pytest.raises(StoreError):
+            node.get("r", "c")
+        replayed = node.recover()
+        assert replayed == 1
+        assert node.get("r", "c")[0] == b"precious"
+
+    def test_flushed_data_survives_without_log(self):
+        node = make_node()
+        node.put("r", "c", b"v")
+        node.flush()  # truncates the log
+        node.crash()
+        node.recover()
+        assert node.get("r", "c")[0] == b"v"
+
+    def test_on_disk_node_persists_sstables(self, tmp_path: Path):
+        node = StorageNode("n", clock=make_clock(), data_dir=tmp_path)
+        node.put("r", "c", b"v")
+        node.flush()
+        sst_files = list(tmp_path.glob("*.sst"))
+        assert len(sst_files) == 1
+
+
+class TestIntrospection:
+    def test_total_cells_and_bytes(self):
+        node = make_node()
+        node.put("a", "c", b"v")
+        node.put("b", "c", b"v")
+        assert node.total_cells() == 2
+        assert node.stored_bytes() > 0
+
+    def test_stats_as_dict(self):
+        node = make_node()
+        node.put("r", "c", b"v")
+        node.get("r", "c")
+        snap = node.stats.as_dict()
+        assert snap["puts"] == 1 and snap["gets"] == 1
+
+    def test_absorbed_overwrites_visible(self):
+        node = make_node()
+        for i in range(10):
+            node.put("hot", "c", f"{i}".encode())
+        assert node.absorbed_overwrites == 9

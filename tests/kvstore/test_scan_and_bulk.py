@@ -1,0 +1,62 @@
+"""Row scans on the LSM node — the store-side bulk-read path (§5)."""
+
+import itertools
+
+import pytest
+
+from repro.kvstore.node import StorageNode
+
+
+def make_node(**kwargs):
+    counter = itertools.count()
+    kwargs.setdefault("clock", lambda: float(next(counter)))
+    return StorageNode("n", **kwargs)
+
+
+class TestScanRow:
+    def test_all_columns_of_a_row(self):
+        """Muppet stores slate S(U,k) at row k, column U: scanning row k
+        returns every updater's slate for that key."""
+        node = make_node()
+        node.put("walmart", "U1", b"count-slate")
+        node.put("walmart", "U2", b"profile-slate")
+        node.put("target", "U1", b"other-row")
+        columns, _ = node.scan_row("walmart")
+        assert columns == {"U1": b"count-slate", "U2": b"profile-slate"}
+
+    def test_scan_spans_memtable_and_sstables(self):
+        node = make_node(memtable_flush_bytes=1 << 30)
+        node.put("row", "U1", b"flushed")
+        node.flush()
+        node.put("row", "U2", b"buffered")
+        columns, _ = node.scan_row("row")
+        assert columns == {"U1": b"flushed", "U2": b"buffered"}
+
+    def test_newest_version_wins_across_layers(self):
+        node = make_node(memtable_flush_bytes=1 << 30)
+        node.put("row", "U1", b"old")
+        node.flush()
+        node.put("row", "U1", b"new")
+        columns, _ = node.scan_row("row")
+        assert columns == {"U1": b"new"}
+
+    def test_deleted_and_expired_cells_excluded(self):
+        node = make_node()
+        node.put("row", "U1", b"v")
+        node.delete("row", "U1")
+        node.put("row", "U2", b"v", ttl=0.5)  # clock steps 1.0/call
+        node.clock()
+        columns, _ = node.scan_row("row")
+        assert columns == {}
+
+    def test_missing_row_is_empty(self):
+        columns, cost = make_node().scan_row("ghost")
+        assert columns == {}
+
+    def test_scan_charges_io_for_disk_resident_cells(self):
+        node = make_node(memtable_flush_bytes=1 << 30)
+        for i in range(5):
+            node.put("row", f"U{i}", b"v" * 100)
+        node.flush()
+        _, cost = node.scan_row("row")
+        assert cost > 0

@@ -1,0 +1,113 @@
+"""The Muppet 1.0 conductor/task-processor pair and its IPC protocol."""
+
+import pytest
+
+from repro.core import Event
+from repro.errors import ConfigurationError
+from repro.muppet.conductor import (Conductor, FramingError, IPCAccountant,
+                                    TaskProcessor, decode_frames,
+                                    encode_frame)
+
+
+class TestFraming:
+    def test_roundtrip_single_frame(self):
+        message = {"event": {"key": "k", "value": "v"}}
+        frames, rest = decode_frames(encode_frame(message))
+        assert frames == [message]
+        assert rest == b""
+
+    def test_multiple_frames(self):
+        buffer = encode_frame({"a": 1}) + encode_frame({"b": 2})
+        frames, rest = decode_frames(buffer)
+        assert frames == [{"a": 1}, {"b": 2}]
+        assert rest == b""
+
+    def test_partial_frame_kept_as_tail(self):
+        full = encode_frame({"a": 1})
+        frames, rest = decode_frames(full + full[:3])
+        assert frames == [{"a": 1}]
+        assert rest == full[:3]
+
+    def test_corrupt_payload_raises(self):
+        import struct
+
+        bad = struct.pack(">I", 3) + b"\xff\xff\xff"
+        with pytest.raises(FramingError):
+            decode_frames(bad)
+
+
+def counting_operator(event, slate):
+    """A Figure 4-style counter as a task-processor callable; keeps any
+    other slate fields (so the whole slate crosses the pipe back)."""
+    new_slate = dict(slate or {})
+    new_slate["count"] = new_slate.get("count", 0) + 1
+    return [], new_slate
+
+
+def forwarding_operator(event, slate):
+    """A mapper: emit one output per input, no slate."""
+    return [{"sid": "S2", "key": event["key"], "value": event["value"]}], \
+        None
+
+
+class TestWorkerPair:
+    def test_update_roundtrip_modifies_slate(self):
+        conductor = Conductor(TaskProcessor(counting_operator))
+        outputs, slate = conductor.process_event(
+            Event("S2", 1.0, "walmart", "{}"), slate={"count": 4})
+        assert outputs == []
+        assert slate == {"count": 5}
+
+    def test_map_roundtrip_produces_outputs(self):
+        conductor = Conductor(TaskProcessor(forwarding_operator))
+        outputs, slate = conductor.process_event(
+            Event("S1", 1.0, "k", "payload"))
+        assert slate is None
+        assert outputs == [{"sid": "S2", "key": "k", "value": "payload"}]
+
+    def test_every_byte_is_counted(self):
+        """The §4.5 waste is measurable: bytes cross twice per event."""
+        conductor = Conductor(TaskProcessor(counting_operator))
+        big_slate = {"count": 1, "pad": "x" * 1000}
+        conductor.process_event(Event("S2", 1.0, "k", "{}"),
+                                slate=big_slate)
+        stats = conductor.stats
+        assert stats.frames_to_task == 1
+        assert stats.frames_to_conductor == 1
+        assert stats.bytes_to_task > 1000     # slate went over the pipe
+        assert stats.bytes_to_conductor > 1000  # and came back modified
+        assert stats.total_bytes == (stats.bytes_to_task
+                                     + stats.bytes_to_conductor)
+
+    def test_bigger_slates_cost_more_ipc(self):
+        small = Conductor(TaskProcessor(counting_operator))
+        small.process_event(Event("S2", 1.0, "k", "{}"),
+                            slate={"count": 1})
+        big = Conductor(TaskProcessor(counting_operator))
+        big.process_event(Event("S2", 1.0, "k", "{}"),
+                          slate={"count": 1, "pad": "x" * 5000})
+        assert big.stats.total_bytes > small.stats.total_bytes + 9000
+
+
+class TestIPCAccountant:
+    def test_cost_grows_with_bytes(self):
+        accountant = IPCAccountant()
+        assert accountant.cost(100, slate_bytes=10_000) > \
+            accountant.cost(100, slate_bytes=10)
+
+    def test_slate_counted_both_directions(self):
+        accountant = IPCAccountant(fixed_s=0.0, per_byte_s=1e-9)
+        with_slate = accountant.cost(0, slate_bytes=1000)
+        with_output = accountant.cost(0, output_bytes=1000)
+        assert with_slate == pytest.approx(2 * with_output
+                                           - accountant.cost(0) + 48e-9
+                                           + accountant.cost(0) - 48e-9,
+                                           rel=0.05)
+
+    def test_fixed_floor(self):
+        accountant = IPCAccountant(fixed_s=1e-4, per_byte_s=0.0)
+        assert accountant.cost(10_000) == pytest.approx(1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IPCAccountant(fixed_s=-1.0)

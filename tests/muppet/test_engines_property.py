@@ -1,0 +1,54 @@
+"""Property test: the thread runtimes agree with the reference executor
+on commutative workloads, for arbitrary inputs (hypothesis)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Event, ReferenceExecutor
+from repro.muppet.local import LocalConfig, LocalMuppet
+from repro.muppet.local1 import Local1Config, LocalMuppet1
+from tests.conftest import build_count_app
+
+events_strategy = st.lists(
+    st.builds(
+        lambda ts, k: Event("S1", ts, f"k{k}", None),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.integers(0, 6),
+    ),
+    min_size=0, max_size=40,
+)
+
+
+def reference_counts(events):
+    result = ReferenceExecutor(build_count_app()).run(list(events))
+    return {k: s["count"] for k, s in result.slates_of("U1").items()}
+
+
+class TestEnginesMatchReference:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(events_strategy)
+    def test_local_muppet2_matches(self, events):
+        expected = reference_counts(events)
+        with LocalMuppet(build_count_app(),
+                         LocalConfig(num_threads=2,
+                                     record_latency=False)) as runtime:
+            runtime.ingest_many(list(events))
+            assert runtime.drain()
+            got = {k: v["count"]
+                   for k, v in runtime.read_slates_of("U1").items()}
+        assert got == expected
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(events_strategy)
+    def test_local_muppet1_matches(self, events):
+        expected = reference_counts(events)
+        with LocalMuppet1(build_count_app(),
+                          Local1Config(workers_per_function=2,
+                                       record_latency=False)) as runtime:
+            runtime.ingest_many(list(events))
+            assert runtime.drain()
+            got = {k: v["count"]
+                   for k, v in runtime.read_slates_of("U1").items()}
+        assert got == expected

@@ -1,0 +1,97 @@
+"""HTTP slate server: fetch URIs, freshness, status, bulk reads."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.muppet.http import SlateHTTPServer
+from repro.muppet.local import LocalConfig, LocalMuppet
+from repro.slates.manager import FlushPolicy
+from tests.conftest import build_count_app, make_events
+
+
+@pytest.fixture
+def served_runtime():
+    """A drained runtime with 10 events on key k0, behind HTTP."""
+    app = build_count_app()
+    config = LocalConfig(num_threads=2,
+                         flush_policy=FlushPolicy.every(3600.0))
+    with LocalMuppet(app, config) as runtime:
+        runtime.ingest_many(make_events(10, keys=1))
+        runtime.drain()
+        with SlateHTTPServer(runtime) as server:
+            yield runtime, f"http://127.0.0.1:{server.port}"
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestSlateFetch:
+    def test_fetch_by_updater_and_key(self, served_runtime):
+        """Section 4.4: the URI names the updater and the slate key."""
+        _, base = served_runtime
+        status, payload = fetch(f"{base}/slate/U1/k0")
+        assert status == 200
+        assert payload == {"updater": "U1", "key": "k0",
+                           "slate": {"count": 10}}
+
+    def test_fresh_cache_beats_stale_store(self, served_runtime):
+        """The fetch must hit the cache, not the durable store."""
+        runtime, base = served_runtime
+        assert runtime.store.read("k0", "U1").value is None  # not flushed
+        status, payload = fetch(f"{base}/slate/U1/k0")
+        assert status == 200 and payload["slate"]["count"] == 10
+
+    def test_missing_slate_404(self, served_runtime):
+        _, base = served_runtime
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{base}/slate/U1/ghost")
+        assert excinfo.value.code == 404
+
+    def test_unknown_path_404(self, served_runtime):
+        _, base = served_runtime
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{base}/nope")
+        assert excinfo.value.code == 404
+
+    def test_url_encoded_keys(self, served_runtime):
+        runtime, base = served_runtime
+        from repro.core import Event
+        runtime.ingest(Event("S1", 99.0, "Best Buy"))
+        runtime.drain()
+        status, payload = fetch(f"{base}/slate/U1/Best%20Buy")
+        assert status == 200 and payload["slate"]["count"] == 1
+
+
+class TestBulkAndStatus:
+    def test_slates_listing(self, served_runtime):
+        _, base = served_runtime
+        status, payload = fetch(f"{base}/slates/U1")
+        assert status == 200
+        assert payload["slates"]["k0"]["count"] == 10
+
+    def test_bulk_reads_the_store_and_lags(self, served_runtime):
+        """The store copy is stale until a flush — why §4.4 reads cache."""
+        _, base = served_runtime
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{base}/bulk/U1/k0")
+        assert excinfo.value.code == 404  # nothing flushed yet
+
+    def test_bulk_sees_flushed_value(self, served_runtime):
+        runtime, base = served_runtime
+        runtime.manager.flush_all_dirty()
+        status, payload = fetch(f"{base}/bulk/U1/k0")
+        assert status == 200
+        assert payload["slate"]["count"] == 10
+        assert payload["source"] == "store"
+
+    def test_status_endpoint(self, served_runtime):
+        _, base = served_runtime
+        status, payload = fetch(f"{base}/status")
+        assert status == 200
+        assert payload["counters"]["processed"] == 20
+        assert "largest_queue" in payload

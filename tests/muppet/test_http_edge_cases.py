@@ -1,0 +1,72 @@
+"""HTTP slate server: method handling, concurrency, lifecycle."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.muppet.http import SlateHTTPServer
+from repro.muppet.local import LocalConfig, LocalMuppet
+from tests.conftest import build_count_app, make_events
+
+
+@pytest.fixture
+def server_and_url():
+    with LocalMuppet(build_count_app(),
+                     LocalConfig(num_threads=2)) as runtime:
+        runtime.ingest_many(make_events(20, keys=2))
+        runtime.drain()
+        with SlateHTTPServer(runtime) as server:
+            yield server, f"http://127.0.0.1:{server.port}"
+
+
+class TestHTTPEdgeCases:
+    def test_post_not_supported(self, server_and_url):
+        _, base = server_and_url
+        request = urllib.request.Request(f"{base}/slate/U1/k0",
+                                         data=b"{}", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 501  # stdlib: unsupported method
+
+    def test_concurrent_fetches(self, server_and_url):
+        """The 2.0 design serves slate reads from a thread pool."""
+        _, base = server_and_url
+        results = []
+        errors = []
+
+        def fetch():
+            try:
+                with urllib.request.urlopen(f"{base}/slate/U1/k0",
+                                            timeout=5) as response:
+                    results.append(json.loads(response.read()))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fetch) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 8
+        assert all(r["slate"]["count"] == 10 for r in results)
+
+    def test_trailing_slash_tolerated(self, server_and_url):
+        _, base = server_and_url
+        with urllib.request.urlopen(f"{base}/slate/U1/k0/",
+                                    timeout=5) as response:
+            assert response.status == 200
+
+    def test_server_stop_is_idempotent(self):
+        with LocalMuppet(build_count_app()) as runtime:
+            server = SlateHTTPServer(runtime).start()
+            server.stop()
+            server.stop()  # no error
+
+    def test_port_zero_binds_ephemeral(self):
+        with LocalMuppet(build_count_app()) as runtime:
+            with SlateHTTPServer(runtime, port=0) as server:
+                assert server.port > 0

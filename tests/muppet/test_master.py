@@ -1,0 +1,42 @@
+"""The failure master: reports, broadcasts, duplicate absorption."""
+
+from repro.muppet.master import Master
+
+
+class TestMaster:
+    def test_first_report_broadcasts(self):
+        master = Master()
+        heard = []
+        master.subscribe(heard.append)
+        master.subscribe(heard.append)  # two workers listening
+        assert master.report_failure("m3")
+        assert heard == ["m3", "m3"]
+        assert master.stats.broadcasts_sent == 1
+
+    def test_duplicate_reports_absorbed(self):
+        """Many workers notice the same dead machine; one broadcast."""
+        master = Master()
+        heard = []
+        master.subscribe(heard.append)
+        master.report_failure("m3")
+        assert not master.report_failure("m3")
+        assert not master.report_failure("m3")
+        assert heard == ["m3"]
+        assert master.stats.duplicate_reports == 2
+        assert master.stats.reports_received == 3
+
+    def test_failed_machines_set(self):
+        master = Master()
+        master.report_failure("a")
+        master.report_failure("b")
+        assert master.failed_machines() == {"a", "b"}
+
+    def test_forget_restores(self):
+        master = Master()
+        master.report_failure("a")
+        master.forget("a")
+        assert master.failed_machines() == set()
+        assert master.report_failure("a")  # news again
+
+    def test_no_listeners_is_fine(self):
+        assert Master().report_failure("m")

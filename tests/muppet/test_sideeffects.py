@@ -1,0 +1,101 @@
+"""Side-effect support: slate log sinks and logger contention."""
+
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.muppet.sideeffects import (PerWorkerLogger, SharedLogger,
+                                      SlateLogSink)
+
+
+class TestSlateLogSink:
+    def test_log_and_read_partition(self):
+        sink = SlateLogSink()
+        sink.log("U1", "walmart", {"count": 5}, ts=1.0)
+        sink.log("U1", "target", {"count": 2}, ts=2.0)
+        sink.log("U2", "walmart", {"score": 0.9}, ts=3.0)
+        u1 = list(sink.read("U1"))
+        assert len(u1) == 2
+        assert u1[0] == {"ts": 1.0, "updater": "U1", "key": "walmart",
+                         "data": {"count": 5}}
+        assert len(list(sink.read("U2"))) == 1
+
+    def test_partial_slate_data(self):
+        """Users 'write less than the entire slate'."""
+        sink = SlateLogSink()
+        sink.log("U1", "k", {"count": 5})  # not the full slate dict
+        record = next(iter(sink.read("U1")))
+        assert record["data"] == {"count": 5}
+
+    def test_persists_to_directory(self, tmp_path: Path):
+        sink = SlateLogSink(tmp_path)
+        for i in range(10):
+            sink.log("U1", f"k{i}", {"n": i})
+        paths = sink.flush()
+        assert paths == [tmp_path / "U1.jsonl"]
+        assert len(paths[0].read_text().splitlines()) == 10
+        # Reading merges the persisted file with any new buffer content.
+        sink.log("U1", "k10", {"n": 10})
+        assert len(list(sink.read("U1"))) == 11
+
+    def test_thread_safety(self):
+        sink = SlateLogSink()
+
+        def writer(tag):
+            for i in range(500):
+                sink.log("U1", f"{tag}-{i}", {"i": i})
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sink.records_written == 2000
+        assert len(list(sink.read("U1"))) == 2000
+
+    def test_empty_partition_reads_empty(self):
+        assert list(SlateLogSink().read("ghost")) == []
+
+
+class TestLoggerContention:
+    def test_shared_logger_counts_lock_wait(self):
+        logger = SharedLogger(write_cost_s=1e-4)
+
+        def worker():
+            for _ in range(50):
+                logger.log("line")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert logger.stats.records == 200
+        assert len(logger.lines()) == 200
+        # With 4 threads serializing on one lock, someone waited.
+        assert logger.stats.lock_wait_s > 0
+
+    def test_per_worker_logger_no_shared_lock(self):
+        logger = PerWorkerLogger(workers=4, write_cost_s=0.0)
+
+        def worker(index):
+            for i in range(100):
+                logger.log(index, f"w{index}-{i}")
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert logger.stats.records == 400
+        assert len(logger.lines()) == 400
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SharedLogger(write_cost_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            PerWorkerLogger(workers=0)

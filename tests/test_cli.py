@@ -1,0 +1,130 @@
+"""The ``python -m repro`` command line."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+CONFIG = {
+    "name": "retailer-counts",
+    "streams": [{"sid": "S1", "external": True}, {"sid": "S2"}],
+    "operators": [
+        {"name": "M1", "kind": "map",
+         "class": "repro.apps.retailer_count.RetailerMapper",
+         "subscribes": ["S1"], "publishes": ["S2"]},
+        {"name": "U1", "kind": "update",
+         "class": "repro.apps.retailer_count.CheckinCounter",
+         "subscribes": ["S2"]},
+    ],
+}
+
+
+@pytest.fixture
+def app_path(tmp_path: Path) -> Path:
+    path = tmp_path / "app.json"
+    path.write_text(json.dumps(CONFIG))
+    return path
+
+
+@pytest.fixture
+def trace_path(tmp_path: Path, app_path: Path) -> Path:
+    path = tmp_path / "trace.jsonl"
+    code = main(["generate", "--kind", "checkins", "--rate", "200",
+                 "--duration", "2", "--seed", "9", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestValidate:
+    def test_valid_config(self, app_path, capsys):
+        assert main(["validate", "--app", str(app_path)]) == 0
+        out = capsys.readouterr().out
+        assert "retailer-counts" in out
+        assert "S1 -> M1 -> S2" in out
+
+    def test_broken_config_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x", "streams": [],
+                                    "operators": []}))
+        assert main(["validate", "--app", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_writes_trace(self, trace_path):
+        lines = trace_path.read_text().splitlines()
+        assert len(lines) == 400
+        record = json.loads(lines[0])
+        assert record["sid"] == "S1"
+
+    def test_tweets_kind(self, tmp_path, capsys):
+        out = tmp_path / "tweets.jsonl"
+        assert main(["generate", "--kind", "tweets", "--rate", "50",
+                     "--duration", "1", "--out", str(out)]) == 0
+        assert "wrote 50 tweets" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_and_dump(self, app_path, trace_path, capsys):
+        code = main(["run", "--app", str(app_path),
+                     "--trace", str(trace_path),
+                     "--threads", "2", "--dump", "U1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingested 400 events" in out
+        assert '"updater": "U1"' in out
+        # Slate counts appear in the dump.
+        payload = json.loads(out[out.index('{\n  "slates"'):])
+        total = sum(s["count"] for s in payload["slates"].values())
+        assert total > 0
+
+
+class TestRunMuppet1Engine:
+    def test_run_with_muppet1_engine(self, app_path, trace_path, capsys):
+        code = main(["run", "--app", str(app_path),
+                     "--trace", str(trace_path),
+                     "--engine", "muppet1", "--threads", "2",
+                     "--dump", "U1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine=muppet1" in out
+        payload = json.loads(out[out.index('{\n  "slates"'):])
+        assert sum(s["count"] for s in payload["slates"].values()) > 0
+
+    def test_engines_agree_on_the_same_trace(self, app_path, trace_path,
+                                             capsys):
+        def slates_for(engine):
+            code = main(["run", "--app", str(app_path),
+                         "--trace", str(trace_path),
+                         "--engine", engine, "--dump", "U1"])
+            assert code == 0
+            out = capsys.readouterr().out
+            return json.loads(out[out.index('{\n  "slates"'):])["slates"]
+
+        assert slates_for("muppet1") == slates_for("muppet2")
+
+
+class TestSimulate:
+    def test_simulate_reports_json(self, app_path, trace_path, capsys):
+        code = main(["simulate", "--app", str(app_path),
+                     "--trace", str(trace_path), "--machines", "2"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "muppet2"
+        assert payload["events"]["lost"] == 0
+        assert payload["latency_ms"]["p99"] < 2000
+
+    def test_muppet1_engine_flag(self, app_path, trace_path, capsys):
+        code = main(["simulate", "--app", str(app_path),
+                     "--trace", str(trace_path), "--machines", "2",
+                     "--engine", "muppet1"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["engine"] == "muppet1"
+
+    def test_empty_trace_fails(self, app_path, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["simulate", "--app", str(app_path),
+                     "--trace", str(empty)]) == 1

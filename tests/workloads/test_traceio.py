@@ -1,0 +1,47 @@
+"""Trace files: JSONL round-trips and error reporting."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import Event
+from repro.errors import ConfigurationError
+from repro.workloads.traceio import read_events, write_events
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path: Path):
+        events = [Event("S1", 0.5, "k1", {"x": 1}, seq=3),
+                  Event("S1", 1.5, "k2", "payload"),
+                  Event("S1", 2.5, "k3", None)]
+        path = tmp_path / "trace.jsonl"
+        assert write_events(path, events) == 3
+        assert list(read_events(path)) == events
+
+    def test_generator_trace_roundtrip(self, tmp_path: Path):
+        from repro.workloads import CheckinGenerator
+
+        events = list(CheckinGenerator(seed=5).events(1.0))
+        path = tmp_path / "checkins.jsonl"
+        write_events(path, events)
+        assert list(read_events(path)) == events
+
+    def test_creates_parent_dirs(self, tmp_path: Path):
+        path = tmp_path / "deep" / "dir" / "trace.jsonl"
+        write_events(path, [Event("S1", 0.0, "k")])
+        assert path.exists()
+
+    def test_read_missing_file(self, tmp_path: Path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            list(read_events(tmp_path / "nope.jsonl"))
+
+    def test_corrupt_line_reports_position(self, tmp_path: Path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"sid":"S1","ts":0,"key":"k"}\nnot json\n')
+        with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+            list(read_events(path))
+
+    def test_blank_lines_skipped(self, tmp_path: Path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"sid":"S1","ts":0,"key":"k"}\n\n\n')
+        assert len(list(read_events(path))) == 1

@@ -1,0 +1,68 @@
+"""Zipf sampling: determinism, skew, probability bookkeeping."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.zipf import ZipfSampler, zipf_key_fn
+
+
+class TestZipfSampler:
+    def test_seeded_determinism(self):
+        a = ZipfSampler(100, 1.0, seed=5).sample_many(500)
+        b = ZipfSampler(100, 1.0, seed=5).sample_many(500)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = ZipfSampler(100, 1.0, seed=1).sample_many(100)
+        b = ZipfSampler(100, 1.0, seed=2).sample_many(100)
+        assert a != b
+
+    def test_ranks_in_range(self):
+        sampler = ZipfSampler(10, 1.5, seed=0)
+        assert all(0 <= r < 10 for r in sampler.sample_many(1000))
+
+    def test_rank_zero_is_most_popular(self):
+        counts = Counter(ZipfSampler(50, 1.2, seed=3).sample_many(5000))
+        assert counts[0] == max(counts.values())
+
+    def test_higher_exponent_more_skewed(self):
+        mild = Counter(ZipfSampler(100, 0.5, seed=0).sample_many(5000))
+        harsh = Counter(ZipfSampler(100, 2.0, seed=0).sample_many(5000))
+        assert harsh[0] > mild[0]
+
+    def test_zero_exponent_is_roughly_uniform(self):
+        counts = Counter(ZipfSampler(10, 0.0, seed=0).sample_many(10_000))
+        assert min(counts.values()) > 700  # each ~1000 expected
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(20, 1.0)
+        assert sum(sampler.probability(r) for r in range(20)) == \
+            pytest.approx(1.0)
+
+    def test_probability_monotone_decreasing(self):
+        sampler = ZipfSampler(20, 1.0)
+        probabilities = [sampler.probability(r) for r in range(20)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(0)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(10, exponent=-1.0)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(10).probability(10)
+
+
+class TestZipfKeyFn:
+    def test_produces_prefixed_keys(self):
+        key_fn = zipf_key_fn("user", 100, seed=0)
+        key = key_fn(0)
+        assert key.startswith("user")
+        assert 0 <= int(key[4:]) < 100
+
+    def test_deterministic_sequence(self):
+        a = [zipf_key_fn("u", 50, seed=9)(i) for i in range(100)]
+        b = [zipf_key_fn("u", 50, seed=9)(i) for i in range(100)]
+        assert a == b
