@@ -40,6 +40,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.muppet` — the Muppet 1.0 and 2.0 engines, failures,
   queues, throttling, HTTP slate reads, local thread runtime.
 * :mod:`repro.sim` — discrete-event cluster simulator.
+* :mod:`repro.faults` — chaos fault injection (seeded schedules of
+  crashes, recoveries, partitions, slow nodes, kv outages).
 * :mod:`repro.baselines` — MapReduce/micro-batch/Storm-style baselines.
 * :mod:`repro.workloads` — synthetic firehose/checkin generators.
 * :mod:`repro.apps` — the paper's example applications.

@@ -1,0 +1,23 @@
+"""Chaos fault injection for the simulated cluster.
+
+Section 4.3 of the paper stops at crash-stop detection: a dead machine is
+excluded from the hash ring "until operator intervention". This package
+supplies the other half of a production failure story — a declarative,
+seeded :class:`FaultSchedule` that injects crashes, crash-then-recover
+cycles, network partitions, gray (slow-node) failures, probabilistic
+message drop/delay, and kv-node outages into
+:class:`repro.sim.runtime.SimRuntime`, and the :class:`FaultInjector`
+that realizes the schedule deterministically inside the discrete-event
+simulator.
+"""
+
+from repro.faults.injector import FaultInjector, FaultInjectorStats
+from repro.faults.schedule import (FAULT_KINDS, FaultEvent, FaultSchedule)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultInjectorStats",
+    "FaultSchedule",
+]

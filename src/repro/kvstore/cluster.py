@@ -17,8 +17,9 @@ are delivered when the replica returns via :meth:`ReplicatedKVStore.mark_up`.
 
 from __future__ import annotations
 
+from collections import deque
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.cluster.hashring import HashRing
 from repro.errors import ConfigurationError, QuorumError, StoreError
@@ -63,10 +64,13 @@ class ReplicatedKVStore:
         self._ring: HashRing[str] = HashRing(node_names)
         overrides = device_overrides or {}
         #: Hinted handoff buffers: writes a down replica missed, keyed by
-        #: the absent node's name, delivered on :meth:`mark_up`.
-        self._hints: Dict[str, List[Cell]] = {}
+        #: the absent node's name, delivered on :meth:`mark_up`. Each
+        #: buffer is a bounded deque so a long outage costs O(1) per
+        #: overflow (oldest hint evicted and counted), not O(n).
+        self._hints: Dict[str, Deque[Cell]] = {}
         self.hints_stored = 0
         self.hints_delivered = 0
+        self.hints_evicted = 0
         self.max_hints_per_node = 100_000
         self.nodes: Dict[str, StorageNode] = {}
         for name in node_names:
@@ -122,7 +126,7 @@ class ReplicatedKVStore:
         node = self._require_node(name)
         node.recover()
         self._ring.restore(name)
-        for hint in self._hints.pop(name, []):
+        for hint in self._hints.pop(name, ()):
             try:
                 if hint.is_tombstone:
                     node.delete(hint.row, hint.column)
@@ -144,11 +148,25 @@ class ReplicatedKVStore:
                                           include_excluded=True)
 
     def _store_hint(self, name: str, cell: Cell) -> None:
-        hints = self._hints.setdefault(name, [])
-        if len(hints) >= self.max_hints_per_node:
-            hints.pop(0)
+        hints = self._hints.get(name)
+        if hints is None:
+            hints = self._hints[name] = deque(
+                maxlen=self.max_hints_per_node)
+        if hints.maxlen is not None and len(hints) >= hints.maxlen:
+            self.hints_evicted += 1  # deque discards the oldest on append
         hints.append(cell)
         self.hints_stored += 1
+
+    def pending_hints(self, name: Optional[str] = None) -> int:
+        """Hints buffered for one down node (or all nodes).
+
+        Drains to zero when every hinted-at node has been
+        :meth:`mark_up`'d — the recovery-path invariant chaos tests
+        assert on.
+        """
+        if name is not None:
+            return len(self._hints.get(name, ()))
+        return sum(len(hints) for hints in self._hints.values())
 
     def _require_node(self, name: str) -> StorageNode:
         try:

@@ -107,6 +107,62 @@ class LatencyRecorder:
 
 
 @dataclass
+class RobustnessCounters:
+    """Failure-injection and recovery accounting for one simulated run.
+
+    Aggregated into :class:`repro.sim.runtime.SimReport` from the fault
+    injector, the master, the slate managers, and the kv-store, so chaos
+    tests can assert on one object (and print it byte-identically across
+    seeded runs — see ``SimReport.counter_report``).
+    """
+
+    #: Machines revived through the master's recovery broadcast.
+    recoveries: int = 0
+    #: Slates a revived machine's manager refetched from the kv-store.
+    rehydrated_slates: int = 0
+    #: Slate-manager kv operations retried after a transient StoreError.
+    kv_retries: int = 0
+    #: Simulated seconds spent in retry exponential backoff.
+    kv_backoff_s: float = 0.0
+    #: Reads/writes that degraded (fail-open) after exhausting retries.
+    fail_open_reads: int = 0
+    fail_open_writes: int = 0
+    #: Simulated seconds of extra service/network time from gray (slow
+    #: node) failures.
+    gray_slow_s: float = 0.0
+    #: Messages dropped by injected drop rules / lost crossing an
+    #: injected network partition.
+    dropped_injected: int = 0
+    lost_partition: int = 0
+    #: Messages delayed by injected delay rules, and the total extra time.
+    delayed_injected: int = 0
+    injected_delay_s: float = 0.0
+    #: Hinted-handoff accounting: hints buffered for down kv nodes,
+    #: hints delivered on rejoin, hints evicted by the bounded buffers,
+    #: and hints still pending at report time.
+    hints_stored: int = 0
+    hints_delivered: int = 0
+    hints_evicted: int = 0
+    hints_pending: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot (insertion-ordered, deterministic)."""
+        return dict(self.__dict__)
+
+
+def format_ms(seconds: Optional[float], digits: int = 2) -> str:
+    """Format a seconds value as milliseconds, or ``"n/a"`` for None.
+
+    Benchmarks report optional quantities (e.g. failure detection time,
+    which is ``None`` when no send ever touched the dead machine);
+    formatting them unconditionally used to raise ``TypeError``.
+    """
+    if seconds is None:
+        return "n/a"
+    return f"{seconds * 1e3:.{digits}f}"
+
+
+@dataclass
 class ThroughputReport:
     """Events processed over a time window, with convenience rates."""
 

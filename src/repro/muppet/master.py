@@ -17,14 +17,20 @@ from typing import Callable, List, Set
 #: Callback invoked on every worker when the master broadcasts a failure.
 FailureListener = Callable[[str], None]
 
+#: Callback invoked on every worker when the master broadcasts a recovery.
+RecoveryListener = Callable[[str], None]
+
 
 @dataclass
 class MasterStats:
-    """Failure-handling counters."""
+    """Failure- and recovery-handling counters."""
 
     reports_received: int = 0
     broadcasts_sent: int = 0
     duplicate_reports: int = 0
+    recovery_reports: int = 0
+    recovery_broadcasts: int = 0
+    duplicate_recovery_reports: int = 0
 
 
 class Master:
@@ -39,11 +45,16 @@ class Master:
     def __init__(self) -> None:
         self._failed: Set[str] = set()
         self._listeners: List[FailureListener] = []
+        self._recovery_listeners: List[RecoveryListener] = []
         self.stats = MasterStats()
 
     def subscribe(self, listener: FailureListener) -> None:
         """Register a worker/machine callback for failure broadcasts."""
         self._listeners.append(listener)
+
+    def subscribe_recovery(self, listener: RecoveryListener) -> None:
+        """Register a worker/machine callback for recovery broadcasts."""
+        self._recovery_listeners.append(listener)
 
     def report_failure(self, machine: str) -> bool:
         """A worker reports that ``machine`` is unreachable.
@@ -61,11 +72,30 @@ class Master:
             listener(machine)
         return True
 
+    def report_recovery(self, machine: str) -> bool:
+        """A revived machine reports itself back in service.
+
+        Symmetric to :meth:`report_failure`: if the machine was known
+        dead, the master clears it and broadcasts the recovery so every
+        worker re-admits it to the shared hash ring. Returns True when a
+        broadcast went out; False when the machine was not known dead
+        (e.g. it crashed and revived before any sender noticed).
+        """
+        self.stats.recovery_reports += 1
+        if machine not in self._failed:
+            self.stats.duplicate_recovery_reports += 1
+            return False
+        self._failed.discard(machine)
+        self.stats.recovery_broadcasts += 1
+        for listener in list(self._recovery_listeners):
+            listener(machine)
+        return True
+
     def failed_machines(self) -> Set[str]:
         """Machines currently known dead."""
         return set(self._failed)
 
     def forget(self, machine: str) -> None:
-        """Clear a machine's failed status (after operator intervention;
-        the paper's cluster membership is otherwise static, Section 5)."""
+        """Clear a machine's failed status silently (operator override;
+        prefer :meth:`report_recovery`, which notifies the cluster)."""
         self._failed.discard(machine)

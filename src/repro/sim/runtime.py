@@ -25,6 +25,15 @@ report to the master, and the master broadcast excludes the machine from
 the shared hash ring; in-flight and queued events on the dead machine are
 lost and counted. Queue overflow follows Sections 4.3/5: drop, divert to an
 overflow stream, or source-throttle.
+
+Beyond the paper (which leaves recovery "until operator intervention"),
+``failures`` also accepts a :class:`repro.faults.FaultSchedule`: a seeded
+chaos schedule of crashes, crash-then-recover cycles, network partitions,
+gray slow-node failures, probabilistic message drop/delay, and kv-node
+outages. Recovery is a full path — master recovery broadcast, ring
+re-admission behind a rebalance barrier, lazy slate re-hydration from the
+replicated kv-store, and hinted-handoff drain to the revived kv node —
+with every step counted in :class:`repro.metrics.RobustnessCounters`.
 """
 
 from __future__ import annotations
@@ -32,7 +41,8 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import (Any, Deque, Dict, Iterable, List, Optional, Set, Tuple,
+                    Union)
 
 from repro.cluster.hashring import HashRing, route_key
 from repro.cluster.topology import ClusterSpec
@@ -41,16 +51,19 @@ from repro.core.event import Event, EventCounter
 from repro.core.operators import Context, Mapper, Operator, TimerRequest, Updater
 from repro.core.slate import Slate, SlateKey
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
 from repro.kvstore.api import ConsistencyLevel
 from repro.kvstore.cluster import ReplicatedKVStore
-from repro.metrics import LatencyRecorder, LatencySummary, ThroughputReport
+from repro.metrics import (LatencyRecorder, LatencySummary,
+                           RobustnessCounters, ThroughputReport)
 from repro.muppet.dispatch import SingleChoiceDispatcher, TwoChoiceDispatcher
 from repro.muppet.master import Master
 from repro.muppet.queues import BoundedQueue, OverflowPolicy, SourceThrottle
 from repro.sim.costs import CostModel
 from repro.sim.des import Simulator
 from repro.sim.sources import Source
-from repro.slates.manager import FlushPolicy, SlateManager
+from repro.slates.manager import FlushPolicy, RetryPolicy, SlateManager
 
 ENGINE_MUPPET1 = "muppet1"
 ENGINE_MUPPET2 = "muppet2"
@@ -106,6 +119,17 @@ class SimConfig:
     #: extension (see :mod:`repro.muppet.replay`). ``None`` disables
     #: replay (the paper's production behaviour: lost and logged).
     replay_horizon_s: Optional[float] = None
+    #: Retry/backoff/fail-open policy for slate-manager kv operations
+    #: (see :class:`repro.slates.manager.RetryPolicy`). The default
+    #: retries transient store errors with exponential backoff and then
+    #: degrades (counted) instead of raising into operator code.
+    kv_retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: On machine recovery, flush every survivor's dirty slates before
+    #: the ring re-admits the machine, so keys that move back are
+    #: re-hydrated from fresh kv-store state (same barrier as
+    #: :meth:`SimRuntime.schedule_add_machine`). Disabling widens the
+    #: divergence window to the full flush interval.
+    recovery_rebalance_flush: bool = True
 
     def __post_init__(self) -> None:
         if self.engine not in (ENGINE_MUPPET1, ENGINE_MUPPET2):
@@ -195,10 +219,34 @@ class SimReport:
     kv_stats: Dict[str, Dict[str, int]]
     device_stats: Dict[str, Dict[str, float]]
     steps: int
+    robustness: RobustnessCounters = field(
+        default_factory=RobustnessCounters)
 
     def events_per_second(self) -> float:
         """Processed updater/mapper deliveries per simulated second."""
         return self.throughput.events_per_second
+
+    def counter_report(self) -> str:
+        """A deterministic, line-oriented dump of every counter.
+
+        Two runs of the same seeded :class:`~repro.faults.FaultSchedule`
+        over the same workload must produce *byte-identical* output from
+        this method — the chaos-determinism contract tests assert on it.
+        Floats are rendered with ``repr`` (shortest round-trip form), so
+        any numeric drift shows up as a diff.
+        """
+        lines = [f"engine={self.engine}",
+                 f"duration_s={self.duration_s!r}",
+                 f"steps={self.steps}"]
+        for name, value in sorted(self.counters.snapshot().items()):
+            lines.append(f"counters.{name}={value!r}")
+        for name, value in sorted(self.robustness.as_dict().items()):
+            lines.append(f"robustness.{name}={value!r}")
+        for name, value in sorted(self.master_stats.items()):
+            lines.append(f"master.{name}={value!r}")
+        for name, value in sorted(self.dispatch_stats.items()):
+            lines.append(f"dispatch.{name}={value!r}")
+        return "\n".join(lines)
 
 
 class SimRuntime:
@@ -209,7 +257,10 @@ class SimRuntime:
         cluster: The machine/network topology to simulate.
         config: Engine and policy knobs.
         sources: External-stream feeds.
-        failures: Optional ``[(time_s, machine_name), ...]`` kill schedule.
+        failures: Either the legacy ``[(time_s, machine_name), ...]``
+            kill list, or a :class:`repro.faults.FaultSchedule` with the
+            full chaos vocabulary (crash/recover, partitions, slow
+            nodes, message drop/delay, kv outages).
     """
 
     def __init__(
@@ -218,14 +269,24 @@ class SimRuntime:
         cluster: ClusterSpec,
         config: Optional[SimConfig] = None,
         sources: Iterable[Source] = (),
-        failures: Iterable[Tuple[float, str]] = (),
+        failures: Union[Iterable[Tuple[float, str]], FaultSchedule] = (),
     ) -> None:
         app.validate()
         self.app = app
         self.cluster = cluster
         self.config = config or SimConfig()
         self.sources = list(sources)
-        self.failures = sorted(failures)
+        if isinstance(failures, FaultSchedule):
+            self.fault_schedule = failures
+        else:
+            self.fault_schedule = FaultSchedule.from_kill_list(failures)
+        #: Legacy view of the schedule's crash events.
+        self.failures = self.fault_schedule.kill_list()
+        injector = FaultInjector(self.fault_schedule)
+        #: Interval-rule injector; None when no rule exists so the
+        #: per-message hot path stays untouched for fault-free runs.
+        self._injector = injector if injector.has_rules() else None
+        self._recoveries = 0
         self.sim = Simulator()
         self.counters = EventCounter()
         self.master = Master()
@@ -264,6 +325,7 @@ class SimRuntime:
             clock=self.sim.clock,
             consistency=self.config.consistency,
             max_slate_bytes=self.config.max_slate_bytes,
+            retry=self.config.kv_retry,
         )
 
     def _build_machines(self) -> None:
@@ -341,8 +403,20 @@ class SimRuntime:
         """Simulate ``duration_s`` seconds and summarize the outcome."""
         for source in self.sources:
             self._start_source(source)
-        for at, machine in self.failures:
-            self.sim.schedule(at, self._make_failure(machine), priority=-1)
+        for fault in self.fault_schedule.point_events():
+            if fault.kind == "crash":
+                self.sim.schedule(fault.at, self._make_failure(fault.machine),
+                                  priority=-1)
+            elif fault.kind == "recover":
+                self.sim.schedule(fault.at,
+                                  self._make_recovery(fault.machine),
+                                  priority=-1)
+            elif fault.kind == "kv_outage":
+                self.sim.schedule(fault.at, self._make_kv_down(fault.machine),
+                                  priority=-1)
+                self.sim.schedule(fault.until,
+                                  self._make_kv_up(fault.machine),
+                                  priority=-1)
         self._schedule_flusher()
         if self.config.throttle is not None:
             self._schedule_throttle_monitor()
@@ -400,6 +474,15 @@ class SimRuntime:
         same = from_machine == machine.name
         delay = extra_delay + self.cluster.network.transfer_time(
             envelope.event.size_bytes(), same_machine=same)
+        if self._injector is not None:
+            delivered, delay = self._injector.message_fate(
+                from_machine, machine.name, self.sim.now(), delay)
+            if not delivered:
+                # Partition/drop losses are silent: the sender does not
+                # learn of them, so no failure report follows (unlike a
+                # dead destination). Replay, if enabled, journaled the
+                # event above and can resurrect it on a later crash.
+                return
         self.sim.schedule_in(delay,
                              lambda sim: self._deliver(machine, envelope))
 
@@ -592,6 +675,12 @@ class SimRuntime:
             if concurrent > 1:
                 service += costs.slate_contention_s
                 self._contention_events += 1
+        if self._injector is not None:
+            factor = self._injector.cpu_factor(machine.name, self.sim.now())
+            if factor > 1.0:
+                extra = service * (factor - 1.0)
+                service += extra
+                self._injector.note_gray_cpu(extra)
         return service, list(ctx.emitted), list(ctx.timers)
 
     def _charge_device(self, machine: _Machine, io_s: float) -> float:
@@ -829,7 +918,12 @@ class SimRuntime:
     # -- failures ---------------------------------------------------------------
     def _make_failure(self, machine_name: str):
         def kill(sim: Simulator) -> None:
-            machine = self.machines[machine_name]
+            machine = self.machines.get(machine_name)
+            if machine is None:
+                raise ConfigurationError(
+                    f"crash fault targets unknown machine "
+                    f"{machine_name!r}; cluster has "
+                    f"{sorted(self.machines)}")
             if not machine.alive:
                 return
             machine.alive = False
@@ -847,14 +941,97 @@ class SimRuntime:
 
         return kill
 
+    def _make_recovery(self, machine_name: str):
+        """The full machine-recovery path — the Section 4.3 gap closed.
+
+        The paper excludes a dead machine from the ring "until operator
+        intervention" and leaves recovery as future work. Here the
+        revived machine (1) restarts its workers with cold caches,
+        (2) brings its co-located kv node back, draining hinted handoff,
+        (3) reports to the master, which broadcasts recovery exactly as
+        it broadcasts failure (one report hop + one broadcast hop), and
+        (4) rejoins the shared hash ring behind the same rebalance
+        barrier as elastic joins: survivors flush dirty slates first, so
+        keys that move back re-hydrate from fresh kv-store state through
+        the ordinary Section 4.2 cache-miss path.
+        """
+
+        def revive(sim: Simulator) -> None:
+            machine = self.machines.get(machine_name)
+            if machine is None or machine.alive:
+                return
+            machine.alive = True
+            # Workers still mid-service when the machine died have their
+            # _finish callbacks pending; count them as busy so the core
+            # ledger stays consistent whichever order things resolve.
+            busy = sum(1 for w in machine.workers if w.busy)
+            machine.free_cores = machine.cores - busy
+            machine.waiting.clear()
+            for worker in machine.workers:
+                if not worker.busy:
+                    worker.waiting = False
+            for mgr in self._managers_of(machine):
+                mgr.revive()
+            if self.config.kill_kv_on_machine_failure:
+                node = self.store.nodes.get(machine_name)
+                if node is not None and node.is_down:
+                    self.store.mark_up(machine_name)
+            self._recoveries += 1
+            latency = self.cluster.network.latency_s
+
+            def broadcast(sim2: Simulator) -> None:
+                if not machine.alive:
+                    return  # crashed again before the broadcast landed
+                self.master.report_recovery(machine_name)
+                self._known_failed.discard(machine_name)
+                if self.config.recovery_rebalance_flush:
+                    self._rebalance_flush()
+                self._machine_ring.restore(machine_name)
+                for ring in self._function_rings.values():
+                    for worker in machine.workers:
+                        ring.restore(worker.wid)
+                self._reroute_queued_after_ring_change()
+
+            # Report to master (one hop) + broadcast to workers (one
+            # hop) — symmetric to failure reporting.
+            self.sim.schedule_in(2 * latency, broadcast, priority=-1)
+
+        return revive
+
+    def _make_kv_down(self, machine_name: str):
+        """A transient outage of one co-located kv node (machine up)."""
+
+        def down(sim: Simulator) -> None:
+            node = self.store.nodes.get(machine_name)
+            if node is not None and not node.is_down:
+                self.store.mark_down(machine_name)
+
+        return down
+
+    def _make_kv_up(self, machine_name: str):
+        def up(sim: Simulator) -> None:
+            node = self.store.nodes.get(machine_name)
+            if node is not None and node.is_down:
+                self.store.mark_up(machine_name)
+
+        return up
+
+    def _managers_of(self, machine: _Machine) -> List[SlateManager]:
+        if machine.central_mgr is not None:
+            return [machine.central_mgr]
+        return [w.mgr for w in machine.workers]
+
     # -- results ---------------------------------------------------------------
     def slate(self, updater: str, key: str) -> Optional[Dict[str, Any]]:
         """Read a slate's final contents from cache, else the kv-store.
 
         Mirrors the HTTP slate fetch (Section 4.4): the cache answer wins
-        because it is fresher than the durable store.
+        because it is fresher than the durable store. When several caches
+        hold a copy (a survivor's orphaned copy after a failover-and-
+        recover cycle), the most recently updated one wins.
         """
         slate_key = SlateKey(updater, key)
+        best = None
         for machine in self.machines.values():
             managers = ([machine.central_mgr] if machine.central_mgr
                         else [w.mgr for w in machine.workers])
@@ -862,8 +1039,12 @@ class SimRuntime:
                 if mgr is None:
                     continue
                 slate = mgr.cache.peek(slate_key)
-                if slate is not None:
-                    return slate.as_dict()
+                if slate is not None and (
+                        best is None
+                        or slate.last_update_ts > best.last_update_ts):
+                    best = slate
+        if best is not None:
+            return best.as_dict()
         try:
             result = self.store.read(key, updater)
         except Exception:
@@ -875,8 +1056,13 @@ class SimRuntime:
         return DEFAULT_CODEC.decode(result.value)
 
     def slates_of(self, updater: str) -> Dict[str, Dict[str, Any]]:
-        """All cached slates of one updater (post-run inspection)."""
-        found: Dict[str, Dict[str, Any]] = {}
+        """All cached slates of one updater (post-run inspection).
+
+        Freshest copy wins when several caches hold the same slate —
+        after a failover-and-recover cycle, survivors retain orphaned
+        (stale) copies of keys that moved back to the revived owner.
+        """
+        found: Dict[str, Tuple[float, Dict[str, Any]]] = {}
         for machine in self.machines.values():
             managers = ([machine.central_mgr] if machine.central_mgr
                         else [w.mgr for w in machine.workers])
@@ -884,11 +1070,16 @@ class SimRuntime:
                 if mgr is None:
                     continue
                 for slate_key in mgr.cache.resident():
-                    if slate_key.updater == updater:
-                        slate = mgr.cache.peek(slate_key)
-                        if slate is not None:
-                            found[slate_key.key] = slate.as_dict()
-        return found
+                    if slate_key.updater != updater:
+                        continue
+                    slate = mgr.cache.peek(slate_key)
+                    if slate is None:
+                        continue
+                    known = found.get(slate_key.key)
+                    if known is None or slate.last_update_ts > known[0]:
+                        found[slate_key.key] = (slate.last_update_ts,
+                                                slate.as_dict())
+        return {key: contents for key, (_, contents) in found.items()}
 
     def memory_mb_per_machine(self) -> float:
         """Average resident MB per machine: code copies + slate caches.
@@ -907,6 +1098,29 @@ class SimRuntime:
                 total += sum(w.mgr.cache.total_bytes()
                              for w in machine.workers) / 1e6
         return total / max(1, len(self.machines))
+
+    def _robustness_counters(self) -> RobustnessCounters:
+        """Aggregate recovery/retry/chaos accounting for the report."""
+        rc = RobustnessCounters(recoveries=self._recoveries)
+        for machine in self.machines.values():
+            for mgr in self._managers_of(machine):
+                rc.rehydrated_slates += mgr.stats.rehydrated
+                rc.kv_retries += mgr.stats.kv_retries
+                rc.kv_backoff_s += mgr.stats.kv_backoff_s
+                rc.fail_open_reads += mgr.stats.fail_open_reads
+                rc.fail_open_writes += mgr.stats.fail_open_writes
+        if self._injector is not None:
+            stats = self._injector.stats
+            rc.gray_slow_s = stats.gray_slow_s
+            rc.dropped_injected = stats.dropped_messages
+            rc.lost_partition = stats.lost_partition
+            rc.delayed_injected = stats.delayed_messages
+            rc.injected_delay_s = stats.injected_delay_s
+        rc.hints_stored = self.store.hints_stored
+        rc.hints_delivered = self.store.hints_delivered
+        rc.hints_evicted = self.store.hints_evicted
+        rc.hints_pending = self.store.pending_hints()
+        return rc
 
     def _report(self, duration_s: float) -> SimReport:
         all_latencies = LatencyRecorder()
@@ -944,4 +1158,5 @@ class SimRuntime:
             device_stats={name: node.device.stats.as_dict()
                           for name, node in self.store.nodes.items()},
             steps=self.sim.steps,
+            robustness=self._robustness_counters(),
         )

@@ -68,9 +68,54 @@ class FlushPolicy:
         return cls(kind="on_evict")
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff behaviour for the manager's kv operations.
+
+    A transient store error (e.g. a :class:`~repro.errors.QuorumError`
+    during a kv-node outage) is retried up to ``max_attempts`` times
+    with exponential backoff; the backoff time is charged as simulated
+    I/O wait and counted. When retries are exhausted:
+
+    * ``fail_open=True`` (default): the operation *degrades* instead of
+      raising — a failed read behaves as a cache miss (the slate
+      re-initializes), a failed write leaves the slate dirty for the
+      next flush cycle to retry. Both are counted, so degradation is
+      observable; no :class:`~repro.errors.StoreError` ever escapes to
+      operator code.
+    * ``fail_open=False``: the final error propagates (fail-closed).
+
+    Attributes:
+        max_attempts: Total tries including the first (>= 1).
+        base_delay_s: Backoff before the first retry.
+        multiplier: Backoff growth factor per retry (>= 1).
+        max_delay_s: Backoff ceiling.
+        fail_open: Degrade instead of raising after the last attempt.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.002
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    fail_open: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+
+    @classmethod
+    def none(cls, fail_open: bool = False) -> "RetryPolicy":
+        """No retries; optionally still fail open on the first error."""
+        return cls(max_attempts=1, fail_open=fail_open)
+
+
 @dataclass
 class SlateManagerStats:
-    """KV traffic and loss accounting for one slate manager."""
+    """KV traffic, retry, and loss accounting for one slate manager."""
 
     kv_reads: int = 0
     kv_writes: int = 0
@@ -78,6 +123,11 @@ class SlateManagerStats:
     initialized: int = 0
     ttl_resets: int = 0
     lost_dirty_on_crash: int = 0
+    kv_retries: int = 0
+    kv_backoff_s: float = 0.0
+    fail_open_reads: int = 0
+    fail_open_writes: int = 0
+    rehydrated: int = 0
 
 
 class SlateManager:
@@ -98,6 +148,8 @@ class SlateManager:
         consistency: Consistency level for kv reads/writes.
         max_slate_bytes: Optional hard cap on slate size (Section 5's
             "keep slates small" advice, enforced).
+        retry: Retry/backoff/fail-open policy for kv operations (see
+            :class:`RetryPolicy`).
     """
 
     def __init__(
@@ -109,6 +161,7 @@ class SlateManager:
         clock: Callable[[], float] = lambda: 0.0,
         consistency: ConsistencyLevel = ConsistencyLevel.ONE,
         max_slate_bytes: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.store = store
         self.codec = codec
@@ -116,9 +169,11 @@ class SlateManager:
         self.clock = clock
         self.consistency = consistency
         self.max_slate_bytes = max_slate_bytes
+        self.retry = retry or RetryPolicy()
         self.cache = SlateCache(cache_capacity, on_evict=self._evicted)
         self.stats = SlateManagerStats()
         self._last_interval_flush = 0.0
+        self._rehydrating = False
         #: Simulated I/O seconds accrued by kv traffic since last drain
         #: (the engines' background I/O thread picks this up).
         self.pending_io_s = 0.0
@@ -155,8 +210,14 @@ class SlateManager:
         row, column = slate_key.row_column()
         self.stats.kv_reads += 1
         try:
-            result = self.store.read(row, column, self.consistency)
+            result = self._kv_call(
+                lambda: self.store.read(row, column, self.consistency))
         except StoreError:
+            if not self.retry.fail_open:
+                raise
+            # Fail-open degradation: treat the unreachable store as a
+            # miss; the slate re-initializes and later flushes heal it.
+            self.stats.fail_open_reads += 1
             self.stats.kv_read_misses += 1
             return None
         self.pending_io_s += result.cost_s
@@ -170,7 +231,32 @@ class SlateManager:
             self.stats.ttl_resets += 1
             return None
         slate.mark_clean()
+        if self._rehydrating:
+            self.stats.rehydrated += 1
         return slate
+
+    def _kv_call(self, op):
+        """Run one kv operation under the retry/backoff policy.
+
+        Backoff is virtual: each retry charges its delay to
+        ``pending_io_s`` (the engine's background I/O accounting) and to
+        the backoff counter; the final failure propagates to the caller,
+        which applies the fail-open decision.
+        """
+        delay = self.retry.base_delay_s
+        attempt = 1
+        while True:
+            try:
+                return op()
+            except StoreError:
+                if attempt >= self.retry.max_attempts:
+                    raise
+                attempt += 1
+                self.stats.kv_retries += 1
+                self.stats.kv_backoff_s += delay
+                self.pending_io_s += delay
+                delay = min(delay * self.retry.multiplier,
+                            self.retry.max_delay_s)
 
     # -- write-back ------------------------------------------------------------
     def note_update(self, slate: Slate) -> None:
@@ -211,8 +297,19 @@ class SlateManager:
             return
         row, column = slate.slate_key.row_column()
         blob = self.codec.encode(slate.as_dict())
-        result = self.store.write(row, column, blob, ttl=slate.ttl,
-                                  consistency=self.consistency)
+        try:
+            result = self._kv_call(
+                lambda: self.store.write(row, column, blob, ttl=slate.ttl,
+                                         consistency=self.consistency))
+        except StoreError:
+            if not self.retry.fail_open:
+                raise
+            # Fail-open degradation: the slate stays dirty so the next
+            # flush cycle retries it once the store heals. (A dirty slate
+            # evicted while the store is down is lost — the same bounded
+            # exposure as a crash between flushes.)
+            self.stats.fail_open_writes += 1
+            return
         self.pending_io_s += result.cost_s
         self.stats.kv_writes += 1
         slate.mark_clean()
@@ -234,6 +331,16 @@ class SlateManager:
         self.stats.lost_dirty_on_crash += lost
         self.cache.clear()
         return lost
+
+    def revive(self) -> None:
+        """Bring a crashed manager back with a cold cache.
+
+        Re-hydration is lazy, exactly the Section 4.2 miss path: the
+        cache is empty, so each slate the revived machine owns again is
+        refetched from the replicated kv-store on first touch. Store
+        fetches from here on are counted in ``stats.rehydrated``.
+        """
+        self._rehydrating = True
 
     def take_pending_io(self) -> float:
         """Drain accrued kv I/O time (background-thread hook)."""

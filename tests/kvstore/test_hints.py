@@ -72,6 +72,40 @@ class TestHintedHandoff:
                         consistency=ConsistencyLevel.QUORUM)
         assert len(store._hints[replicas[0]]) == 10
 
+    def test_overflow_evicts_oldest_and_counts(self):
+        """The bounded deque drops the *oldest* hint on overflow and
+        counts each eviction; the newest writes survive to delivery."""
+        store = make_store()
+        store.max_hints_per_node = 10
+        victim = store.replicas_for("row")[0]
+        store.mark_down(victim)
+        for i in range(50):
+            store.write("row", f"col{i}", b"v",
+                        consistency=ConsistencyLevel.QUORUM)
+        assert store.hints_stored == 50
+        assert store.hints_evicted == 40
+        assert store.pending_hints(victim) == 10
+        kept = [hint.column for hint in store._hints[victim]]
+        assert kept == [f"col{i}" for i in range(40, 50)]  # newest 10
+        store.mark_up(victim)
+        assert store.hints_delivered == 10
+        assert store.pending_hints() == 0
+        value, _ = store.nodes[victim].get("row", "col49")
+        assert value == b"v"
+
+    def test_pending_hints_accounting(self):
+        store = make_store(nodes=4, rf=3)
+        replicas = store.replicas_for("row")
+        store.mark_down(replicas[0])
+        store.mark_down(replicas[1])
+        store.write("row", "col", b"v", consistency=ConsistencyLevel.ONE)
+        assert store.pending_hints(replicas[0]) == 1
+        assert store.pending_hints(replicas[1]) == 1
+        assert store.pending_hints("nobody") == 0
+        assert store.pending_hints() == 2
+        store.mark_up(replicas[0])
+        assert store.pending_hints() == 1
+
     def test_natural_replicas_do_not_migrate_during_outage(self):
         """Rows stay with their natural replica set; the down member is
         hinted, not replaced (Cassandra semantics)."""

@@ -76,6 +76,45 @@ class TestReplayInSim:
         runtime, _, __ = self.run_failure(None)
         assert runtime.replay_journal is None
 
+    def test_replayed_events_flow_through_rerouted_ring(self):
+        """Replayed events cannot go back to the machine that died; they
+        must re-enter through the *post-broadcast* ring and land on
+        survivors. Completeness with the original owner still dead is
+        the proof."""
+        runtime, _, counted = self.run_failure(0.5)
+        assert runtime.counters_replayed > 0
+        assert "m001" not in runtime._machine_ring.live_members
+        assert not runtime.machines["m001"].alive
+        # Every key — including the dead machine's — reached full count
+        # via the rerouted ring (write-through: no dirty-slate loss).
+        assert counted >= 4000
+        per_key = runtime.slates_of("U1")
+        assert len(per_key) == 64
+
+    def test_overcount_bounded_by_replayed_volume(self):
+        """The journal is at-least-once: an event counted just before the
+        crash may be counted again on replay. The over-count can never
+        exceed what the journal actually replayed (the in-flight volume
+        within the horizon)."""
+        runtime, _, counted = self.run_failure(0.5)
+        offered = 4000
+        overcount = counted - offered
+        assert 0 <= overcount <= runtime.counters_replayed
+        # And the journal can't hold more than a horizon of the stream.
+        assert runtime.counters_replayed <= 2000 * 0.5 + 1
+
+    def test_journal_prunes_to_horizon_in_sim(self):
+        """The sim's journal never retains more than one horizon of
+        recorded sends — bounded memory is the feature's contract."""
+        runtime, _, __ = self.run_failure(0.2)
+        journal = runtime.replay_journal
+        assert journal is not None
+        assert journal.stats.pruned > 0
+        # Whatever remains spans at most one horizon (pruned on record).
+        if len(journal) > 1:
+            sent_times = [sent_at for sent_at, _, __ in journal._entries]
+            assert max(sent_times) - min(sent_times) <= 0.2 + 1e-9
+
 
 class TestElasticMembership:
     def test_machine_joins_without_loss(self):

@@ -6,9 +6,10 @@ import pytest
 
 from repro.core.operators import Updater
 from repro.core.slate import SlateKey
-from repro.errors import ConfigurationError, SlateTooLargeError
+from repro.errors import (ConfigurationError, SlateTooLargeError,
+                          StoreError)
 from repro.kvstore.cluster import ReplicatedKVStore
-from repro.slates.manager import FlushPolicy, SlateManager
+from repro.slates.manager import FlushPolicy, RetryPolicy, SlateManager
 
 
 class CountUpdater(Updater):
@@ -192,3 +193,104 @@ class TestLimitsAndIO:
         manager.note_update(slate)
         manager.get(updater, "b")  # evicts "a"; nowhere to persist
         assert manager.get(updater, "a")["count"] == 0
+
+
+class FlakyStore:
+    """A store facade that fails its first ``fail_n`` calls."""
+
+    def __init__(self, store, fail_n):
+        self._store = store
+        self.fail_n = fail_n
+        self.calls = 0
+
+    def _maybe_fail(self):
+        self.calls += 1
+        if self.calls <= self.fail_n:
+            raise StoreError("transient")
+
+    def read(self, *args, **kwargs):
+        self._maybe_fail()
+        return self._store.read(*args, **kwargs)
+
+    def write(self, *args, **kwargs):
+        self._maybe_fail()
+        return self._store.write(*args, **kwargs)
+
+
+def make_flaky_env(fail_n, retry=None, flush_policy=None):
+    manager, updater, clock = make_env(
+        flush_policy=flush_policy or FlushPolicy.write_through())
+    manager.store = FlakyStore(manager.store, fail_n)
+    if retry is not None:
+        manager.retry = retry
+    return manager, updater, clock
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_transient_error_retried_with_backoff(self):
+        manager, updater, clock = make_flaky_env(fail_n=2)
+        slate = manager.get(updater, "k")  # read: 2 failures, then ok
+        assert slate["count"] == 0
+        assert manager.stats.kv_retries == 2
+        # Exponential backoff: 0.002 + 0.004, charged as virtual I/O.
+        assert manager.stats.kv_backoff_s == pytest.approx(0.006)
+        assert manager.pending_io_s >= 0.006
+        assert manager.stats.fail_open_reads == 0
+
+    def test_backoff_capped_at_max_delay(self):
+        retry = RetryPolicy(max_attempts=6, base_delay_s=0.1,
+                            multiplier=10.0, max_delay_s=0.2,
+                            fail_open=True)
+        manager, updater, clock = make_flaky_env(fail_n=5, retry=retry)
+        manager.get(updater, "k")
+        # Delays: 0.1, then capped at 0.2 for the remaining retries.
+        assert manager.stats.kv_backoff_s == pytest.approx(
+            0.1 + 0.2 + 0.2 + 0.2 + 0.2)
+
+    def test_fail_open_read_degrades_to_miss(self):
+        manager, updater, clock = make_flaky_env(fail_n=100)
+        slate = manager.get(updater, "k")  # every attempt fails
+        assert slate["count"] == 0  # initialized, not raised
+        assert manager.stats.fail_open_reads == 1
+        assert manager.stats.kv_retries == manager.retry.max_attempts - 1
+
+    def test_fail_open_write_leaves_slate_dirty(self):
+        manager, updater, clock = make_flaky_env(fail_n=0)
+        slate = manager.get(updater, "k")
+        manager.store.fail_n = 100
+        slate["count"] = 1
+        slate.touch(clock())
+        manager.note_update(slate)  # write-through flush fails open
+        assert manager.stats.fail_open_writes == 1
+        assert slate.dirty  # kept for the next flush cycle
+        manager.store.fail_n = manager.store.calls  # store heals
+        assert manager.flush_all_dirty() == 1
+        assert not slate.dirty
+        assert manager.stats.kv_writes == 1
+
+    def test_fail_closed_propagates(self):
+        manager, updater, clock = make_flaky_env(
+            fail_n=100, retry=RetryPolicy.none(fail_open=False))
+        with pytest.raises(StoreError):
+            manager.get(updater, "k")
+
+    def test_revive_counts_rehydrated_fetches(self):
+        manager, updater, clock = make_env(
+            flush_policy=FlushPolicy.write_through())
+        slate = manager.get(updater, "k")
+        slate["count"] = 3
+        slate.touch(clock())
+        manager.note_update(slate)
+        manager.crash()
+        assert manager.stats.rehydrated == 0
+        manager.revive()
+        assert manager.get(updater, "k")["count"] == 3  # from the store
+        assert manager.stats.rehydrated == 1

@@ -5,7 +5,8 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.metrics import (PAPER_LATENCY_BOUND_S, PAPER_TWEETS_PER_SECOND,
-                           LatencyRecorder, ThroughputReport, format_table,
+                           LatencyRecorder, RobustnessCounters,
+                           ThroughputReport, format_ms, format_table,
                            percentile)
 
 
@@ -87,6 +88,33 @@ class TestThroughput:
         """Sanity-pin the §5 production numbers used across benches."""
         assert PAPER_TWEETS_PER_SECOND == pytest.approx(1157.4, abs=0.1)
         assert PAPER_LATENCY_BOUND_S == 2.0
+
+
+class TestFormatMs:
+    def test_none_renders_na(self):
+        """Regression: benches used to multiply a None detection time and
+        TypeError when no send ever touched the dead machine."""
+        assert format_ms(None) == "n/a"
+        assert format_ms(None, 0) == "n/a"
+
+    def test_seconds_to_milliseconds(self):
+        assert format_ms(0.00123) == "1.23"
+        assert format_ms(1.5) == "1500.00"
+
+    def test_digits(self):
+        assert format_ms(0.0123456, 0) == "12"
+        assert format_ms(0.0123456, 3) == "12.346"
+
+
+class TestRobustnessCounters:
+    def test_as_dict_round_trips_every_field(self):
+        counters = RobustnessCounters(recoveries=1, kv_retries=3,
+                                      gray_slow_s=0.5)
+        snap = counters.as_dict()
+        assert snap["recoveries"] == 1
+        assert snap["kv_retries"] == 3
+        assert snap["gray_slow_s"] == 0.5
+        assert set(snap) == set(vars(counters))
 
 
 class TestFormatTable:
