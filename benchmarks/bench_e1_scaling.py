@@ -11,6 +11,9 @@ linearly with machine count.
 
 from __future__ import annotations
 
+import json
+import time
+
 import pytest
 
 from repro.cluster import ClusterSpec
@@ -20,13 +23,14 @@ from repro.workloads.zipf import zipf_key_fn
 from tests.conftest import build_count_app
 
 
-def run_cluster(machines: int, rate: float, duration: float = 1.5):
+def run_cluster(machines: int, rate: float, duration: float = 1.5,
+                config: SimConfig = None):
     source = constant_rate("S1", rate_per_s=rate, duration_s=duration,
                            key_fn=zipf_key_fn("user", 5000, 1.05,
                                               seed=machines))
     runtime = SimRuntime(build_count_app(),
                          ClusterSpec.uniform(machines, cores=4),
-                         SimConfig(queue_capacity=100_000),
+                         config or SimConfig(queue_capacity=100_000),
                          [source])
     report = runtime.run(duration + 20.0)
     offered = int(rate * duration)
@@ -94,3 +98,60 @@ def test_e1_scaling_with_machines(benchmark, experiment):
     report.outcome(f"p99 falls {p99s[0]:.3f}s -> {p99s[-1]:.4f}s from 1 "
                    f"to {sweep[-1]} machines at a fixed 40k ev/s offered "
                    f"load (near-linear capacity growth)")
+
+
+def test_e1_batching_ablation(benchmark, experiment):
+    """Data-plane batching ablation: same workload, coalescing off vs on.
+
+    Event coalescing must not change *what* is computed — only how many
+    envelopes carry it and how much real time the simulation costs. The
+    final slate state is asserted byte-identical.
+    """
+    machines, rate, duration = 4, 20_000.0, 1.0
+
+    def once(batch: bool):
+        cfg = SimConfig(queue_capacity=100_000,
+                        batch_max_events=64 if batch else 0,
+                        batch_linger_s=0.005 if batch else 0.0)
+        source = constant_rate("S1", rate_per_s=rate,
+                               duration_s=duration,
+                               key_fn=zipf_key_fn("user", 5000, 1.05,
+                                                  seed=machines))
+        runtime = SimRuntime(build_count_app(),
+                             ClusterSpec.uniform(machines, cores=4),
+                             cfg, [source])
+        t0 = time.perf_counter()
+        sim_report = runtime.run(duration + 20.0)
+        wall = time.perf_counter() - t0
+        return sim_report, wall, runtime.slates_of("U1")
+
+    def run():
+        return once(False), once(True)
+
+    (rep_off, wall_off, slates_off), (rep_on, wall_on, slates_on) = (
+        benchmark.pedantic(run, rounds=1, iterations=1))
+    dp = rep_on.dataplane
+    report = experiment("E1c-batching-ablation")
+    report.claim("coalescing events per destination machine amortizes "
+                 "per-message cost without changing results")
+    report.table(
+        ["metric", "batching off", "batching on"],
+        [["DES steps", rep_off.steps, rep_on.steps],
+         ["sim events/s", f"{rep_off.events_per_second():.0f}",
+          f"{rep_on.events_per_second():.0f}"],
+         ["wall (s)", f"{wall_off:.2f}", f"{wall_on:.2f}"],
+         ["batches sent", 0, dp.batches_sent],
+         ["avg events/batch", "-",
+          f"{dp.batched_events / max(1, dp.batches_sent):.1f}"],
+         ["p99 latency (ms)", f"{rep_off.latency.p99 * 1e3:.2f}",
+          f"{rep_on.latency.p99 * 1e3:.2f}"]])
+    assert (json.dumps(slates_off, sort_keys=True)
+            == json.dumps(slates_on, sort_keys=True)), \
+        "batching changed the computed slate state"
+    assert rep_on.steps < rep_off.steps
+    assert rep_on.counters.processed == rep_off.counters.processed
+    report.outcome(
+        f"identical slates; DES steps {rep_off.steps} -> {rep_on.steps} "
+        f"({dp.batches_sent} envelopes carried "
+        f"{dp.batched_events} events, avg "
+        f"{dp.batched_events / max(1, dp.batches_sent):.1f}/batch)")

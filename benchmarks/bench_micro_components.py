@@ -57,6 +57,21 @@ def test_micro_plain_json_codec(benchmark):
     benchmark(codec.encode, slate)
 
 
+@pytest.mark.parametrize("level", [1, 6, 9])
+def test_micro_codec_zlib_levels(benchmark, level):
+    """Compression-level sweep: encode cost vs blob size at zlib 1/6/9."""
+    codec = CompressedJsonCodec(level=level)
+    assert codec.level == level
+    slate = {"count": 12345, "interests": ["a", "b", "c"] * 50,
+             "history": [{"ts": i * 0.5, "tag": f"t{i % 7}"}
+                         for i in range(40)]}
+    blob = benchmark(codec.encode, slate)
+    raw = len(JsonCodec().encode(slate))
+    benchmark.extra_info["blob_bytes"] = len(blob)
+    benchmark.extra_info["ratio"] = round(raw / len(blob), 2)
+    assert codec.decode(blob) == slate
+
+
 def test_micro_kvstore_put(benchmark):
     counter = itertools.count()
     node = StorageNode("n", clock=lambda: float(next(counter)),

@@ -25,6 +25,11 @@ from repro.errors import ConfigurationError, WorkerFailedError
 
 M = TypeVar("M", bound=Hashable)
 
+#: Bound on each ring's routing memo tables. Key spaces larger than this
+#: (e.g. per-user keys under heavy load) flush the memo wholesale when it
+#: fills — amortized O(1) and deterministic, unlike per-entry eviction.
+MEMO_MAX_ENTRIES = 65_536
+
 
 def stable_hash64(data: str) -> int:
     """A process-stable 64-bit hash (Python's ``hash`` is salted per run).
@@ -39,14 +44,24 @@ def stable_hash64(data: str) -> int:
 class HashRing(Generic[M]):
     """A consistent hash ring over hashable members.
 
+    Routing lookups are memoized: the per-event hot path hashes each
+    distinct routing key once (blake2b) and then serves placements from a
+    bounded memo table, invalidated wholesale on any membership or
+    exclusion change — the memoized and unmemoized rings are
+    indistinguishable through every join/fail/revive sequence (the
+    determinism tests assert exactly this).
+
     Args:
         members: Initial ring members (e.g. worker IDs or node names).
         replicas: Virtual points per member. More points smooth the load
             distribution at the cost of memory; 64 keeps the max/min arc
             ratio within a few percent for tens of members.
+        memoize: Cache lookup/preference-list results (on by default;
+            the ablation knob for the determinism tests).
     """
 
-    def __init__(self, members: Iterable[M] = (), replicas: int = 64) -> None:
+    def __init__(self, members: Iterable[M] = (), replicas: int = 64,
+                 memoize: bool = True) -> None:
         if replicas < 1:
             raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
         self._replicas = replicas
@@ -54,14 +69,27 @@ class HashRing(Generic[M]):
         self._keys: List[int] = []
         self._members: Set[M] = set()
         self._excluded: Set[M] = set()
+        self._memoize = memoize
+        self._lookup_memo: Dict[str, M] = {}
+        self._pref_memo: Dict[Tuple[str, int, bool], List[M]] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_invalidations = 0
         for member in members:
             self.add(member)
+
+    def _invalidate_memo(self) -> None:
+        if self._lookup_memo or self._pref_memo:
+            self._lookup_memo.clear()
+            self._pref_memo.clear()
+            self.memo_invalidations += 1
 
     # -- membership -------------------------------------------------------
     def add(self, member: M) -> None:
         """Add a member (idempotent for already-present members)."""
         if member in self._members:
             return
+        self._invalidate_memo()
         self._members.add(member)
         for i in range(self._replicas):
             point = stable_hash64(f"{member!r}#{i}")
@@ -73,6 +101,7 @@ class HashRing(Generic[M]):
         """Permanently remove a member and its virtual points."""
         if member not in self._members:
             return
+        self._invalidate_memo()
         self._members.discard(member)
         self._excluded.discard(member)
         kept = [(p, m) for (p, m) in self._points if m != member]
@@ -86,12 +115,15 @@ class HashRing(Generic[M]):
         and static; each worker keeps a *list of failed machines* and skips
         them (Section 4.3).
         """
-        if member in self._members:
+        if member in self._members and member not in self._excluded:
+            self._invalidate_memo()
             self._excluded.add(member)
 
     def restore(self, member: M) -> None:
         """Clear a member's failed mark."""
-        self._excluded.discard(member)
+        if member in self._excluded:
+            self._invalidate_memo()
+            self._excluded.discard(member)
 
     @property
     def members(self) -> Set[M]:
@@ -114,8 +146,18 @@ class HashRing(Generic[M]):
             WorkerFailedError: When every member is excluded (no live
                 member can own anything).
         """
+        if self._memoize:
+            cached = self._lookup_memo.get(routing_key)
+            if cached is not None:
+                self.memo_hits += 1
+                return cached
         for member in self._walk(routing_key):
             if member not in self._excluded:
+                if self._memoize:
+                    self.memo_misses += 1
+                    if len(self._lookup_memo) >= MEMO_MAX_ENTRIES:
+                        self._lookup_memo.clear()
+                    self._lookup_memo[routing_key] = member
                 return member
         raise WorkerFailedError(
             "hash ring has no live members to route to"
@@ -136,6 +178,12 @@ class HashRing(Generic[M]):
                 (the down node's hint is addressed to it, not to some
                 substitute).
         """
+        memo_key = (routing_key, count, include_excluded)
+        if self._memoize:
+            cached_list = self._pref_memo.get(memo_key)
+            if cached_list is not None:
+                self.memo_hits += 1
+                return list(cached_list)
         result: List[M] = []
         seen: Set[M] = set()
         for member in self._walk(routing_key):
@@ -147,6 +195,11 @@ class HashRing(Generic[M]):
             result.append(member)
             if len(result) >= count:
                 break
+        if self._memoize:
+            self.memo_misses += 1
+            if len(self._pref_memo) >= MEMO_MAX_ENTRIES:
+                self._pref_memo.clear()
+            self._pref_memo[memo_key] = list(result)
         return result
 
     def _walk(self, routing_key: str):

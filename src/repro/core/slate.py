@@ -10,13 +10,23 @@ metadata the runtime needs: time-to-live, last-update time, and a dirty flag
 for the flush machinery (Section 4.2). Applications should keep slates small
 — "many kilobytes rather than many megabytes" (Section 5); engines can
 enforce a cap via ``max_slate_bytes``.
+
+Two hot-path amortizations live here:
+
+* ``version`` — a monotonically increasing mutation counter. Size
+  estimates and encoded blobs are cached keyed by it, so repeated
+  ``estimated_bytes()`` calls between mutations and repeated flushes of
+  an unchanged slate cost one serialization, not many (encode-once).
+* a *dirty listener* — :class:`repro.slates.cache.SlateCache` subscribes
+  to dirty-flag transitions so it can keep an O(dirty) index instead of
+  scanning every resident slate at each flush tick.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.core.event import Timestamp
 from repro.errors import SlateTooLargeError
@@ -58,7 +68,9 @@ class Slate:
     """
 
     __slots__ = ("slate_key", "ttl", "created_ts", "last_update_ts",
-                 "dirty", "_data")
+                 "_dirty", "_data", "_version", "_dirty_listener",
+                 "_enc_codec", "_enc_version", "_enc_blob",
+                 "_size_version", "_size_bytes")
 
     def __init__(
         self,
@@ -71,8 +83,51 @@ class Slate:
         self.ttl = ttl
         self.created_ts = created_ts
         self.last_update_ts = created_ts
-        self.dirty = False
+        self._dirty = False
+        self._version = 0
+        self._dirty_listener: Optional[Callable[["Slate", bool], None]] = None
+        self._enc_codec: Any = None
+        self._enc_version = -1
+        self._enc_blob: Optional[bytes] = None
+        self._size_version = -1
+        self._size_bytes = 0
         self._data: Dict[str, Any] = dict(data) if data else {}
+
+    # -- dirty tracking ----------------------------------------------------
+    @property
+    def dirty(self) -> bool:
+        """True when the slate changed since its last flush."""
+        return self._dirty
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        value = bool(value)
+        if value:
+            # Every dirtying counts as a mutation, even a re-dirty of an
+            # already-dirty slate: callers that mutate nested values in
+            # place mark dirty afterwards, and the version-keyed caches
+            # must not serve the pre-mutation blob.
+            self._version += 1
+        if value == self._dirty:
+            return
+        self._dirty = value
+        if self._dirty_listener is not None:
+            self._dirty_listener(self, value)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every write or dirty-marking."""
+        return self._version
+
+    def set_dirty_listener(
+            self, listener: Optional[Callable[["Slate", bool], None]]
+    ) -> None:
+        """Subscribe to dirty-flag transitions (cache bookkeeping hook).
+
+        At most one listener is supported — a slate is resident in at
+        most one cache. Pass ``None`` to detach.
+        """
+        self._dirty_listener = listener
 
     # -- mapping protocol -------------------------------------------------
     def __getitem__(self, field_name: str) -> Any:
@@ -136,12 +191,37 @@ class Slate:
         return (now - self.last_update_ts) > self.ttl
 
     def estimated_bytes(self) -> int:
-        """Approximate in-memory/JSON size of the slate contents."""
+        """Approximate in-memory/JSON size of the slate contents.
+
+        Cached per :attr:`version`: repeated calls between mutations
+        (cost model, size cap, IPC accounting) serialize once.
+        """
+        if self._size_version == self._version:
+            return self._size_bytes
         try:
-            return len(json.dumps(self._data, separators=(",", ":"),
+            size = len(json.dumps(self._data, separators=(",", ":"),
                                   default=str))
         except (TypeError, ValueError):
-            return len(repr(self._data))
+            size = len(repr(self._data))
+        self._size_version = self._version
+        self._size_bytes = size
+        return size
+
+    def encoded_with(self, codec: Any) -> bytes:
+        """The slate contents serialized by ``codec``, cached per version.
+
+        The flush path calls this instead of ``codec.encode(as_dict())``
+        so an unchanged slate flushed again (rebalance barrier after a
+        periodic flush, eviction after flush) pays zero re-encodes.
+        """
+        if (self._enc_blob is not None and self._enc_codec is codec
+                and self._enc_version == self._version):
+            return self._enc_blob
+        blob = codec.encode(self.as_dict())
+        self._enc_codec = codec
+        self._enc_version = self._version
+        self._enc_blob = blob
+        return blob
 
     def check_size(self, max_slate_bytes: Optional[int]) -> None:
         """Raise :class:`SlateTooLargeError` when over the configured cap."""

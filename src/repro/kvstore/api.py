@@ -53,6 +53,25 @@ class WriteResult:
 
 
 @dataclass(frozen=True)
+class BatchWriteResult:
+    """Outcome of a replicated multi-cell batch write.
+
+    Attributes:
+        writes: Cells written (one per dirty slate flushed).
+        groups: Distinct replica sets the batch coalesced into — each
+            group cost one multi-cell write per live replica.
+        acks_min: The smallest per-group acknowledgement count (every
+            group independently met the consistency level).
+        cost_s: Total simulated coordinator wait across groups.
+    """
+
+    writes: int
+    groups: int
+    acks_min: int
+    cost_s: float
+
+
+@dataclass(frozen=True)
 class ReadResult:
     """Outcome of a replicated read.
 

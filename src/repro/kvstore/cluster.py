@@ -19,12 +19,13 @@ from __future__ import annotations
 
 from collections import deque
 from pathlib import Path
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.cluster.hashring import HashRing
 from repro.errors import ConfigurationError, QuorumError, StoreError
 from repro.kvstore.cells import Cell
-from repro.kvstore.api import ConsistencyLevel, ReadResult, WriteResult
+from repro.kvstore.api import (BatchWriteResult, ConsistencyLevel,
+                               ReadResult, WriteResult)
 from repro.kvstore.device import StorageDevice, profile_for
 from repro.kvstore.node import StorageNode
 
@@ -206,6 +207,61 @@ class ReplicatedKVStore:
                 f"{required} ({consistency.value})"
             )
         return WriteResult(acks=acks, replicas=replicas, cost_s=worst_cost)
+
+    def write_batch(
+        self,
+        writes: List[Tuple[str, str, bytes, Optional[float]]],
+        consistency: ConsistencyLevel = ConsistencyLevel.ONE,
+    ) -> BatchWriteResult:
+        """Replicated multi-cell write: ``[(row, column, value, ttl)...]``.
+
+        Cells are grouped by their natural replica set; each live replica
+        of a group receives one coalesced :meth:`StorageNode.put_many`
+        call instead of one put per cell. Down replicas get one hint per
+        cell, exactly as :meth:`write` would leave. Every group must
+        independently reach the consistency level's acknowledgement
+        count; the first group that cannot raises :class:`QuorumError`
+        (cells of already-written groups stay written — last-write-wins
+        makes the caller's per-cell retry idempotent).
+        """
+        if not writes:
+            return BatchWriteResult(writes=0, groups=0, acks_min=0,
+                                    cost_s=0.0)
+        required = consistency.required_acks(self.replication_factor)
+        groups: Dict[Tuple[str, ...], List[Tuple[str, str, bytes,
+                                                 Optional[float]]]] = {}
+        for write in writes:
+            replica_set = tuple(self.replicas_for(write[0]))
+            groups.setdefault(replica_set, []).append(write)
+        total_cost = 0.0
+        acks_min: Optional[int] = None
+        for replica_set, cells in groups.items():
+            acks = 0
+            worst_cost = 0.0
+            for name in replica_set:
+                node = self.nodes[name]
+                if node.is_down:
+                    now = self.clock()
+                    for row, column, value, ttl in cells:
+                        self._store_hint(name, Cell(row, column, value,
+                                                    now, ttl))
+                    continue
+                try:
+                    cost = node.put_many(cells)
+                except StoreError:
+                    continue
+                acks += 1
+                worst_cost = max(worst_cost, cost)
+            if acks < required:
+                raise QuorumError(
+                    f"batch write of {len(cells)} cells to "
+                    f"{list(replica_set)}: {acks} acks < required "
+                    f"{required} ({consistency.value})"
+                )
+            total_cost += worst_cost
+            acks_min = acks if acks_min is None else min(acks_min, acks)
+        return BatchWriteResult(writes=len(writes), groups=len(groups),
+                                acks_min=acks_min or 0, cost_s=total_cost)
 
     def read(
         self,

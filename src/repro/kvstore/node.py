@@ -111,6 +111,34 @@ class StorageNode:
         cell = Cell(row, column, value, write_ts=self.clock(), ttl=ttl)
         return self._apply(cell)
 
+    def put_many(
+        self,
+        cells: List[Tuple[str, str, bytes, Optional[float]]],
+    ) -> float:
+        """Write a multi-cell batch ``[(row, column, value, ttl), ...]``.
+
+        All cells share one commit-log append chain and one sequential-
+        write charge for the combined bytes, and the memtable flush
+        threshold is checked once at the end — the coalesced-flush path
+        of the slate managers. Returns the foreground I/O time.
+        """
+        self._check_up()
+        now = self.clock()
+        total_bytes = 0
+        for row, column, value, ttl in cells:
+            if ttl is not None and not isinstance(ttl, (int, float)):
+                raise StoreError(
+                    f"ttl must be a number of seconds or None, got {ttl!r}"
+                )
+            cell = Cell(row, column, value, write_ts=now, ttl=ttl)
+            self.stats.puts += 1
+            total_bytes += self._log.append(cell)
+            self._memtable.put(cell)
+        cost = self.device.charge_sequential_write(total_bytes)
+        if self._memtable.size_bytes >= self.memtable_flush_bytes:
+            self.flush()
+        return cost
+
     def delete(self, row: str, column: str) -> float:
         """Write a tombstone; returns the foreground I/O time."""
         self._check_up()

@@ -150,6 +150,36 @@ class RobustnessCounters:
         return dict(self.__dict__)
 
 
+@dataclass
+class DataPlaneCounters:
+    """Event-coalescing accounting for one simulated run.
+
+    Filled by :class:`repro.sim.runtime.SimRuntime` when data-plane
+    batching is on (``SimConfig.batch_max_events > 0``); all-zero
+    otherwise. Printed under ``dataplane.*`` in
+    ``SimReport.counter_report`` — the batching-determinism tests
+    exclude these lines (batching legitimately changes how many
+    envelopes fly) while asserting everything else is identical.
+    """
+
+    #: Coalesced envelopes shipped (one network message each).
+    batches_sent: int = 0
+    #: Events carried inside those envelopes.
+    batched_events: int = 0
+    #: Flushes triggered by the linger timer expiring.
+    linger_flushes: int = 0
+    #: Flushes triggered by a buffer reaching ``batch_max_events``.
+    size_flushes: int = 0
+    #: Flushes forced by ring changes or machine failure handling.
+    forced_flushes: int = 0
+    #: Largest single batch shipped.
+    max_batch_events: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot (insertion-ordered, deterministic)."""
+        return dict(self.__dict__)
+
+
 def format_ms(seconds: Optional[float], digits: int = 2) -> str:
     """Format a seconds value as milliseconds, or ``"n/a"`` for None.
 

@@ -16,9 +16,9 @@ threads (slate contention ≤ 2); hot primaries can spill to the secondary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.hashring import stable_hash64
+from repro.cluster.hashring import MEMO_MAX_ENTRIES, stable_hash64
 from repro.errors import ConfigurationError
 
 #: The work item identity the dispatcher reasons about.
@@ -35,6 +35,8 @@ class DispatchStats:
     affinity_hits: int = 0       # routed to the thread already on this key
     spills: int = 0              # secondary chosen because primary was long
     queue_locks: int = 0         # ≤ 2 per dispatch, by construction
+    memo_hits: int = 0           # candidate pairs served from the memo
+    memo_misses: int = 0         # candidate pairs that cost two hashes
 
 
 class TwoChoiceDispatcher:
@@ -45,10 +47,14 @@ class TwoChoiceDispatcher:
         significant_factor: The secondary is chosen when
             ``primary_len >= significant_factor * (secondary_len + 1)`` —
             our concrete reading of "significantly shorter".
+        memoize: Cache the (primary, secondary) pair per (key, function)
+            — on by default; the ablation knob for the perf gate and the
+            determinism tests.
     """
 
     def __init__(self, num_threads: int,
-                 significant_factor: float = 2.0) -> None:
+                 significant_factor: float = 2.0,
+                 memoize: bool = True) -> None:
         if num_threads < 1:
             raise ConfigurationError("num_threads must be >= 1")
         if significant_factor < 1.0:
@@ -56,19 +62,34 @@ class TwoChoiceDispatcher:
         self.num_threads = num_threads
         self.significant_factor = significant_factor
         self.stats = DispatchStats()
+        self._memoize = memoize
+        self._memo: Dict[KeyFn, Tuple[int, int]] = {}
 
     def candidates(self, key: str, function: str) -> Tuple[int, int]:
         """The (primary, secondary) thread indexes for a (key, function).
 
         Both are stable hashes; with one thread they coincide, otherwise
-        they are guaranteed distinct.
+        they are guaranteed distinct. The pair is pure in (key, function)
+        and thread count, so it is memoized: repeat keys skip both blake2b
+        digests (bounded table, wholesale clear when full).
         """
         if self.num_threads == 1:
             return 0, 0
+        if self._memoize:
+            memo_key = (key, function)
+            pair = self._memo.get(memo_key)
+            if pair is not None:
+                self.stats.memo_hits += 1
+                return pair
         primary = stable_hash64(f"p\x00{function}\x00{key}") % self.num_threads
         secondary = stable_hash64(f"s\x00{function}\x00{key}") % self.num_threads
         if secondary == primary:
             secondary = (secondary + 1) % self.num_threads
+        if self._memoize:
+            self.stats.memo_misses += 1
+            if len(self._memo) >= MEMO_MAX_ENTRIES:
+                self._memo.clear()
+            self._memo[memo_key] = (primary, secondary)
         return primary, secondary
 
     def choose(
@@ -123,11 +144,13 @@ class SingleChoiceDispatcher:
     explicit baseline for bench E4.
     """
 
-    def __init__(self, num_threads: int) -> None:
+    def __init__(self, num_threads: int, memoize: bool = True) -> None:
         if num_threads < 1:
             raise ConfigurationError("num_threads must be >= 1")
         self.num_threads = num_threads
         self.stats = DispatchStats()
+        self._memoize = memoize
+        self._memo: Dict[KeyFn, int] = {}
 
     def choose(
         self,
@@ -140,4 +163,16 @@ class SingleChoiceDispatcher:
         self.stats.dispatched += 1
         self.stats.queue_locks += 1
         self.stats.to_primary += 1
-        return stable_hash64(f"p\x00{function}\x00{key}") % self.num_threads
+        if self._memoize:
+            memo_key = (key, function)
+            thread = self._memo.get(memo_key)
+            if thread is not None:
+                self.stats.memo_hits += 1
+                return thread
+        thread = stable_hash64(f"p\x00{function}\x00{key}") % self.num_threads
+        if self._memoize:
+            self.stats.memo_misses += 1
+            if len(self._memo) >= MEMO_MAX_ENTRIES:
+                self._memo.clear()
+            self._memo[memo_key] = thread
+        return thread

@@ -19,6 +19,23 @@ from repro.sim.clock import VirtualClock
 Action = Callable[["Simulator"], None]
 
 
+class ScheduledEvent:
+    """Handle for a cancellable scheduled event.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped
+    when popped, so cancelling is O(1) and determinism is unaffected.
+    """
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when its time comes."""
+        self.cancelled = True
+
+
 class Simulator:
     """Deterministic event loop over a :class:`VirtualClock`.
 
@@ -30,7 +47,9 @@ class Simulator:
     def __init__(self, clock: Optional[VirtualClock] = None,
                  max_steps: int = 50_000_000) -> None:
         self.clock = clock or VirtualClock()
-        self._heap: List[Tuple[float, int, int, Action]] = []
+        # Entries are (time, priority, seq, action) or, for cancellable
+        # events, (time, priority, seq, action, handle).
+        self._heap: List[Tuple] = []
         self._seq = itertools.count()
         self._max_steps = max_steps
         self.steps = 0
@@ -56,10 +75,28 @@ class Simulator:
         """Schedule ``action`` after ``delay`` seconds."""
         self.schedule(self.clock.now() + max(0.0, delay), action, priority)
 
+    def schedule_cancellable(self, delay: float, action: Action,
+                             priority: int = 0) -> ScheduledEvent:
+        """Schedule ``action`` after ``delay``; returns a cancel handle.
+
+        Used for linger timers that a size-triggered flush supersedes.
+        The heap mixes 4- and 5-tuples safely: ``seq`` is unique, so
+        tuple comparison never reaches the handle.
+        """
+        at = self.clock.now() + max(0.0, delay)
+        handle = ScheduledEvent()
+        heapq.heappush(
+            self._heap, (at, priority, next(self._seq), action, handle)
+        )
+        return handle
+
     def run_until(self, t_end: float) -> None:
         """Process events up to and including time ``t_end``."""
         while self._heap and self._heap[0][0] <= t_end:
-            at, _, __, action = heapq.heappop(self._heap)
+            entry = heapq.heappop(self._heap)
+            if len(entry) == 5 and entry[4].cancelled:
+                continue
+            at, action = entry[0], entry[3]
             self.clock.advance_to(at)
             self.steps += 1
             if self.steps > self._max_steps:
@@ -72,7 +109,10 @@ class Simulator:
     def run(self) -> None:
         """Process events until the schedule is empty."""
         while self._heap:
-            at, _, __, action = heapq.heappop(self._heap)
+            entry = heapq.heappop(self._heap)
+            if len(entry) == 5 and entry[4].cancelled:
+                continue
+            at, action = entry[0], entry[3]
             self.clock.advance_to(at)
             self.steps += 1
             if self.steps > self._max_steps:

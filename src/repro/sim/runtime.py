@@ -55,13 +55,14 @@ from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
 from repro.kvstore.api import ConsistencyLevel
 from repro.kvstore.cluster import ReplicatedKVStore
-from repro.metrics import (LatencyRecorder, LatencySummary,
-                           RobustnessCounters, ThroughputReport)
+from repro.metrics import (DataPlaneCounters, LatencyRecorder,
+                           LatencySummary, RobustnessCounters,
+                           ThroughputReport)
 from repro.muppet.dispatch import SingleChoiceDispatcher, TwoChoiceDispatcher
 from repro.muppet.master import Master
 from repro.muppet.queues import BoundedQueue, OverflowPolicy, SourceThrottle
 from repro.sim.costs import CostModel
-from repro.sim.des import Simulator
+from repro.sim.des import ScheduledEvent, Simulator
 from repro.sim.sources import Source
 from repro.slates.manager import FlushPolicy, RetryPolicy, SlateManager
 
@@ -130,12 +131,37 @@ class SimConfig:
     #: :meth:`SimRuntime.schedule_add_machine`). Disabling widens the
     #: divergence window to the full flush interval.
     recovery_rebalance_flush: bool = True
+    #: Data-plane batching: coalesce up to this many events per
+    #: (source machine, destination machine) link into one network
+    #: envelope, paying the per-message latency once and the payload
+    #: bandwidth for the combined bytes. 0 (the default) disables
+    #: batching — every event ships alone, the pre-batching behaviour.
+    batch_max_events: int = 0
+    #: How long a partially-filled batch may linger before it is
+    #: shipped anyway. Only meaningful with ``batch_max_events > 0``;
+    #: 0 coalesces only events sent at the same simulated instant.
+    batch_linger_s: float = 0.0
+    #: Memoize routing-hash lookups (machine ring, function rings, and
+    #: the per-machine dispatchers). On by default; off recomputes every
+    #: blake2b digest per event — the perf-gate/determinism ablation.
+    memoize_routing: bool = True
+    #: Group dirty slates into multi-cell kv batch writes per flush
+    #: cycle. On by default; off writes one kv cell per slate.
+    coalesce_slate_flushes: bool = True
 
     def __post_init__(self) -> None:
         if self.engine not in (ENGINE_MUPPET1, ENGINE_MUPPET2):
             raise ConfigurationError(
                 f"engine must be {ENGINE_MUPPET1!r} or {ENGINE_MUPPET2!r}"
             )
+        if self.batch_max_events < 0:
+            raise ConfigurationError(
+                f"batch_max_events must be >= 0 (0 disables batching), "
+                f"got {self.batch_max_events}")
+        if self.batch_linger_s < 0:
+            raise ConfigurationError(
+                f"batch_linger_s must be >= 0.0 seconds, "
+                f"got {self.batch_linger_s!r}")
         if self.overflow.kind == "throttle" and self.throttle is None:
             self.throttle = SourceThrottle()
 
@@ -221,6 +247,8 @@ class SimReport:
     steps: int
     robustness: RobustnessCounters = field(
         default_factory=RobustnessCounters)
+    dataplane: DataPlaneCounters = field(
+        default_factory=DataPlaneCounters)
 
     def events_per_second(self) -> float:
         """Processed updater/mapper deliveries per simulated second."""
@@ -246,6 +274,8 @@ class SimReport:
             lines.append(f"master.{name}={value!r}")
         for name, value in sorted(self.dispatch_stats.items()):
             lines.append(f"dispatch.{name}={value!r}")
+        for name, value in sorted(self.dataplane.as_dict().items()):
+            lines.append(f"dataplane.{name}={value!r}")
         return "\n".join(lines)
 
 
@@ -297,6 +327,19 @@ class SimRuntime:
         self._contention_events = 0
         self._max_workers_per_slate = 1
         self._processing_counts: Dict[Tuple[str, str], int] = {}
+        #: Data-plane batching state, keyed by (source machine or None
+        #: for M0/source sends, destination machine) — one buffer and at
+        #: most one linger timer per link.
+        self._batching = self.config.batch_max_events > 0
+        self._batch_buffers: Dict[Tuple[Optional[str], str],
+                                  List[_Envelope]] = {}
+        self._batch_extra: Dict[Tuple[Optional[str], str], float] = {}
+        self._batch_timers: Dict[Tuple[Optional[str], str],
+                                 ScheduledEvent] = {}
+        self._batch_last_arrival: Dict[Tuple[Optional[str], str],
+                                       float] = {}
+        self.dataplane = DataPlaneCounters()
+        self._subs_cache: Dict[str, List[OperatorSpec]] = {}
 
         self.store = ReplicatedKVStore(
             node_names=cluster.names(),
@@ -326,6 +369,7 @@ class SimRuntime:
             consistency=self.config.consistency,
             max_slate_bytes=self.config.max_slate_bytes,
             retry=self.config.kv_retry,
+            coalesce_flushes=self.config.coalesce_slate_flushes,
         )
 
     def _build_machines(self) -> None:
@@ -338,9 +382,11 @@ class SimRuntime:
                     cfg.cache_slates_per_machine)
                 if cfg.two_choice:
                     machine.dispatcher = TwoChoiceDispatcher(
-                        threads, cfg.dispatch_factor)
+                        threads, cfg.dispatch_factor,
+                        memoize=cfg.memoize_routing)
                 else:
-                    machine.dispatcher = SingleChoiceDispatcher(threads)
+                    machine.dispatcher = SingleChoiceDispatcher(
+                        threads, memoize=cfg.memoize_routing)
                 machine.shared_instances = {
                     s.name: s.instantiate() for s in self.app.operators()
                 }
@@ -377,12 +423,14 @@ class SimRuntime:
             self.machines[spec.name] = machine
 
     def _build_rings(self) -> None:
+        memoize = self.config.memoize_routing
         if self.config.engine == ENGINE_MUPPET2:
             self._machine_ring: HashRing[str] = HashRing(
-                self.cluster.names())
+                self.cluster.names(), memoize=memoize)
             self._function_rings: Dict[str, HashRing[str]] = {}
         else:
-            self._machine_ring = HashRing(self.cluster.names())
+            self._machine_ring = HashRing(self.cluster.names(),
+                                          memoize=memoize)
             self._function_rings = {}
             for op_spec in self.app.operators():
                 workers = [
@@ -391,7 +439,8 @@ class SimRuntime:
                     for w in machine.workers
                     if w.function == op_spec.name
                 ]
-                self._function_rings[op_spec.name] = HashRing(workers)
+                self._function_rings[op_spec.name] = HashRing(
+                    workers, memoize=memoize)
             self._worker_by_id: Dict[str, _Worker] = {
                 w.wid: w
                 for machine in self.machines.values()
@@ -431,29 +480,41 @@ class SimRuntime:
         state = {"next": next(iterator, None)}
 
         def step(sim: Simulator) -> None:
-            event = state["next"]
-            if event is None:
-                return
-            throttle = self.config.throttle
-            if throttle is not None and throttle.paused:
-                self.counters.throttled += 1
-                sim.schedule_in(self.config.throttle_check_s, step)
-                return
-            if event.ts > sim.now():
-                sim.schedule(event.ts, step)
-                return
-            self._inject(event)
-            state["next"] = next(iterator, None)
-            sim.schedule_in(0.0, step)
+            # Drain every event already due in one step, then sleep
+            # until the next arrival — one heap entry per quiet gap
+            # instead of a zero-delay re-step per event.
+            while True:
+                event = state["next"]
+                if event is None:
+                    return
+                throttle = self.config.throttle
+                if throttle is not None and throttle.paused:
+                    self.counters.throttled += 1
+                    sim.schedule_in(self.config.throttle_check_s, step)
+                    return
+                if event.ts > sim.now():
+                    sim.schedule(event.ts, step)
+                    return
+                self._inject(event)
+                state["next"] = next(iterator, None)
 
         self.sim.schedule_in(0.0, step)
+
+    def _subscribers_of(self, sid: str) -> List[OperatorSpec]:
+        """Per-sid subscriber lists, cached (the workflow is immutable
+        once the runtime is built; ``Application.subscribers_of`` scans
+        every operator per call, far too slow for the per-event path)."""
+        subs = self._subs_cache.get(sid)
+        if subs is None:
+            subs = self._subs_cache[sid] = list(self.app.subscribers_of(sid))
+        return subs
 
     def _inject(self, event: Event) -> None:
         """M0 reads one source event and hashes it onward (Section 4.1)."""
         stamped = self.app.streams.stamp(event)
         self.counters.published += 1
         birth = self.sim.now()
-        for spec in self.app.subscribers_of(stamped.sid):
+        for spec in self._subscribers_of(stamped.sid):
             envelope = _Envelope(stamped, birth, spec.name)
             self._send(envelope, from_machine=None,
                        extra_delay=self.config.costs.source_service_s)
@@ -472,6 +533,12 @@ class SimRuntime:
             self.replay_journal.record(machine.name, envelope,
                                        self.sim.now())
         same = from_machine == machine.name
+        if self._batching and not same:
+            # Loopback sends skip batching: they pay no per-message
+            # network latency, so coalescing would only add linger.
+            self._batch_enqueue(envelope, from_machine, machine,
+                                extra_delay)
+            return
         delay = extra_delay + self.cluster.network.transfer_time(
             envelope.event.size_bytes(), same_machine=same)
         if self._injector is not None:
@@ -485,6 +552,100 @@ class SimRuntime:
                 return
         self.sim.schedule_in(delay,
                              lambda sim: self._deliver(machine, envelope))
+
+    # -- data-plane batching ---------------------------------------------------
+    def _batch_enqueue(self, envelope: _Envelope,
+                       from_machine: Optional[str], machine: _Machine,
+                       extra_delay: float) -> None:
+        """Buffer one event on its (source, destination) link.
+
+        The buffer ships when it reaches ``batch_max_events`` or when
+        the per-link linger timer expires, whichever comes first.
+        """
+        key = (from_machine, machine.name)
+        buf = self._batch_buffers.get(key)
+        if buf is None:
+            buf = self._batch_buffers[key] = []
+        buf.append(envelope)
+        self.dataplane.batched_events += 1
+        if extra_delay > self._batch_extra.get(key, 0.0):
+            self._batch_extra[key] = extra_delay
+        if len(buf) >= self.config.batch_max_events:
+            self.dataplane.size_flushes += 1
+            self._flush_batch(key)
+            return
+        if key not in self._batch_timers:
+            self._batch_timers[key] = self.sim.schedule_cancellable(
+                self.config.batch_linger_s,
+                lambda sim: self._linger_expired(key))
+
+    def _linger_expired(self, key: Tuple[Optional[str], str]) -> None:
+        self._batch_timers.pop(key, None)
+        if self._batch_buffers.get(key):
+            self.dataplane.linger_flushes += 1
+            self._flush_batch(key)
+
+    def _flush_batch(self, key: Tuple[Optional[str], str]) -> None:
+        """Ship one link's buffer as a single coalesced envelope.
+
+        One per-message network latency is paid for the whole batch,
+        plus bandwidth for the combined payload bytes; the fault
+        injector decides one fate for the envelope (a dropped batch
+        loses every event in it, like a dropped TCP connection). An
+        arrival-time clamp keeps the link FIFO: a later, smaller batch
+        must not overtake an earlier, larger one mid-flight.
+        """
+        timer = self._batch_timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        envelopes = self._batch_buffers.pop(key, None)
+        extra = self._batch_extra.pop(key, 0.0)
+        if not envelopes:
+            return
+        from_name, dest_name = key
+        machine = self.machines[dest_name]
+        if not machine.alive:
+            for env in envelopes:
+                self._handle_dead_destination(machine, env)
+            return
+        total_bytes = sum(e.event.size_bytes() for e in envelopes)
+        delay = extra + self.cluster.network.transfer_time(
+            total_bytes, same_machine=False)
+        if self._injector is not None:
+            delivered, delay = self._injector.message_fate(
+                from_name, dest_name, self.sim.now(), delay)
+            if not delivered:
+                return
+        arrival = max(self.sim.now() + delay,
+                      self._batch_last_arrival.get(key, 0.0))
+        self._batch_last_arrival[key] = arrival
+        self.dataplane.batches_sent += 1
+        if len(envelopes) > self.dataplane.max_batch_events:
+            self.dataplane.max_batch_events = len(envelopes)
+
+        def deliver_all(sim: Simulator) -> None:
+            for env in envelopes:
+                self._deliver(machine, env)
+
+        self.sim.schedule(arrival, deliver_all)
+
+    def _flush_all_batches(self) -> None:
+        """Force every buffered batch onto the wire (ring changes)."""
+        if not self._batching:
+            return
+        for key in list(self._batch_buffers.keys()):
+            if self._batch_buffers.get(key):
+                self.dataplane.forced_flushes += 1
+                self._flush_batch(key)
+
+    def _flush_batches_to(self, dest_name: str) -> None:
+        """Force batches headed for one machine (it just died)."""
+        if not self._batching:
+            return
+        for key in [k for k in self._batch_buffers if k[1] == dest_name]:
+            if self._batch_buffers.get(key):
+                self.dataplane.forced_flushes += 1
+                self._flush_batch(key)
 
     def _destination_machine(self, envelope: _Envelope) -> Optional[_Machine]:
         key = route_key(envelope.event.key, envelope.dest_fn)
@@ -574,7 +735,7 @@ class SimRuntime:
             self.counters.diverted_overflow_stream += 1
             diverted = envelope.event.with_stream(policy.overflow_sid)
             stamped = self.app.streams.stamp(diverted)
-            for spec in self.app.subscribers_of(policy.overflow_sid):
+            for spec in self._subscribers_of(policy.overflow_sid):
                 self._send(_Envelope(stamped, envelope.birth_ts, spec.name,
                                      diverted=True),
                            from_machine=machine.name)
@@ -721,7 +882,7 @@ class SimRuntime:
         for out in outputs:
             stamped = self.app.streams.stamp(out, from_operator=True)
             self.counters.published += 1
-            for sub in self.app.subscribers_of(stamped.sid):
+            for sub in self._subscribers_of(stamped.sid):
                 self._send(_Envelope(stamped, envelope.birth_ts, sub.name),
                            from_machine=machine.name)
         for timer in timers:
@@ -825,9 +986,11 @@ class SimRuntime:
                     cfg.cache_slates_per_machine)
                 if cfg.two_choice:
                     machine.dispatcher = TwoChoiceDispatcher(
-                        threads, cfg.dispatch_factor)
+                        threads, cfg.dispatch_factor,
+                        memoize=cfg.memoize_routing)
                 else:
-                    machine.dispatcher = SingleChoiceDispatcher(threads)
+                    machine.dispatcher = SingleChoiceDispatcher(
+                        threads, memoize=cfg.memoize_routing)
                 machine.shared_instances = {
                     s.name: s.instantiate() for s in self.app.operators()
                 }
@@ -876,6 +1039,9 @@ class SimRuntime:
         updating its orphaned cache copy while fresh events hit the new
         owner — divergence far beyond the in-flight window under load.
         """
+        # Batched events are part of that backlog too: push them onto
+        # the wire now so nothing lingers addressed to the old owner.
+        self._flush_all_batches()
         for machine in list(self.machines.values()):
             if not machine.alive:
                 continue
@@ -929,6 +1095,10 @@ class SimRuntime:
             machine.alive = False
             if self._failure_time is None:
                 self._failure_time = sim.now()
+            # Events still buffered for this machine are as dead as its
+            # queues: flush them now so they are counted lost (and the
+            # failure broadcast fires) instead of lingering.
+            self._flush_batches_to(machine_name)
             for worker in machine.workers:
                 lost = worker.queue.drain()
                 self.counters.lost_failure += len(lost)
@@ -1159,4 +1329,5 @@ class SimRuntime:
                           for name, node in self.store.nodes.items()},
             steps=self.sim.steps,
             robustness=self._robustness_counters(),
+            dataplane=self.dataplane,
         )

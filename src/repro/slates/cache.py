@@ -62,7 +62,27 @@ class SlateCache:
         self.capacity = capacity
         self._on_evict = on_evict
         self._slates: "OrderedDict[SlateKey, Slate]" = OrderedDict()
+        #: Incremental dirty index (first-dirtied order, deterministic):
+        #: resident slates whose dirty flag is set, maintained via each
+        #: slate's dirty listener so flush passes are O(dirty slates)
+        #: instead of O(resident slates).
+        self._dirty_index: "OrderedDict[SlateKey, Slate]" = OrderedDict()
         self.stats = CacheStats()
+
+    def _dirty_changed(self, slate: Slate, is_dirty: bool) -> None:
+        if is_dirty:
+            self._dirty_index[slate.slate_key] = slate
+        else:
+            self._dirty_index.pop(slate.slate_key, None)
+
+    def _adopt(self, slate: Slate) -> None:
+        slate.set_dirty_listener(self._dirty_changed)
+        if slate.dirty:
+            self._dirty_index[slate.slate_key] = slate
+
+    def _orphan(self, slate: Slate) -> None:
+        slate.set_dirty_listener(None)
+        self._dirty_index.pop(slate.slate_key, None)
 
     def get(self, slate_key: SlateKey) -> Optional[Slate]:
         """Fetch and LRU-touch a resident slate; None on miss."""
@@ -82,12 +102,17 @@ class SlateCache:
     def put(self, slate: Slate) -> None:
         """Insert (or refresh) a slate, evicting LRU victims if needed."""
         key = slate.slate_key
-        if key in self._slates:
-            self._slates.move_to_end(key)
+        existing = self._slates.get(key)
+        if existing is not None:
+            if existing is not slate:
+                self._orphan(existing)
+                self._adopt(slate)
             self._slates[key] = slate
+            self._slates.move_to_end(key)
             return
         while len(self._slates) >= self.capacity:
             self._evict_lru()
+        self._adopt(slate)
         self._slates[key] = slate
 
     def _evict_lru(self) -> None:
@@ -95,12 +120,16 @@ class SlateCache:
         self.stats.evictions += 1
         if victim.dirty:
             self.stats.dirty_evictions += 1
+        self._orphan(victim)
         if self._on_evict is not None:
             self._on_evict(victim)
 
     def remove(self, slate_key: SlateKey) -> Optional[Slate]:
         """Drop a slate without invoking the eviction callback."""
-        return self._slates.pop(slate_key, None)
+        slate = self._slates.pop(slate_key, None)
+        if slate is not None:
+            self._orphan(slate)
+        return slate
 
     def __len__(self) -> int:
         return len(self._slates)
@@ -113,8 +142,16 @@ class SlateCache:
         return list(self._slates)
 
     def dirty_slates(self) -> Iterator[Slate]:
-        """All resident slates with unflushed changes."""
-        return (s for s in self._slates.values() if s.dirty)
+        """All resident slates with unflushed changes.
+
+        Served from the incremental dirty index — O(dirty), not
+        O(resident) — in first-dirtied order (deterministic).
+        """
+        return (s for s in list(self._dirty_index.values()) if s.dirty)
+
+    def dirty_count(self) -> int:
+        """Resident slates with unflushed changes (O(1))."""
+        return len(self._dirty_index)
 
     def total_bytes(self) -> int:
         """Approximate memory held by resident slates."""
@@ -123,7 +160,10 @@ class SlateCache:
     def clear(self) -> None:
         """Drop everything without callbacks (e.g. on simulated crash —
         unflushed changes are lost, as in Section 4.3)."""
+        for slate in self._slates.values():
+            slate.set_dirty_listener(None)
         self._slates.clear()
+        self._dirty_index.clear()
 
 
 def fragmented_capacity(working_set: int, workers: int,

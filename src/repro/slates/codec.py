@@ -53,6 +53,11 @@ class JsonCodec:
         return data
 
 
+#: Shared by every CompressedJsonCodec — JsonCodec is stateless, so one
+#: instance serves all compression levels.
+_JSON = JsonCodec()
+
+
 class CompressedJsonCodec:
     """JSON + zlib — the paper's production encoding.
 
@@ -66,17 +71,21 @@ class CompressedJsonCodec:
         if not 1 <= level <= 9:
             raise SlateError(f"zlib level must be 1..9, got {level}")
         self._level = level
-        self._json = JsonCodec()
+
+    @property
+    def level(self) -> int:
+        """The zlib compression level this codec encodes at."""
+        return self._level
 
     def encode(self, data: Dict[str, Any]) -> bytes:
-        return zlib.compress(self._json.encode(data), self._level)
+        return zlib.compress(_JSON.encode(data), self._level)
 
     def decode(self, blob: bytes) -> Dict[str, Any]:
         try:
             raw = zlib.decompress(blob)
         except zlib.error as exc:
             raise SlateError(f"corrupt compressed slate: {exc}") from exc
-        return self._json.decode(raw)
+        return _JSON.decode(raw)
 
 
 #: The production default, matching the paper.

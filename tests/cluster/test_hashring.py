@@ -135,3 +135,70 @@ class TestLoadDistribution:
         counts = ring.load_distribution(f"key{i}" for i in range(1000))
         assert sum(counts.values()) == 1000
         assert max(counts.values()) <= 3 * max(1, min(counts.values()))
+
+
+class TestMemoization:
+    """The lookup/preference memo is invisible except in its counters:
+    a memoized ring must agree with a cold ring at every step of any
+    membership churn sequence."""
+
+    KEYS = [f"key{i}" for i in range(200)]
+
+    def assert_equivalent(self, memo, cold):
+        for key in self.KEYS:
+            assert memo.lookup(key) == cold.lookup(key)
+            assert (memo.preference_list(key, 3)
+                    == cold.preference_list(key, 3))
+
+    def test_agrees_across_join_fail_revive(self):
+        members = [f"m{i}" for i in range(6)]
+        memo = HashRing(members, memoize=True)
+        cold = HashRing(members, memoize=False)
+        self.assert_equivalent(memo, cold)
+        for step in (lambda r: r.exclude("m2"),      # fail
+                     lambda r: r.add("m6"),          # join
+                     lambda r: r.restore("m2"),      # revive
+                     lambda r: r.remove("m4")):      # leave
+            step(memo)
+            step(cold)
+            self.assert_equivalent(memo, cold)
+
+    def test_hits_accumulate_only_when_memoized(self):
+        memo = HashRing(["a", "b", "c"], memoize=True)
+        cold = HashRing(["a", "b", "c"], memoize=False)
+        for ring in (memo, cold):
+            for _ in range(2):
+                for key in self.KEYS[:50]:
+                    ring.lookup(key)
+        assert memo.memo_hits == 50
+        assert memo.memo_misses == 50
+        assert cold.memo_hits == 0 and cold.memo_misses == 0
+
+    def test_membership_change_invalidates(self):
+        ring = HashRing(["a", "b", "c"], memoize=True)
+        ring.lookup("row")
+        ring.add("d")
+        assert ring.memo_invalidations == 1
+        ring.lookup("row")
+        ring.exclude("a")
+        assert ring.memo_invalidations == 2
+        # No-op changes must not invalidate a warm memo.
+        ring.lookup("row")
+        ring.exclude("a")          # already excluded
+        ring.restore("b")          # never excluded
+        ring.add("d")              # already a member
+        ring.remove("zz")          # never a member
+        assert ring.memo_invalidations == 2
+
+    def test_stale_memo_never_serves_excluded_member(self):
+        ring = HashRing(["a", "b", "c"], memoize=True)
+        owner = ring.lookup("row")
+        ring.exclude(owner)
+        assert ring.lookup("row") != owner
+        assert owner not in ring.preference_list("row", 2)
+
+    def test_preference_list_copies_are_independent(self):
+        ring = HashRing(["a", "b", "c"], memoize=True)
+        first = ring.preference_list("row", 2)
+        first.append("corrupted")
+        assert ring.preference_list("row", 2) != first

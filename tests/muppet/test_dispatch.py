@@ -127,3 +127,46 @@ class TestSingleChoice:
         dispatcher = SingleChoiceDispatcher(num_threads=8)
         dispatcher.choose("k", "U", [0] * 8, idle(8))
         assert dispatcher.stats.queue_locks == 1
+
+
+class TestMemoization:
+    """The candidate memo caches pure hashes — identical routing with it
+    on or off, and hits only ever skip digests, never change answers."""
+
+    def test_two_choice_memo_matches_cold(self):
+        memo = TwoChoiceDispatcher(num_threads=8, memoize=True)
+        cold = TwoChoiceDispatcher(num_threads=8, memoize=False)
+        for i in range(300):
+            key = f"k{i % 100}"
+            assert memo.candidates(key, "U1") == cold.candidates(key, "U1")
+
+    def test_single_choice_memo_matches_cold(self):
+        memo = SingleChoiceDispatcher(num_threads=8, memoize=True)
+        cold = SingleChoiceDispatcher(num_threads=8, memoize=False)
+        for i in range(300):
+            key = f"k{i % 100}"
+            assert (memo.choose(key, "U1", [0] * 8, idle(8))
+                    == cold.choose(key, "U1", [0] * 8, idle(8)))
+
+    def test_memo_counters(self):
+        dispatcher = TwoChoiceDispatcher(num_threads=8, memoize=True)
+        for _ in range(3):
+            for i in range(50):
+                dispatcher.candidates(f"k{i}", "U1")
+        assert dispatcher.stats.memo_misses == 50
+        assert dispatcher.stats.memo_hits == 100
+
+    def test_unmemoized_counts_nothing(self):
+        dispatcher = TwoChoiceDispatcher(num_threads=8, memoize=False)
+        for _ in range(3):
+            dispatcher.candidates("k", "U1")
+        assert dispatcher.stats.memo_hits == 0
+        assert dispatcher.stats.memo_misses == 0
+
+    def test_memo_distinguishes_functions(self):
+        dispatcher = TwoChoiceDispatcher(num_threads=8, memoize=True)
+        pair_u1 = dispatcher.candidates("k", "U1")
+        pair_u2 = dispatcher.candidates("k", "U2")
+        cold = TwoChoiceDispatcher(num_threads=8, memoize=False)
+        assert pair_u1 == cold.candidates("k", "U1")
+        assert pair_u2 == cold.candidates("k", "U2")

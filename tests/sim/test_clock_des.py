@@ -103,3 +103,49 @@ class TestSimulator:
             return order
 
         assert run_once() == run_once()
+
+
+class TestCancellableTimers:
+    """schedule_cancellable backs the batching linger: a cancelled timer
+    must cost nothing — no callback, no clock advance, no step."""
+
+    def test_cancelled_action_never_runs(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_cancellable(1.0, lambda s: fired.append(1))
+        handle.cancel()
+        sim.run_until(5.0)
+        assert fired == []
+
+    def test_cancelled_entry_is_free(self):
+        sim = Simulator()
+        sim.schedule_cancellable(1.0, lambda s: None).cancel()
+        sim.schedule(2.0, lambda s: None)
+        sim.run_until(5.0)
+        assert sim.steps == 1      # only the live event counts
+
+    def test_uncancelled_timer_fires_normally(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_cancellable(1.0, lambda s: fired.append(s.now()))
+        sim.run_until(5.0)
+        assert fired == [1.0]
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        handle = sim.schedule_cancellable(1.0, lambda s: None)
+        sim.run_until(5.0)
+        steps = sim.steps
+        handle.cancel()            # late cancel: no error, no effect
+        sim.run_until(6.0)
+        assert sim.steps == steps
+
+    def test_mixes_with_plain_events_deterministically(self):
+        order = []
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: order.append("plain"))
+        keep = sim.schedule_cancellable(1.0, lambda s: order.append("keep"))
+        drop = sim.schedule_cancellable(1.0, lambda s: order.append("drop"))
+        drop.cancel()
+        sim.run_until(2.0)
+        assert order == ["plain", "keep"]

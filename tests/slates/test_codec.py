@@ -51,6 +51,22 @@ class TestCompressedJsonCodec:
     def test_invalid_level_rejected(self):
         with pytest.raises(SlateError):
             CompressedJsonCodec(level=0)
+        with pytest.raises(SlateError):
+            CompressedJsonCodec(level=10)
+
+    def test_level_property(self):
+        assert CompressedJsonCodec().level == 6
+        assert CompressedJsonCodec(level=1).level == 1
+
+    def test_levels_agree_on_decode(self):
+        """Any level decodes any other level's blobs (zlib self-frames),
+        and higher levels never produce larger blobs on repetitive data."""
+        data = {"history": ["same-interest-tag"] * 200}
+        blobs = {lvl: CompressedJsonCodec(level=lvl).encode(data)
+                 for lvl in (1, 6, 9)}
+        for blob in blobs.values():
+            assert CompressedJsonCodec().decode(blob) == data
+        assert len(blobs[9]) <= len(blobs[6]) <= len(blobs[1])
 
     def test_default_codec_is_compressed(self):
         assert DEFAULT_CODEC.name == "json+zlib"

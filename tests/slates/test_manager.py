@@ -79,6 +79,15 @@ class TestFlushPolicies:
         with pytest.raises(ConfigurationError):
             FlushPolicy(kind="interval", interval_s=0)
 
+    def test_every_zero_rejected_with_guidance(self):
+        """FlushPolicy.every(0) is a classic misconfiguration — the
+        error must name the alternatives."""
+        with pytest.raises(ConfigurationError,
+                           match="must be positive.*write_through"):
+            FlushPolicy.every(0)
+        with pytest.raises(ConfigurationError, match="must be positive"):
+            FlushPolicy.every(-1.5)
+
     def test_write_through_persists_every_update(self):
         manager, updater, clock = make_env(
             flush_policy=FlushPolicy.write_through())
