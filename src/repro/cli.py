@@ -76,6 +76,20 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--cores", type=int, default=4)
     simulate.add_argument("--engine", choices=["muppet1", "muppet2"],
                           default="muppet2")
+    simulate.add_argument("--delivery",
+                          choices=["at-most-once", "at-least-once",
+                                   "effectively-once"],
+                          default="at-most-once",
+                          help="delivery semantics (default: the paper's "
+                               "at-most-once)")
+    simulate.add_argument("--replay-horizon", type=float, default=None,
+                          metavar="SECONDS",
+                          help="at-least-once replay horizon (implies "
+                               "--delivery at-least-once)")
+    simulate.add_argument("--checkpoint-epoch", type=float, default=1.0,
+                          metavar="SECONDS",
+                          help="effectively-once checkpoint barrier "
+                               "period (default: 1.0)")
     simulate.add_argument("--duration", type=float, default=None,
                           help="simulated seconds (default: trace span "
                                "+ 10)")
@@ -166,11 +180,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         duration = events[-1].ts + 10.0
     runtime = SimRuntime(
         app, ClusterSpec.uniform(args.machines, cores=args.cores),
-        SimConfig(engine=args.engine),
+        SimConfig(engine=args.engine,
+                  delivery_semantics=args.delivery,
+                  replay_horizon_s=args.replay_horizon,
+                  checkpoint_epoch_s=args.checkpoint_epoch),
         [from_trace(events[0].sid, events)])
     report = runtime.run(duration)
     payload = {
         "engine": report.engine,
+        "delivery": runtime.config.delivery_semantics,
         "machines": args.machines,
         "events": {
             "published": report.counters.published,
@@ -184,6 +202,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             "p99": round(report.latency.p99 * 1e3, 3),
         }),
         "memory_mb_per_machine": round(report.memory_mb_per_machine, 1),
+        "replay": {
+            "recorded": report.replay.recorded,
+            "replayed": report.replay.replayed,
+            "deduped": report.replay.deduped,
+            "checkpoint_epochs": report.robustness.checkpoint_epochs,
+        },
     }
     print(json.dumps(payload, indent=2))
     return 0

@@ -46,6 +46,14 @@ class Event:
         seq: Per-stream publication sequence number, stamped by the stream
             registry at publish time. Part of the deterministic tie-break;
             not meaningful to applications.
+        origin: Replay-stable provenance stream, set by engines running
+            with ``delivery_semantics="effectively-once"``. ``None`` for
+            source events (their origin is the external stream itself);
+            derived events carry a chain like ``"S1>M1"`` so a replayed
+            re-derivation produces the *same* identity as the original.
+        oseq: Monotone per-``origin`` sequence id paired with ``origin``.
+            Together ``(origin, oseq)`` is the identity the per-slate
+            dedup watermarks compare against; see :meth:`provenance`.
     """
 
     sid: str
@@ -53,10 +61,27 @@ class Event:
     key: Key
     value: Any = None
     seq: int = 0
+    origin: Optional[str] = None
+    oseq: int = 0
 
     def with_stream(self, sid: str, seq: int = 0) -> "Event":
         """Return a copy of this event re-addressed to stream ``sid``."""
         return replace(self, sid=sid, seq=seq)
+
+    def provenance(self) -> Tuple[str, int]:
+        """Replay-stable identity ``(origin, sequence)`` of this event.
+
+        Source events fall back to ``(sid, seq)``: the publication
+        sequence is stamped exactly once at injection, so a journaled
+        copy re-sent after a crash carries the same pair. Derived events
+        (operator outputs under effectively-once delivery) carry an
+        explicit :attr:`origin`/:attr:`oseq` assigned deterministically
+        from their input event, so re-derivation on replay converges on
+        the same identity.
+        """
+        if self.origin is not None:
+            return self.origin, self.oseq
+        return self.sid, self.seq
 
     def order_key(self) -> Tuple[Timestamp, str, int]:
         """Total-order sort key: ``(ts, sid, seq)``.
@@ -89,6 +114,28 @@ class Event:
 def order_key(event: Event) -> Tuple[Timestamp, str, int]:
     """Module-level alias of :meth:`Event.order_key` for use as a sort key."""
     return event.order_key()
+
+
+#: Sequence-id stride between consecutive parent events on a derived
+#: origin stream. One operator invocation may emit up to this many
+#: outputs (events + timers) before derived ids would collide with the
+#: next parent's — far beyond any MapUpdate workflow in practice.
+ORIGIN_SEQ_STRIDE = 1 << 20
+
+
+def derive_origin(parent: Event, operator: str, ordinal: int) -> Tuple[str, int]:
+    """Deterministic provenance for the ``ordinal``-th output of one
+    invocation of ``operator`` on ``parent``.
+
+    The derived origin chains the parent's origin with the operator name
+    (``"S1>M1"``, ``"S1>M1>U1"``, ...); the derived sequence folds the
+    parent's sequence and the output position into one monotone integer.
+    Because operators are deterministic (Section 3), replaying ``parent``
+    re-derives byte-identical ``(origin, oseq)`` pairs — which is what
+    lets downstream dedup watermarks recognize re-derived duplicates.
+    """
+    origin, oseq = parent.provenance()
+    return f"{origin}>{operator}", oseq * ORIGIN_SEQ_STRIDE + ordinal
 
 
 @dataclass

@@ -34,6 +34,13 @@ from repro.errors import SlateTooLargeError
 #: TTL sentinel meaning "keep forever" — the paper's default.
 TTL_FOREVER: Optional[float] = None
 
+#: Reserved blob key holding a slate's per-upstream dedup watermarks
+#: (``{origin: highest applied sequence}``) under effectively-once
+#: delivery. Lives beside the application fields inside the *same*
+#: encoded blob so state and watermarks persist atomically; application
+#: field names never collide with it (double-underscore namespace).
+WATERMARK_FIELD = "__slate_wm__"
+
 
 @dataclass(frozen=True)
 class SlateKey:
@@ -70,7 +77,7 @@ class Slate:
     __slots__ = ("slate_key", "ttl", "created_ts", "last_update_ts",
                  "_dirty", "_data", "_version", "_dirty_listener",
                  "_enc_codec", "_enc_version", "_enc_blob",
-                 "_size_version", "_size_bytes")
+                 "_size_version", "_size_bytes", "_watermarks")
 
     def __init__(
         self,
@@ -92,6 +99,9 @@ class Slate:
         self._size_version = -1
         self._size_bytes = 0
         self._data: Dict[str, Any] = dict(data) if data else {}
+        #: Per-upstream dedup watermarks (effectively-once delivery);
+        #: None until the first advance keeps non-dedup blobs identical.
+        self._watermarks: Optional[Dict[str, int]] = None
 
     # -- dirty tracking ----------------------------------------------------
     @property
@@ -161,6 +171,46 @@ class Slate:
             self.dirty = True
         return self._data[field_name]
 
+    # -- dedup watermarks (effectively-once delivery) ----------------------
+    def watermark(self, origin: str) -> int:
+        """Highest applied sequence id from ``origin``; ``-1`` if none.
+
+        A replayed event with ``oseq <= watermark(origin)`` has already
+        contributed to this slate (and that contribution is either
+        resident here or persisted in the same blob as the watermark),
+        so applying it again would double-count.
+        """
+        if self._watermarks is None:
+            return -1
+        return self._watermarks.get(origin, -1)
+
+    def advance_watermark(self, origin: str, seq: int) -> None:
+        """Record that the event ``(origin, seq)`` was applied.
+
+        Marks the slate dirty (bumping :attr:`version`) so the
+        encode-once cache re-serializes: the watermark travels in the
+        same blob as the data it guards, which is what makes
+        slate+watermark persistence atomic.
+        """
+        if self._watermarks is None:
+            self._watermarks = {}
+        if seq > self._watermarks.get(origin, -1):
+            self._watermarks[origin] = seq
+            self.dirty = True
+
+    @property
+    def watermarks(self) -> Optional[Dict[str, int]]:
+        """The per-upstream watermark map, or None if never tracked."""
+        return self._watermarks
+
+    def set_watermarks(self, watermarks: Optional[Dict[str, int]]) -> None:
+        """Install watermarks decoded from a stored blob (manager use).
+
+        Does not dirty the slate: the caller just read this exact state
+        from the store, so cache and store agree.
+        """
+        self._watermarks = dict(watermarks) if watermarks else None
+
     # -- runtime hooks -----------------------------------------------------
     def replace(self, data: Dict[str, Any]) -> None:
         """Replace the whole contents — the paper's ``replaceSlate`` call."""
@@ -170,6 +220,21 @@ class Slate:
     def as_dict(self) -> Dict[str, Any]:
         """A shallow copy of the application fields."""
         return dict(self._data)
+
+    def blob_dict(self) -> Dict[str, Any]:
+        """What actually gets serialized to the key-value store.
+
+        The application fields, plus — only when this slate has tracked
+        dedup watermarks — the watermark map under the reserved
+        :data:`WATERMARK_FIELD` key. Without watermarks this equals
+        :meth:`as_dict`, so every pre-existing blob format and byte-level
+        determinism guarantee is unchanged.
+        """
+        if not self._watermarks:
+            return self.as_dict()
+        data = dict(self._data)
+        data[WATERMARK_FIELD] = dict(self._watermarks)
+        return data
 
     def touch(self, ts: Timestamp) -> None:
         """Record a write at time ``ts`` (runtime use)."""
@@ -213,11 +278,14 @@ class Slate:
         The flush path calls this instead of ``codec.encode(as_dict())``
         so an unchanged slate flushed again (rebalance barrier after a
         periodic flush, eviction after flush) pays zero re-encodes.
+
+        The encoded form is :meth:`blob_dict`: application fields plus
+        (when present) the dedup watermarks — one write persists both.
         """
         if (self._enc_blob is not None and self._enc_codec is codec
                 and self._enc_version == self._version):
             return self._enc_blob
-        blob = codec.encode(self.as_dict())
+        blob = codec.encode(self.blob_dict())
         self._enc_codec = codec
         self._enc_version = self._version
         self._enc_blob = blob

@@ -12,7 +12,7 @@ enforces.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.core.event import Event
@@ -111,7 +111,9 @@ class StreamRegistry:
                 f"{event.sid!r}; external streams are input-only"
             )
         seq = next(self._seq[event.sid])
-        return Event(event.sid, event.ts, event.key, event.value, seq)
+        # dataclasses.replace keeps provenance (origin/oseq) intact: the
+        # publication seq is the tie-break, not the replay identity.
+        return replace(event, seq=seq)
 
 
 def merge_by_timestamp(*event_lists: Iterable[Event]) -> List[Event]:

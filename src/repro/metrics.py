@@ -144,6 +144,15 @@ class RobustnessCounters:
     hints_delivered: int = 0
     hints_evicted: int = 0
     hints_pending: int = 0
+    #: Effectively-once accounting: replayed events skipped by a slate's
+    #: persisted dedup watermark, replayed events that applied (their
+    #: effects were lost with the crash), checkpoint-epoch barriers run,
+    #: and journal entries pruned at those barriers. All zero unless
+    #: ``SimConfig.delivery_semantics == "effectively-once"``.
+    replay_deduped: int = 0
+    replay_reapplied: int = 0
+    checkpoint_epochs: int = 0
+    epoch_pruned: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict snapshot (insertion-ordered, deterministic)."""

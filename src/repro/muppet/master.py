@@ -31,6 +31,8 @@ class MasterStats:
     recovery_reports: int = 0
     recovery_broadcasts: int = 0
     duplicate_recovery_reports: int = 0
+    #: Checkpoint-epoch barriers coordinated (effectively-once delivery).
+    checkpoint_epochs: int = 0
 
 
 class Master:
@@ -90,6 +92,18 @@ class Master:
         for listener in list(self._recovery_listeners):
             listener(machine)
         return True
+
+    def coordinate_epoch(self) -> int:
+        """Count one checkpoint-epoch barrier; returns the epoch number.
+
+        Effectively-once delivery periodically flushes every dirty slate
+        behind a coordinated barrier and then prunes the replay
+        journals. The master is the natural coordinator — it is already
+        the control plane for every other cluster-wide transition
+        (failure and recovery broadcasts) and stays off the data path.
+        """
+        self.stats.checkpoint_epochs += 1
+        return self.stats.checkpoint_epochs
 
     def failed_machines(self) -> Set[str]:
         """Machines currently known dead."""

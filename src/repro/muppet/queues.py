@@ -20,7 +20,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Generic, Iterator, List, Optional, TypeVar
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, QueueOverflowError
 
 T = TypeVar("T")
 
@@ -61,6 +61,23 @@ class BoundedQueue(Generic[T]):
         if len(self._items) > self.stats.peak_depth:
             self.stats.peak_depth = len(self._items)
         return True
+
+    def put(self, item: T) -> None:
+        """Enqueue strictly: raise instead of declining.
+
+        The engines use :meth:`offer` and route declines through an
+        :class:`OverflowPolicy`; ``put`` is for callers with *no*
+        overflow mechanism — the reference executor's ingestion staging,
+        tooling, tests — where a full queue is a hard error.
+
+        Raises:
+            QueueOverflowError: The queue is at capacity; the item was
+                not enqueued (stats count it as rejected).
+        """
+        if not self.offer(item):
+            raise QueueOverflowError(
+                f"queue full at max_size={self.max_size}; strict put() "
+                f"has no overflow policy to fall back on")
 
     def poll(self) -> Optional[T]:
         """Dequeue the next item, or None when empty."""

@@ -15,13 +15,22 @@ the dead machine had already processed may be replayed and processed
 again, so counting applications can over-count by up to the horizon's
 in-flight volume. Without replay, Muppet's native semantics are
 at-most-once (bounded loss). Bench E6 quantifies both sides.
+
+A third mode builds on this journal: **effectively-once** delivery
+(``SimConfig.delivery_semantics``) keeps the journal *un*-horizoned
+(``horizon_s=None``) and instead prunes it at coordinated checkpoint
+epochs, after every dirty slate — including its per-upstream dedup
+watermarks — has been flushed. Replayed events whose sequence ids fall
+at or below a slate's persisted watermark are skipped (counted in
+:attr:`ReplayStats.deduped`), so replays become idempotent and counting
+applications recover exact totals. Bench E6e compares all three modes.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -33,22 +42,33 @@ class ReplayStats:
     recorded: int = 0
     pruned: int = 0
     replayed: int = 0
+    #: Replayed events skipped by a slate's dedup watermark
+    #: (effectively-once delivery only; 0 otherwise).
+    deduped: int = 0
 
 
 class ReplayJournal:
-    """A bounded, time-horizoned journal of sent events.
+    """A bounded journal of sent events.
 
     Args:
         horizon_s: How far back replay reaches. Should cover failure
             *detection* time plus queueing delay on the dead machine;
-            longer horizons recover more but duplicate more.
-        max_entries: Hard memory bound; oldest entries drop first.
+            longer horizons recover more but duplicate more. ``None``
+            disables time-based pruning entirely — the effectively-once
+            mode, where the runtime prunes at checkpoint epochs via
+            :meth:`prune_before` instead.
+        max_entries: Hard memory bound; oldest entries drop first. Under
+            effectively-once this bound should comfortably exceed one
+            epoch of sends: an evicted entry can no longer be replayed,
+            which degrades exactness back to at-most-once for it.
     """
 
-    def __init__(self, horizon_s: float = 0.25,
+    def __init__(self, horizon_s: Optional[float] = 0.25,
                  max_entries: int = 200_000) -> None:
-        if horizon_s <= 0:
-            raise ConfigurationError("horizon_s must be positive")
+        if horizon_s is not None and horizon_s <= 0:
+            raise ConfigurationError(
+                "horizon_s must be positive (or None for epoch-pruned "
+                "journals)")
         if max_entries < 1:
             raise ConfigurationError("max_entries must be >= 1")
         self.horizon_s = horizon_s
@@ -56,6 +76,12 @@ class ReplayJournal:
         #: (sent_at, destination machine, payload) in send order.
         self._entries: Deque[Tuple[float, str, Any]] = deque()
         self.stats = ReplayStats()
+
+    @classmethod
+    def epoch_pruned(cls, max_entries: int = 200_000) -> "ReplayJournal":
+        """A journal with no time horizon, pruned only at checkpoint
+        epochs (the effectively-once configuration)."""
+        return cls(horizon_s=None, max_entries=max_entries)
 
     def record(self, dest_machine: str, payload: Any, now: float) -> None:
         """Journal one sent event."""
@@ -67,10 +93,28 @@ class ReplayJournal:
         self.stats.recorded += 1
 
     def _prune(self, now: float) -> None:
+        if self.horizon_s is None:
+            return
         cutoff = now - self.horizon_s
         while self._entries and self._entries[0][0] < cutoff:
             self._entries.popleft()
             self.stats.pruned += 1
+
+    def prune_before(self, cutoff: float) -> int:
+        """Drop every entry recorded strictly before ``cutoff``.
+
+        The checkpoint-epoch hook: once a coordinated flush barrier has
+        persisted every slate (and its watermarks), entries old enough
+        that their effects are certainly covered by that barrier can be
+        forgotten — this is what bounds journal memory without a time
+        horizon. Returns the number of entries dropped.
+        """
+        dropped = 0
+        while self._entries and self._entries[0][0] < cutoff:
+            self._entries.popleft()
+            dropped += 1
+        self.stats.pruned += dropped
+        return dropped
 
     def take_for(self, dest_machine: str, now: float) -> List[Any]:
         """Remove and return journaled payloads sent to ``dest_machine``

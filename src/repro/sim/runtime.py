@@ -40,14 +40,14 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (Any, Deque, Dict, Iterable, List, Optional, Set, Tuple,
                     Union)
 
 from repro.cluster.hashring import HashRing, route_key
 from repro.cluster.topology import ClusterSpec
 from repro.core.application import Application, OperatorSpec
-from repro.core.event import Event, EventCounter
+from repro.core.event import Event, EventCounter, derive_origin
 from repro.core.operators import Context, Mapper, Operator, TimerRequest, Updater
 from repro.core.slate import Slate, SlateKey
 from repro.errors import ConfigurationError, SimulationError
@@ -61,6 +61,7 @@ from repro.metrics import (DataPlaneCounters, LatencyRecorder,
 from repro.muppet.dispatch import SingleChoiceDispatcher, TwoChoiceDispatcher
 from repro.muppet.master import Master
 from repro.muppet.queues import BoundedQueue, OverflowPolicy, SourceThrottle
+from repro.muppet.replay import ReplayStats
 from repro.sim.costs import CostModel
 from repro.sim.des import ScheduledEvent, Simulator
 from repro.sim.sources import Source
@@ -119,7 +120,27 @@ class SimConfig:
     #: Event replay horizon in seconds — the Section 4.3 future-work
     #: extension (see :mod:`repro.muppet.replay`). ``None`` disables
     #: replay (the paper's production behaviour: lost and logged).
+    #: Setting it implies ``delivery_semantics="at-least-once"``.
     replay_horizon_s: Optional[float] = None
+    #: What the engine promises about each event's effect on slates:
+    #:
+    #: * ``"at-most-once"`` — the paper's production behaviour: events
+    #:   lost to failures stay lost (bounded under-count).
+    #: * ``"at-least-once"`` — sender-side replay journal with a time
+    #:   horizon (``replay_horizon_s``); crashes can replay events the
+    #:   dead machine already processed (bounded over-count).
+    #: * ``"effectively-once"`` — at-least-once replay made idempotent:
+    #:   every event carries replay-stable provenance, every slate keeps
+    #:   per-upstream dedup watermarks persisted atomically with its
+    #:   fields, and the journal is pruned at coordinated checkpoint
+    #:   epochs (``checkpoint_epoch_s``) instead of by time. Crash plus
+    #:   recover yields exact counts for deterministic workflows.
+    delivery_semantics: str = "at-most-once"
+    #: Period of the effectively-once checkpoint barrier: flush every
+    #: dirty slate (with its watermarks) cluster-wide, then prune every
+    #: journal entry old enough that its effect is durably covered.
+    #: Soundness needs delivery + queueing latency under one period.
+    checkpoint_epoch_s: float = 1.0
     #: Retry/backoff/fail-open policy for slate-manager kv operations
     #: (see :class:`repro.slates.manager.RetryPolicy`). The default
     #: retries transient store errors with exponential backoff and then
@@ -164,6 +185,27 @@ class SimConfig:
                 f"got {self.batch_linger_s!r}")
         if self.overflow.kind == "throttle" and self.throttle is None:
             self.throttle = SourceThrottle()
+        if self.delivery_semantics not in (
+                "at-most-once", "at-least-once", "effectively-once"):
+            raise ConfigurationError(
+                f"delivery_semantics must be at-most-once, at-least-once "
+                f"or effectively-once, got {self.delivery_semantics!r}")
+        if self.checkpoint_epoch_s <= 0:
+            raise ConfigurationError(
+                f"checkpoint_epoch_s must be > 0 seconds, "
+                f"got {self.checkpoint_epoch_s!r}")
+        if self.delivery_semantics == "effectively-once":
+            if self.replay_horizon_s is not None:
+                raise ConfigurationError(
+                    "effectively-once prunes its journal at checkpoint "
+                    "epochs; replay_horizon_s must stay None (a time "
+                    "horizon could drop entries still needed for exact "
+                    "recovery)")
+        elif self.replay_horizon_s is not None:
+            # Legacy spelling: a bare horizon always meant "replay on".
+            self.delivery_semantics = "at-least-once"
+        elif self.delivery_semantics == "at-least-once":
+            self.replay_horizon_s = 0.25
 
 
 @dataclass
@@ -178,6 +220,12 @@ class _Envelope:
     #: Set once the envelope has been diverted to an overflow stream;
     #: a second overflow then drops it (no diversion recursion).
     diverted: bool = False
+    #: True for envelopes resurrected from a sender's replay journal
+    #: (and for everything an operator derives from one). Only these are
+    #: checked against the per-slate dedup watermarks — fresh events
+    #: always apply, so late out-of-order fresh delivery is never
+    #: mistaken for a duplicate.
+    replayed: bool = False
 
 
 class _Worker:
@@ -249,6 +297,8 @@ class SimReport:
         default_factory=RobustnessCounters)
     dataplane: DataPlaneCounters = field(
         default_factory=DataPlaneCounters)
+    #: Replay-journal accounting (all zero when replay is off).
+    replay: ReplayStats = field(default_factory=ReplayStats)
 
     def events_per_second(self) -> float:
         """Processed updater/mapper deliveries per simulated second."""
@@ -276,6 +326,8 @@ class SimReport:
             lines.append(f"dispatch.{name}={value!r}")
         for name, value in sorted(self.dataplane.as_dict().items()):
             lines.append(f"dataplane.{name}={value!r}")
+        for name, value in sorted(vars(self.replay).items()):
+            lines.append(f"replay.{name}={value!r}")
         return "\n".join(lines)
 
 
@@ -351,9 +403,24 @@ class SimRuntime:
         )
         from repro.muppet.replay import ReplayJournal
 
-        self.replay_journal = (
-            ReplayJournal(self.config.replay_horizon_s)
-            if self.config.replay_horizon_s is not None else None)
+        semantics = self.config.delivery_semantics
+        if semantics == "effectively-once":
+            self.replay_journal: Optional[ReplayJournal] = (
+                ReplayJournal.epoch_pruned())
+        elif semantics == "at-least-once":
+            self.replay_journal = ReplayJournal(self.config.replay_horizon_s)
+        else:
+            self.replay_journal = None
+        #: Effectively-once state: dedup on, per-origin ids on derived
+        #: events, and the checkpoint-epoch barrier.
+        self._dedup = semantics == "effectively-once"
+        self._replay_reapplied = 0
+        self._epoch_pruned = 0
+        self._timer_ids = itertools.count(1)
+        #: Recent checkpoint-barrier times; epoch k prunes journal
+        #: entries recorded before tick[k-2] (two periods of slack for
+        #: effects still in flight or queued at the barrier).
+        self._epoch_ticks: Deque[float] = deque(maxlen=3)
         self.counters_replayed = 0
         self.machines: Dict[str, _Machine] = {}
         self._build_machines()
@@ -467,6 +534,8 @@ class SimRuntime:
                                   self._make_kv_up(fault.machine),
                                   priority=-1)
         self._schedule_flusher()
+        if self._dedup:
+            self._schedule_epochs()
         if self.config.throttle is not None:
             self._schedule_throttle_monitor()
         self.sim.run_until(duration_s)
@@ -526,16 +595,34 @@ class SimRuntime:
         if machine is None:
             self.counters.lost_failure += 1
             return
+        if self._dedup and not envelope.is_timer:
+            # Effectively-once journals *before* the liveness check: an
+            # event addressed to a machine that died an instant ago (the
+            # window before the master broadcast reroutes the ring) must
+            # still be replayable, or it is lost exactly as under
+            # at-most-once. Timers are exempt — a replayed invocation
+            # that re-applies re-derives its timers, so journaling them
+            # too would double-fire.
+            self.replay_journal.record(machine.name, envelope,
+                                       self.sim.now())
         if not machine.alive:
             self._handle_dead_destination(machine, envelope)
             return
-        if self.replay_journal is not None:
+        if self.replay_journal is not None and not self._dedup:
             self.replay_journal.record(machine.name, envelope,
                                        self.sim.now())
         same = from_machine == machine.name
-        if self._batching and not same:
+        if (self._batching and not same
+                and not (self._dedup and envelope.replayed)):
             # Loopback sends skip batching: they pay no per-message
             # network latency, so coalescing would only add linger.
+            # Replayed envelopes (effectively-once) also ship solo: a
+            # resend lingering in a coalescing buffer could be overtaken
+            # by a fresh, higher-sequence event arriving over a
+            # different link, and a lost event sneaking in *behind* the
+            # watermark its successor advanced would be mistaken for a
+            # duplicate. Batching only ever delays an event, so solo
+            # resends stay ahead of everything sent after them.
             self._batch_enqueue(envelope, from_machine, machine,
                                 extra_delay)
             return
@@ -682,10 +769,15 @@ class SimRuntime:
             if self.replay_journal is not None:
                 # Section 4.3 future work, implemented: re-send the
                 # horizon's worth of events that targeted the dead
-                # machine. The ring now routes them to survivors.
+                # machine. The ring now routes them to survivors. Under
+                # effectively-once the resends are flagged so the
+                # receiving updaters check them (and everything derived
+                # from them) against their dedup watermarks.
                 for lost in self.replay_journal.take_for(machine.name,
                                                          sim.now()):
                     self.counters_replayed += 1
+                    if self._dedup:
+                        lost.replayed = True
                     self._send(lost, from_machine=None)
 
         # Report to master (one hop) + broadcast to workers (one hop).
@@ -696,6 +788,17 @@ class SimRuntime:
         if not machine.alive:
             self._handle_dead_destination(machine, envelope)
             return
+        if self._dedup:
+            # Close the rebalance residual hazard (see
+            # :meth:`schedule_add_machine`): an event that was in flight
+            # — or parked in a coalescing buffer — while the ring moved
+            # its key would update the old owner's orphaned cache copy
+            # and lose the last-write-wins race. Exactness cannot absorb
+            # that, so late arrivals re-route to the current owner.
+            target = self._destination_machine(envelope)
+            if target is not None and target is not machine:
+                self._send(envelope, from_machine=machine.name)
+                return
         worker = self._choose_worker(machine, envelope)
         if worker is None:
             # The ring moved this key (failure broadcast raced the send);
@@ -817,11 +920,25 @@ class SimRuntime:
             slate = mgr.get(instance, event.key)
             read_io = mgr.take_pending_io()
             service += self._charge_device(machine, read_io)
+            if (self._dedup and envelope.replayed
+                    and not envelope.is_timer):
+                origin, oseq = event.provenance()
+                if oseq <= slate.watermark(origin):
+                    # The slate already durably contains this event's
+                    # effect (the watermark persisted with the fields
+                    # that include it): skip the re-application. The
+                    # slate read was still paid for — dedup is not free.
+                    self.replay_journal.stats.deduped += 1
+                    return service, [], []
+                self._replay_reapplied += 1
             if envelope.is_timer:
                 instance.on_timer(ctx, event.key, slate,
                                   envelope.timer_payload)
             else:
                 instance.update(ctx, event, slate)
+                if self._dedup:
+                    origin, oseq = event.provenance()
+                    slate.advance_watermark(origin, oseq)
             slate.touch(event.ts)
             mgr.note_update(slate)
             write_io = mgr.take_pending_io()
@@ -879,11 +996,22 @@ class SimRuntime:
                 self.latency.setdefault(spec.name, LatencyRecorder()).record(
                     self.sim.now() - envelope.birth_ts)
 
-        for out in outputs:
+        for ordinal, out in enumerate(outputs):
             stamped = self.app.streams.stamp(out, from_operator=True)
+            if self._dedup:
+                # Replay-stable identity: derived from the *input*
+                # event's provenance, not from the stream registry's
+                # publication seq (which keeps counting across replays).
+                # A deterministic operator re-derives the same
+                # (origin, oseq) on replay, so downstream watermarks
+                # recognize the duplicate.
+                origin, oseq = derive_origin(envelope.event,
+                                             envelope.dest_fn, ordinal)
+                stamped = replace(stamped, origin=origin, oseq=oseq)
             self.counters.published += 1
             for sub in self._subscribers_of(stamped.sid):
-                self._send(_Envelope(stamped, envelope.birth_ts, sub.name),
+                self._send(_Envelope(stamped, envelope.birth_ts, sub.name,
+                                     replayed=envelope.replayed),
                            from_machine=machine.name)
         for timer in timers:
             self._schedule_timer(machine, envelope, timer)
@@ -899,6 +1027,15 @@ class SimRuntime:
         fire_at = max(self.sim.now() + 1e-9, timer.at_ts)
         timer_event = Event(sid=f"!timer:{timer.updater}", ts=timer.at_ts,
                             key=timer.key)
+        if self._dedup:
+            # Each firing gets a unique runtime-local identity. Timer
+            # invocations are never journaled or deduped themselves
+            # (re-applying an update re-derives its timers), but their
+            # *outputs* inherit provenance from this event — without a
+            # unique oseq, outputs of distinct firings would collide.
+            timer_event = replace(timer_event,
+                                  origin=f"!timer:{timer.updater}",
+                                  oseq=next(self._timer_ids))
         timer_env = _Envelope(timer_event, envelope.birth_ts, timer.updater,
                               is_timer=True, timer_payload=timer.payload)
 
@@ -933,6 +1070,40 @@ class SimRuntime:
             sim.schedule_in(period, tick)
 
         self.sim.schedule_in(period, tick)
+
+    def _schedule_epochs(self) -> None:
+        """Periodic checkpoint-epoch barrier (effectively-once only)."""
+        period = self.config.checkpoint_epoch_s
+
+        def tick(sim: Simulator) -> None:
+            self._run_checkpoint_epoch(sim.now())
+            sim.schedule_in(period, tick)
+
+        self.sim.schedule_in(period, tick)
+
+    def _run_checkpoint_epoch(self, now: float) -> None:
+        """One coordinated flush-then-prune barrier.
+
+        Reuses the rebalance flush barrier: every live machine's dirty
+        slates — watermarks embedded in the same blob — go to the
+        kv-store, buffered batches are forced onto the wire first so
+        nothing sits in a coalescing buffer across the barrier. The
+        master counts the epoch; then journal entries recorded before
+        the barrier *two epochs ago* are pruned. The two-epoch lag
+        covers effects still in flight or queued at a barrier: an entry
+        sent before tick[k-2] has been applied (or replayed) and
+        flushed by tick[k-1], provided delivery + queueing latency stays
+        under one epoch period. A backlog deeper than one period is the
+        residual hazard — a pruned entry can no longer be replayed,
+        degrading that event to at-most-once.
+        """
+        self._flush_all_batches()
+        self._rebalance_flush()
+        self.master.coordinate_epoch()
+        self._epoch_ticks.append(now)
+        if len(self._epoch_ticks) == 3:
+            cutoff = self._epoch_ticks[0]
+            self._epoch_pruned += self.replay_journal.prune_before(cutoff)
 
     def _schedule_throttle_monitor(self) -> None:
         throttle = self.config.throttle
@@ -1221,9 +1392,10 @@ class SimRuntime:
             return None
         if result.value is None:
             return None
-        from repro.slates.codec import DEFAULT_CODEC
+        from repro.slates.codec import DEFAULT_CODEC, split_watermarks
 
-        return DEFAULT_CODEC.decode(result.value)
+        fields, _ = split_watermarks(DEFAULT_CODEC.decode(result.value))
+        return fields
 
     def slates_of(self, updater: str) -> Dict[str, Dict[str, Any]]:
         """All cached slates of one updater (post-run inspection).
@@ -1290,6 +1462,11 @@ class SimRuntime:
         rc.hints_delivered = self.store.hints_delivered
         rc.hints_evicted = self.store.hints_evicted
         rc.hints_pending = self.store.pending_hints()
+        if self.replay_journal is not None:
+            rc.replay_deduped = self.replay_journal.stats.deduped
+        rc.replay_reapplied = self._replay_reapplied
+        rc.checkpoint_epochs = self.master.stats.checkpoint_epochs
+        rc.epoch_pruned = self._epoch_pruned
         return rc
 
     def _report(self, duration_s: float) -> SimReport:
@@ -1330,4 +1507,6 @@ class SimRuntime:
             steps=self.sim.steps,
             robustness=self._robustness_counters(),
             dataplane=self.dataplane,
+            replay=(ReplayStats(**vars(self.replay_journal.stats))
+                    if self.replay_journal is not None else ReplayStats()),
         )

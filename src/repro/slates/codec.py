@@ -4,15 +4,39 @@
 and flexibility, so Muppet compresses each slate before storing it in the
 key-value store." The default codec is therefore JSON + zlib; a plain JSON
 codec exists for ablation benches that measure what the compression buys.
+
+Under ``delivery_semantics="effectively-once"`` the blob additionally
+carries the slate's per-upstream dedup watermarks, embedded under the
+reserved :data:`WATERMARK_FIELD` key so state and watermarks persist
+*atomically* through the one encode/write — the property the recovery
+exactness argument rests on. :func:`split_watermarks` is the decode-side
+inverse. Slates that never tracked a watermark encode exactly as before
+(no reserved key), so blobs are byte-identical with the knob off.
 """
 
 from __future__ import annotations
 
 import json
 import zlib
-from typing import Any, Dict, Protocol
+from typing import Any, Dict, Optional, Protocol, Tuple
 
+from repro.core.slate import WATERMARK_FIELD
 from repro.errors import SlateError
+
+
+def split_watermarks(
+    data: Dict[str, Any],
+) -> Tuple[Dict[str, Any], Optional[Dict[str, int]]]:
+    """Separate a decoded blob dict into (application fields, watermarks).
+
+    Mutates ``data`` by popping the reserved key; returns ``None`` for
+    the watermarks when the blob was written without any (the common
+    case for every delivery mode except effectively-once).
+    """
+    watermarks = data.pop(WATERMARK_FIELD, None)
+    if watermarks is None:
+        return data, None
+    return data, {str(origin): int(seq) for origin, seq in watermarks.items()}
 
 
 class SlateCodec(Protocol):

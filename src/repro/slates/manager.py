@@ -24,7 +24,7 @@ from repro.errors import ConfigurationError, StoreError
 from repro.kvstore.api import ConsistencyLevel
 from repro.kvstore.cluster import ReplicatedKVStore
 from repro.slates.cache import SlateCache
-from repro.slates.codec import DEFAULT_CODEC, SlateCodec
+from repro.slates.codec import DEFAULT_CODEC, SlateCodec, split_watermarks
 
 
 @dataclass(frozen=True)
@@ -239,8 +239,13 @@ class SlateManager:
         if result.value is None:
             self.stats.kv_read_misses += 1
             return None
-        slate = Slate(slate_key, self.codec.decode(result.value),
+        fields, watermarks = split_watermarks(self.codec.decode(result.value))
+        slate = Slate(slate_key, fields,
                       ttl=updater.slate_ttl, created_ts=now)
+        # Watermarks ride the same blob as the fields, so a re-hydrated
+        # slate's dedup state is exactly as fresh as its data — the
+        # atomicity that makes replayed-event dedup sound after a crash.
+        slate.set_watermarks(watermarks)
         slate.last_update_ts = result.write_ts
         if slate.expired(now):
             self.stats.ttl_resets += 1

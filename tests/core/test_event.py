@@ -107,3 +107,50 @@ class TestEventCounter:
         assert set(snap) == {"published", "processed", "dropped_overflow",
                              "lost_failure", "diverted_overflow_stream",
                              "throttled"}
+
+
+class TestProvenance:
+    """Replay-stable identities for effectively-once delivery."""
+
+    def test_source_provenance_is_sid_and_seq(self):
+        event = Event(sid="S1", ts=1.0, key="k", seq=7)
+        assert event.provenance() == ("S1", 7)
+
+    def test_explicit_origin_wins(self):
+        from dataclasses import replace
+
+        event = replace(Event(sid="S2", ts=1.0, key="k", seq=99),
+                        origin="S1>M1", oseq=12)
+        assert event.provenance() == ("S1>M1", 12)
+
+    def test_derive_origin_chains_and_strides(self):
+        from repro.core.event import ORIGIN_SEQ_STRIDE, derive_origin
+
+        parent = Event(sid="S1", ts=1.0, key="k", seq=3)
+        origin, oseq = derive_origin(parent, "M1", ordinal=2)
+        assert origin == "S1>M1"
+        assert oseq == 3 * ORIGIN_SEQ_STRIDE + 2
+
+    def test_derivation_is_replay_stable(self):
+        """The same parent through the same operator yields the same
+        identity — regardless of when the registry stamps the copy."""
+        from repro.core.event import derive_origin
+
+        parent = Event(sid="S1", ts=1.0, key="k", seq=3)
+        replayed_copy = Event(sid="S1", ts=1.0, key="k", seq=3)
+        assert (derive_origin(parent, "M1", 0)
+                == derive_origin(replayed_copy, "M1", 0))
+
+    def test_second_hop_identities_stay_distinct(self):
+        from dataclasses import replace
+
+        from repro.core.event import derive_origin
+
+        parent = Event(sid="S1", ts=1.0, key="k", seq=3)
+        origin, oseq = derive_origin(parent, "M1", 0)
+        child = replace(Event(sid="S2", ts=1.1, key="k"),
+                        origin=origin, oseq=oseq)
+        grand_origin, grand_oseq = derive_origin(child, "U1", 0)
+        assert grand_origin == "S1>M1>U1"
+        # Different ordinals of the same invocation never collide.
+        assert derive_origin(child, "U1", 1)[1] == grand_oseq + 1

@@ -122,3 +122,72 @@ class TestSizing:
 
     def test_check_size_passes_under_cap(self):
         make_slate(data={"c": 1}).check_size(max_slate_bytes=1_000)
+
+
+class TestDedupWatermarks:
+    """Per-upstream watermarks ride inside the slate blob
+    (effectively-once delivery)."""
+
+    def test_absent_origin_is_minus_one(self):
+        assert make_slate().watermark("S1") == -1
+
+    def test_advance_is_monotone_max(self):
+        slate = make_slate()
+        slate.advance_watermark("S1", 5)
+        slate.advance_watermark("S1", 3)   # late, lower: no regression
+        slate.advance_watermark("S1", 9)
+        assert slate.watermark("S1") == 9
+        assert slate.watermarks == {"S1": 9}
+
+    def test_advance_dirties_and_bumps_version(self):
+        slate = make_slate()
+        slate.dirty = False
+        before = slate.version
+        slate.advance_watermark("S1", 1)
+        assert slate.dirty and slate.version > before
+        # A non-advance is not a mutation.
+        slate.dirty = False
+        before = slate.version
+        slate.advance_watermark("S1", 0)
+        assert not slate.dirty and slate.version == before
+
+    def test_blob_dict_embeds_watermarks_atomically(self):
+        from repro.core.slate import WATERMARK_FIELD
+
+        slate = make_slate(data={"count": 7})
+        assert slate.blob_dict() == {"count": 7}     # knob off: unchanged
+        slate.advance_watermark("S1", 12)
+        blob = slate.blob_dict()
+        assert blob["count"] == 7
+        assert blob[WATERMARK_FIELD] == {"S1": 12}
+        # as_dict (the application view) never shows the reserved field.
+        assert slate.as_dict() == {"count": 7}
+
+    def test_encoded_blob_round_trips_watermarks(self):
+        from repro.core.slate import WATERMARK_FIELD
+        from repro.slates.codec import DEFAULT_CODEC, split_watermarks
+
+        slate = make_slate(data={"count": 3})
+        slate.advance_watermark("S1>M1", 42)
+        decoded = DEFAULT_CODEC.decode(slate.encoded_with(DEFAULT_CODEC))
+        fields, watermarks = split_watermarks(decoded)
+        assert fields == {"count": 3}
+        assert watermarks == {"S1>M1": 42}
+        assert WATERMARK_FIELD not in fields
+
+    def test_no_watermarks_keeps_blob_bytes_identical(self):
+        from repro.slates.codec import DEFAULT_CODEC
+
+        plain = make_slate(data={"count": 3})
+        tracked = make_slate(data={"count": 3})
+        assert (plain.encoded_with(DEFAULT_CODEC)
+                == tracked.encoded_with(DEFAULT_CODEC))
+
+    def test_set_watermarks_does_not_dirty(self):
+        slate = make_slate()
+        slate.dirty = False
+        slate.set_watermarks({"S1": 4})
+        assert not slate.dirty
+        assert slate.watermark("S1") == 4
+        slate.set_watermarks(None)
+        assert slate.watermark("S1") == -1

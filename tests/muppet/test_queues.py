@@ -105,3 +105,40 @@ class TestSourceThrottle:
     def test_watermark_validation(self):
         with pytest.raises(ConfigurationError):
             SourceThrottle(high_watermark=0.5, low_watermark=0.9)
+
+
+class TestStrictPut:
+    """put(): strict enqueue for callers with no overflow mechanism."""
+
+    def test_put_enqueues_like_offer(self):
+        from repro.errors import QueueOverflowError
+
+        queue = BoundedQueue(max_size=2)
+        queue.put("a")
+        queue.put("b")
+        assert len(queue) == 2
+        with pytest.raises(QueueOverflowError, match="no overflow policy"):
+            queue.put("c")
+        # The decline is still accounted like an offer() decline.
+        assert queue.stats.rejected == 1
+        assert len(queue) == 2
+
+    def test_put_unbounded_never_raises(self):
+        queue = BoundedQueue(max_size=None)
+        for i in range(10_000):
+            queue.put(i)
+        assert len(queue) == 10_000
+
+
+class TestThrottleFinish:
+    def test_finish_is_idempotent(self):
+        throttle = SourceThrottle()
+        throttle.observe(0.95, now=0.0)
+        throttle.finish(now=2.0)
+        throttle.finish(now=5.0)      # second close must not re-count
+        assert throttle.paused_time_s == pytest.approx(2.0)
+
+    def test_finish_without_open_interval_is_a_noop(self):
+        throttle = SourceThrottle()
+        throttle.finish(now=3.0)
+        assert throttle.paused_time_s == 0.0

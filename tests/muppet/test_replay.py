@@ -163,3 +163,42 @@ class TestElasticMembership:
                       for v in runtime.slates_of("U1").values())
         assert counted == 1000
         assert report.counters.lost_total() == 0
+
+
+class TestEpochPrunedJournal:
+    """The effectively-once configuration: no time horizon, pruned only
+    at checkpoint-epoch barriers via prune_before()."""
+
+    def test_no_time_pruning_without_horizon(self):
+        journal = ReplayJournal.epoch_pruned()
+        journal.record("m1", "a", now=0.0)
+        journal.record("m1", "b", now=1000.0)   # far past any horizon
+        assert len(journal) == 2
+        assert journal.stats.pruned == 0
+
+    def test_prune_before_drops_only_older_entries(self):
+        journal = ReplayJournal.epoch_pruned()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            journal.record("m1", f"e{t}", now=t)
+        dropped = journal.prune_before(2.0)
+        assert dropped == 2
+        assert journal.stats.pruned == 2
+        assert journal.take_for("m1", now=3.0) == ["e2.0", "e3.0"]
+
+    def test_prune_before_on_empty_is_zero(self):
+        assert ReplayJournal.epoch_pruned().prune_before(10.0) == 0
+
+    def test_max_entries_still_bounds_memory(self):
+        journal = ReplayJournal.epoch_pruned(max_entries=3)
+        for i in range(5):
+            journal.record("m1", i, now=float(i))
+        assert len(journal) == 3
+        assert journal.stats.pruned == 2
+
+    def test_deduped_counter_starts_at_zero(self):
+        assert ReplayJournal.epoch_pruned().stats.deduped == 0
+
+    def test_horizon_none_accepted_zero_rejected(self):
+        assert ReplayJournal(horizon_s=None).horizon_s is None
+        with pytest.raises(ConfigurationError):
+            ReplayJournal(horizon_s=0.0)

@@ -303,3 +303,58 @@ class TestRetryPolicy:
         manager.revive()
         assert manager.get(updater, "k")["count"] == 3  # from the store
         assert manager.stats.rehydrated == 1
+
+
+class TestWatermarkPersistence:
+    """Dedup watermarks persist atomically with the slate fields."""
+
+    def test_watermarks_round_trip_through_store(self):
+        manager, updater, _ = make_env(
+            cache_capacity=1, flush_policy=FlushPolicy.write_through())
+        slate = manager.get(updater, "k1")
+        slate["count"] = 5
+        slate.advance_watermark("S1>M1", 41)
+        manager.note_update(slate)
+        # Evict by touching a second key (capacity 1), then refetch.
+        other = manager.get(updater, "k2")
+        other["count"] = 1
+        manager.note_update(other)
+        refetched = manager.get(updater, "k1")
+        assert refetched is not slate
+        assert refetched["count"] == 5
+        assert refetched.watermark("S1>M1") == 41
+        # The reserved field never leaks into the application view.
+        assert refetched.as_dict() == {"count": 5}
+
+    def test_refetched_slate_without_watermarks_has_none(self):
+        manager, updater, _ = make_env(
+            cache_capacity=1, flush_policy=FlushPolicy.write_through())
+        slate = manager.get(updater, "k1")
+        slate["count"] = 2
+        manager.note_update(slate)
+        other = manager.get(updater, "k2")
+        other["count"] = 1
+        manager.note_update(other)
+        refetched = manager.get(updater, "k1")
+        assert refetched.watermarks is None
+        assert refetched.watermark("anything") == -1
+
+    def test_unflushed_watermark_reverts_with_crash(self):
+        """Atomicity both ways: losing unflushed state also loses the
+        watermark advance, so the replayed event re-applies instead of
+        being wrongly deduped."""
+        manager, updater, _ = make_env(
+            cache_capacity=10, flush_policy=FlushPolicy.every(100.0))
+        slate = manager.get(updater, "k1")
+        slate["count"] = 1
+        slate.advance_watermark("S1", 7)
+        manager.note_update(slate)
+        manager.flush_all_dirty()          # durable: count=1, wm=7
+        slate["count"] = 2
+        slate.advance_watermark("S1", 8)   # dirty, never flushed
+        manager.note_update(slate)
+        manager.crash()
+        manager.revive()
+        refetched = manager.get(updater, "k1")
+        assert refetched["count"] == 1
+        assert refetched.watermark("S1") == 7   # 8 reverted with count=2

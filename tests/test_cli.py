@@ -128,3 +128,33 @@ class TestSimulate:
         empty.write_text("")
         assert main(["simulate", "--app", str(app_path),
                      "--trace", str(empty)]) == 1
+
+    def test_default_delivery_is_at_most_once(self, app_path, trace_path,
+                                              capsys):
+        code = main(["simulate", "--app", str(app_path),
+                     "--trace", str(trace_path), "--machines", "2"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["delivery"] == "at-most-once"
+        assert payload["replay"]["recorded"] == 0
+
+    def test_effectively_once_flag(self, app_path, trace_path, capsys):
+        code = main(["simulate", "--app", str(app_path),
+                     "--trace", str(trace_path), "--machines", "2",
+                     "--delivery", "effectively-once",
+                     "--checkpoint-epoch", "0.5"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["delivery"] == "effectively-once"
+        assert payload["replay"]["recorded"] > 0
+        assert payload["replay"]["checkpoint_epochs"] > 0
+
+    def test_replay_horizon_implies_at_least_once(self, app_path,
+                                                  trace_path, capsys):
+        code = main(["simulate", "--app", str(app_path),
+                     "--trace", str(trace_path), "--machines", "2",
+                     "--replay-horizon", "0.5"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["delivery"] == "at-least-once"
+        assert payload["replay"]["recorded"] > 0
