@@ -11,9 +11,7 @@ and without a slate TTL, and track stored cells after compaction.
 
 from __future__ import annotations
 
-import itertools
 
-import pytest
 
 from repro.kvstore.device import StorageDevice
 from repro.kvstore.node import StorageNode

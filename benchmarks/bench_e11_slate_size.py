@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.core import Application, Event, Updater
@@ -103,12 +102,11 @@ def test_e11_simulated_slate_size(benchmark, experiment):
     assert rows[2][1] > 3 * rows[0][1]
     report.outcome(
         f"p50 rises {rows[0][1] * 1e3:.2f} ms -> {rows[2][1] * 1e3:.2f} "
-        f"ms from 100 B to 1 MB slates")
+        "ms from 100 B to 1 MB slates")
 
 
 def test_e11_size_cap_enforcement(benchmark, experiment):
     """The engineering answer: an enforced max_slate_bytes cap."""
-    from repro.errors import SlateTooLargeError
 
     class Grower(Updater):
         def init_slate(self, key):
@@ -150,4 +148,4 @@ def test_e11_size_cap_enforcement(benchmark, experiment):
     assert errors > 0                         # cap actually fired
     assert stored is None or len(stored) < 20_000
     report.outcome(f"{errors} oversized updates rejected; the store "
-                   f"never saw a blob past the cap")
+                   "never saw a blob past the cap")

@@ -16,11 +16,9 @@ from __future__ import annotations
 
 import json
 
-import pytest
 
 from repro.apps.retailer_count import build_retailer_app, match_retailer
-from repro.baselines.mapreduce import (MapReduceCosts, MapReduceJob,
-                                       periodic_job_staleness)
+from repro.baselines.mapreduce import periodic_job_staleness
 from repro.baselines.mapreduce_online import (MicroBatchEngine,
                                               counting_reduce)
 from repro.baselines.storm_like import StormLikeTopology
@@ -87,7 +85,7 @@ def test_e12_latency_comparison(benchmark, experiment):
     assert results["muppet"][2] == truth
     assert results["microbatch-10s"][2] == truth
     report.outcome(
-        f"identical answers everywhere, but p99 latency spans "
+        "identical answers everywhere, but p99 latency spans "
         f"{muppet_p99 * 1e3:.1f} ms (Muppet) -> "
         f"{results['microbatch-10s'][1]:.1f} s (10 s micro-batch) -> "
         f"{results['snapshot-mr'][0]:.0f} s (periodic snapshot)")
@@ -151,6 +149,6 @@ def test_e12_state_survives_failure_only_with_slates(benchmark,
     assert muppet_after >= 0.98 * total_truth  # slates survived
     report.outcome(
         f"Storm retained {100 * storm_after / max(1, storm_before):.0f}% "
-        f"of its counts after two instance crashes; Muppet retained "
+        "of its counts after two instance crashes; Muppet retained "
         f"{100 * muppet_after / total_truth:.0f}% through a machine "
-        f"failure (slates refetched from the store)")
+        "failure (slates refetched from the store)")

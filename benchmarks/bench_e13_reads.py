@@ -16,7 +16,6 @@ import urllib.request
 
 import pytest
 
-from repro.core import Event
 from repro.muppet.http import SlateHTTPServer
 from repro.muppet.local import LocalConfig, LocalMuppet
 from repro.slates.manager import FlushPolicy

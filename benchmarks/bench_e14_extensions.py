@@ -12,15 +12,13 @@ from __future__ import annotations
 import threading
 import time
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.muppet.placement import (TrafficMatrix, evaluate_placement,
                                     greedy_placement, hash_placement)
 from repro.muppet.sideeffects import PerWorkerLogger, SharedLogger
-from repro.sim import SimConfig, SimRuntime, constant_rate, from_trace
+from repro.sim import SimConfig, SimRuntime, constant_rate
 from repro.slates.manager import FlushPolicy
-from repro.workloads import CheckinGenerator
 from repro.workloads.zipf import ZipfSampler
 from tests.conftest import build_count_app
 
@@ -64,11 +62,11 @@ def test_e14_placement_locality(benchmark, experiment):
     assert greedy.cross_machine_bytes < 0.7 * hashed.cross_machine_bytes
     assert greedy.max_machine_share <= 0.45
     report.outcome(
-        f"greedy placement cuts cross-machine traffic "
+        "greedy placement cuts cross-machine traffic "
         f"{hashed.cross_machine_bytes / 1e6:.1f} -> "
         f"{greedy.cross_machine_bytes / 1e6:.1f} MB "
         f"({hashed.cross_machine_bytes / max(1, greedy.cross_machine_bytes):.1f}x) "
-        f"while the load cap keeps any machine under 45%")
+        "while the load cap keeps any machine under 45%")
 
 
 def test_e15_elastic_and_replay(benchmark, experiment):
@@ -131,7 +129,7 @@ def test_e15_elastic_and_replay(benchmark, experiment):
     assert rows["replay"][0] >= 4000          # at-least-once
     assert rows["replay"][0] >= rows["no-replay"][0]
     report.outcome(
-        f"elastic join: 4000/4000 with zero loss; replay lifts the "
+        "elastic join: 4000/4000 with zero loss; replay lifts the "
         f"post-failure count {rows['no-replay'][0]} -> "
         f"{rows['replay'][0]} (>= 4000, at-least-once)")
 

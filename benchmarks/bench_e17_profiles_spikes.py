@@ -15,13 +15,12 @@ hotspot tools exist.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps.profiles import (build_profiles_app,
                                  estimate_unique_visitors)
 from repro.cluster import ClusterSpec, MachineSpec, NetworkSpec
 from repro.core import ReferenceExecutor
-from repro.sim import SimConfig, SimRuntime, from_trace, spiky_rate
+from repro.sim import SimConfig, SimRuntime, spiky_rate
 from repro.workloads import CheckinGenerator
 from repro.workloads.checkins import parse_checkin
 from tests.conftest import build_count_app
@@ -73,9 +72,9 @@ def test_e17_dual_profile_populations(benchmark, experiment):
     report.outcome(
         f"{len(users)} user slates vs {len(venues)} venue slates "
         f"({len(users) / len(venues):.0f}x asymmetry); distinct-visitor "
-        f"sketch within "
+        "sketch within "
         f"{abs(estimate - true_visitors) / true_visitors * 100:.0f}% "
-        f"at 64 bytes of state")
+        "at 64 bytes of state")
 
 
 def test_e17_user_ttl_bounds_working_set(benchmark, experiment):
@@ -152,10 +151,10 @@ def test_e18_spike_absorption(benchmark, experiment):
     assert sim_report.queue_peak_depth > 100  # the burst really queued
     assert sim_report.latency.maximum < 5.0   # backlog drains
     report.outcome(
-        f"the 30x burst (2.3x over capacity) queued up to "
+        "the 30x burst (2.3x over capacity) queued up to "
         f"{sim_report.queue_peak_depth} events and drained fully with "
         f"zero loss; worst latency {sim_report.latency.maximum:.2f} s, "
-        f"back to milliseconds after the spike")
+        "back to milliseconds after the spike")
 
 
 def test_e18_straggler_machine(benchmark, experiment):
@@ -197,7 +196,7 @@ def test_e18_straggler_machine(benchmark, experiment):
     straggler = results["one straggler (1-core)"]
     assert straggler.latency.p99 > 2 * uniform.latency.p99
     report.outcome(
-        f"one 1-core machine in a 4-machine ring multiplies p99 "
+        "one 1-core machine in a 4-machine ring multiplies p99 "
         f"{uniform.latency.p99 * 1e3:.1f} -> "
         f"{straggler.latency.p99 * 1e3:.1f} ms "
         f"({straggler.latency.p99 / uniform.latency.p99:.1f}x)")

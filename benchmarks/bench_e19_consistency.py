@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import itertools
 
-import pytest
 
 from repro.errors import QuorumError
 from repro.kvstore.api import ConsistencyLevel

@@ -14,7 +14,6 @@ from __future__ import annotations
 import json
 import time
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.metrics import PAPER_TWEETS_PER_SECOND
@@ -60,7 +59,7 @@ def test_e1_production_rate_with_headroom(benchmark, experiment):
          ["p99 latency (ms)", f"{report_.latency.p99 * 1e3:.2f}"]])
     assert counted == offered
     assert report_.latency.p99 < 2.0
-    report.outcome(f"production rate fully absorbed; p99 = "
+    report.outcome("production rate fully absorbed; p99 = "
                    f"{report_.latency.p99 * 1e3:.1f} ms << 2 s bound")
 
 
@@ -97,7 +96,7 @@ def test_e1_scaling_with_machines(benchmark, experiment):
     assert queues[-1] < queues[0]
     report.outcome(f"p99 falls {p99s[0]:.3f}s -> {p99s[-1]:.4f}s from 1 "
                    f"to {sweep[-1]} machines at a fixed 40k ev/s offered "
-                   f"load (near-linear capacity growth)")
+                   "load (near-linear capacity growth)")
 
 
 def test_e1_batching_ablation(benchmark, experiment):

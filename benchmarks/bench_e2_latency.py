@@ -10,9 +10,7 @@ distribution.
 
 from __future__ import annotations
 
-import pytest
 
-from repro.apps import build_retailer_app
 from repro.cluster import ClusterSpec
 from repro.core import Application
 from repro.metrics import (PAPER_CHECKINS_PER_SECOND, PAPER_LATENCY_BOUND_S,
@@ -85,7 +83,7 @@ def test_e2_latency_under_two_seconds(benchmark, experiment):
     assert latency.maximum < PAPER_LATENCY_BOUND_S
     report.outcome(f"p99 = {latency.p99 * 1e3:.1f} ms, max = "
                    f"{latency.maximum * 1e3:.1f} ms — far inside the "
-                   f"2 s bound (millisecond-to-second regime, §6)")
+                   "2 s bound (millisecond-to-second regime, §6)")
 
 
 def test_e2_latency_vs_offered_load(benchmark, experiment):
@@ -175,4 +173,4 @@ def test_e2_batching_latency_ablation(benchmark, experiment):
     assert len(processed) == 1
     report.outcome(f"p99 {p99s[0] * 1e3:.1f} -> {p99s[1] * 1e3:.1f} -> "
                    f"{p99s[2] * 1e3:.1f} ms across 0/2/10 ms lingers — "
-                   f"latency cost equals the linger, throughput unchanged")
+                   "latency cost equals the linger, throughput unchanged")

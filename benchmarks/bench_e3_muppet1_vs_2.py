@@ -10,7 +10,6 @@ This bench quantifies each on identical workloads.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.cluster.hashring import HashRing
@@ -188,7 +187,7 @@ def test_e3_cache_fragmentation_125_vs_100(benchmark, experiment):
          ["5 x 20 fragmented (same 100 slots)", 100,
           f"{stats['frag_even_total_100']:.3f}"],
          [f"5 x {stats['needed_per_worker']} fragmented (sized to "
-          f"worst worker)", stats["frag_needed_slots"],
+          "worst worker)", stats["frag_needed_slots"],
           f"{stats['frag_needed_total']:.3f}"]])
     # The central cache holds the whole working set; the evenly split
     # caches thrash; matching its hit rate needs > 100 fragmented slots.
@@ -198,4 +197,4 @@ def test_e3_cache_fragmentation_125_vs_100(benchmark, experiment):
     report.outcome(
         f"worst worker owns {stats['max_share'] * 100:.0f}% of the hot "
         f"set -> {stats['frag_needed_slots']} fragmented slots needed to "
-        f"match a 100-slot central cache (paper's 125-vs-100 effect)")
+        "match a 100-slot central cache (paper's 125-vs-100 effect)")

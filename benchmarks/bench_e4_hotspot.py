@@ -11,7 +11,6 @@ against two-choice dispatch on one machine under heavy Zipf skew.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.sim import ENGINE_MUPPET2, SimConfig, SimRuntime, constant_rate

@@ -11,7 +11,6 @@ tail latency falls.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps import build_retailer_app, build_split_app
 from repro.cluster import ClusterSpec
@@ -40,7 +39,6 @@ def run_split(events, num_splits):
     runtime = SimRuntime(app, ClusterSpec.uniform(4, cores=2), config,
                          [from_trace("S1", list(events))])
     sim_report = runtime.run(60.0)
-    counts_updater = "U1"
     merged = {k: v["count"]
               for k, v in runtime.slates_of(merged_updater).items()}
     return sim_report, merged
@@ -64,7 +62,6 @@ def test_e5_split_factor_sweep(benchmark, experiment):
                  "unchanged (counting is associative and commutative)")
     table_rows = []
     for label, num_splits, sim_report, merged in rows:
-        expected = truth if num_splits else truth
         correct = all(merged.get(k) == v for k, v in truth.items())
         table_rows.append(
             [label,

@@ -11,7 +11,6 @@ always possible (even if inconvenient) to restart ... from scratch".
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.mapreduce import MapReduceCosts
 from repro.cluster import ClusterSpec
@@ -73,7 +72,7 @@ def test_e6_detection_and_bounded_loss(benchmark, experiment):
         f"detected in {format_ms(sim_report.failure_detection_s, 0)} ms; "
         f"{sim_report.counters.lost_failure}/{offered} events lost "
         f"({100 * sim_report.counters.lost_failure / offered:.1f}%); "
-        f"stream never stops")
+        "stream never stops")
 
 
 def test_e6_flush_interval_bounds_slate_loss(benchmark, experiment):
@@ -98,7 +97,7 @@ def test_e6_flush_interval_bounds_slate_loss(benchmark, experiment):
     dirty_losses = [d for _, d, __, ___ in rows]
     assert dirty_losses[0] <= dirty_losses[-1]
     assert dirty_losses[-1] > 0
-    report.outcome(f"dirty-slate loss grows with the flush interval: "
+    report.outcome("dirty-slate loss grows with the flush interval: "
                    f"{dirty_losses} for intervals 0.05/0.5/5 s")
 
 

@@ -9,13 +9,12 @@ why only sources are throttled; we demonstrate the safe variant.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.core import Application
 from repro.muppet.queues import OverflowPolicy, SourceThrottle
 from repro.sim import SimConfig, SimRuntime, constant_rate
-from tests.conftest import CountingUpdater, EchoMapper, build_count_app
+from tests.conftest import CountingUpdater, EchoMapper
 
 
 def overloaded_app_with_overflow() -> Application:
@@ -160,4 +159,4 @@ def test_e7_feedback_loop_needs_source_throttling(benchmark, experiment):
     assert sim_report.throttle_paused_s > 0
     report.outcome(f"all {expected} deliveries completed with the source "
                    f"paused {sim_report.throttle_paused_s:.2f} s — the "
-                   f"loop never deadlocked")
+                   "loop never deadlocked")

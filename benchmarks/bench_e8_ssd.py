@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import itertools
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.kvstore.device import StorageDevice
@@ -105,7 +104,7 @@ def test_e8_reads_during_compaction(benchmark, experiment):
     report.outcome(
         f"same workload keeps the HDD busy {rows['hdd'][2]:.2f} s vs "
         f"{rows['ssd'][2]:.2f} s on SSD — the spindle has no headroom "
-        f"for reads during compaction")
+        "for reads during compaction")
 
 
 def test_e8_write_buffering_absorbs_overwrites(benchmark, experiment):
@@ -172,6 +171,6 @@ def test_e8_cluster_cold_start_ssd_vs_hdd(benchmark, experiment):
          for k, v in results.items()])
     assert results["hdd"].latency.p99 > results["ssd"].latency.p99
     report.outcome(
-        f"write-through on HDD: p99 "
+        "write-through on HDD: p99 "
         f"{results['hdd'].latency.p99 * 1e3:.1f} ms vs SSD "
         f"{results['ssd'].latency.p99 * 1e3:.1f} ms")

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import itertools
 
-import pytest
 
 from repro.core.operators import Updater
 from repro.kvstore.cluster import ReplicatedKVStore
@@ -79,7 +78,7 @@ def test_e9_flush_policy_sweep(benchmark, experiment):
     report.outcome(
         f"kv writes fall {writes[0]} -> {writes[-1]} across the "
         f"spectrum while crash loss rises {losses[0]} -> {losses[-1]} "
-        f"dirty slates — the paper's dial, end to end")
+        "dirty slates — the paper's dial, end to end")
 
 
 def test_e9_write_through_io_cost(benchmark, experiment):
@@ -108,4 +107,4 @@ def test_e9_write_through_io_cost(benchmark, experiment):
         f"interval flushing uses {costs['interval 1 s']:.4f} s of device "
         f"time vs {costs['write-through']:.4f} s for write-through "
         f"({costs['write-through'] / max(costs['interval 1 s'], 1e-9):.1f}"
-        f"x reduction)")
+        "x reduction)")

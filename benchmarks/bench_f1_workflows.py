@@ -9,7 +9,6 @@ end-to-end throughput of each.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps import (build_hot_topics_app, build_retailer_app)
 from repro.core import Application, ReferenceExecutor

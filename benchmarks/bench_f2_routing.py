@@ -10,7 +10,6 @@ worker, and load spreads across the workers.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.sim import ENGINE_MUPPET1, SimConfig, SimRuntime, constant_rate
@@ -60,7 +59,7 @@ def test_f2_three_mappers_two_updaters(benchmark, experiment):
     assert all(load > 0 for load in updater_loads)
     mapper_loads = [w.queue.stats.accepted for w in mappers]
     assert all(load > 0 for load in mapper_loads)
-    report.outcome(f"2400/2400 events counted; per-key single ownership "
-                   f"held (max workers per slate = "
+    report.outcome("2400/2400 events counted; per-key single ownership "
+                   "held (max workers per slate = "
                    f"{sim_report.max_workers_per_slate}); load spread "
                    f"mappers={mapper_loads} updaters={updater_loads}")

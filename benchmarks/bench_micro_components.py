@@ -12,7 +12,7 @@ import itertools
 import pytest
 
 from repro.cluster.hashring import HashRing, route_key
-from repro.core import Event, ReferenceExecutor
+from repro.core import ReferenceExecutor
 from repro.core.slate import Slate, SlateKey
 from repro.kvstore.node import StorageNode
 from repro.muppet.dispatch import TwoChoiceDispatcher

@@ -269,7 +269,7 @@ def check(current: Dict[str, Any], baseline: Dict[str, Any]) -> int:
               "unbatched — determinism broken")
         failures += 1
     if e1["speedup_cpu"] < MIN_E1_CPU_SPEEDUP:
-        print(f"  FAIL e1_scaling: batching CPU speedup "
+        print("  FAIL e1_scaling: batching CPU speedup "
               f"{e1['speedup_cpu']:.2f}x < {MIN_E1_CPU_SPEEDUP}x")
         failures += 1
     return failures
@@ -283,10 +283,20 @@ def main(argv=None) -> int:
     mode.add_argument("--check", action="store_true",
                       help="compare against committed BENCH_PERF.json; "
                            "exit 1 on regression")
+    parser.add_argument("--results-dir", default=None, metavar="DIR",
+                        help="also write the measured numbers to "
+                             "DIR/perf_gate.json (CI artifact)")
     args = parser.parse_args(argv)
 
     current = run_all()
     print(json.dumps(current, indent=2))
+
+    if args.results_dir is not None:
+        results_dir = Path(args.results_dir)
+        results_dir.mkdir(parents=True, exist_ok=True)
+        out = results_dir / "perf_gate.json"
+        out.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"wrote {out}")
 
     if args.update:
         BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")

@@ -4,8 +4,9 @@ Each bench module reproduces one experiment from DESIGN.md's index
 (F1/F2, E1–E13). Timing goes through pytest-benchmark as usual; the
 *scientific* output — the paper-versus-measured tables — is recorded via
 the ``experiment`` fixture and printed in the terminal summary (so it
-lands in ``bench_output.txt``) as well as written under
-``benchmarks/results/``.
+lands in ``bench_output.txt``) as well as written under a results
+directory (``benchmarks/results/`` by default; override with
+``--results-dir`` so CI can collect artifacts from a scratch path).
 """
 
 from __future__ import annotations
@@ -15,8 +16,23 @@ from typing import List, Tuple
 
 import pytest
 
-_RESULTS_DIR = Path(__file__).parent / "results"
+_DEFAULT_RESULTS_DIR = Path(__file__).parent / "results"
+_results_dir = _DEFAULT_RESULTS_DIR
 _TABLES: List[Tuple[str, str]] = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--results-dir", action="store", default=None,
+        help="directory for experiment-report artifacts "
+             "(default: benchmarks/results/)")
+
+
+def pytest_configure(config):
+    global _results_dir
+    override = config.getoption("--results-dir", default=None)
+    if override:
+        _results_dir = Path(override)
 
 
 class ExperimentReport:
@@ -47,8 +63,8 @@ class ExperimentReport:
     def finish(self) -> None:
         body = "\n".join(self._lines)
         _TABLES.append((self.experiment_id, body))
-        _RESULTS_DIR.mkdir(exist_ok=True)
-        path = _RESULTS_DIR / f"{self.experiment_id}.txt"
+        _results_dir.mkdir(parents=True, exist_ok=True)
+        path = _results_dir / f"{self.experiment_id}.txt"
         path.write_text(body + "\n")
 
 

@@ -21,7 +21,7 @@ from repro.workloads import CheckinGenerator
 def sweep_machines() -> None:
     print("== throughput/latency vs cluster size "
           f"(offered: {PAPER_TWEETS_PER_SECOND:.0f} ev/s, the paper's "
-          f"100M tweets/day) ==")
+          "100M tweets/day) ==")
     rows = []
     for machines in (1, 2, 4, 8, 16):
         generator = CheckinGenerator(rate_per_s=PAPER_TWEETS_PER_SECOND,
@@ -50,20 +50,20 @@ def failure_demo() -> None:
                          [from_trace("S1", events)],
                          failures=[(1.0, "m002")])
     report = runtime.run(10.0)
-    print(f"failure detected in "
+    print("failure detected in "
           f"{report.failure_detection_s * 1e3:.1f} ms "
-          f"(worker noticed on send; master broadcast rerouted the ring)")
+          "(worker noticed on send; master broadcast rerouted the ring)")
     print(f"events lost: {report.counters.lost_failure} "
-          f"(queued on / in flight to the dead machine — logged as lost)")
+          "(queued on / in flight to the dead machine — logged as lost)")
     counted = sum((runtime.slate('U1', r) or {}).get('count', 0)
                   for r in truth)
     print(f"counted {counted} of {sum(truth.values())} retailer "
-          f"checkins; the shortfall is the dead machine's unflushed "
-          f"slate state — 'whatever changes ... not yet flushed to the "
-          f"key-value store are lost' (Section 4.3)")
-    print(f"the stream never stopped "
+          "checkins; the shortfall is the dead machine's unflushed "
+          "slate state — 'whatever changes ... not yet flushed to the "
+          "key-value store are lost' (Section 4.3)")
+    print("the stream never stopped "
           f"(p99 after failure: {report.latency.p99 * 1e3:.1f} ms); a "
-          f"shorter flush interval bounds the loss (bench E6b)")
+          "shorter flush interval bounds the loss (bench E6b)")
 
 
 def main() -> None:

@@ -61,11 +61,11 @@ def main() -> None:
           f"{ipc.total_bytes:,}"],
          ["Muppet 2.0 (thread pool)", f"{t2:.2f}",
           f"{len(events) / t2:,.0f}", 0, "0"]]))
-    print(f"\nidentical slates from both engines "
+    print("\nidentical slates from both engines "
           f"(all {len(truth)} retailers exact); 2.0 is "
           f"{t1 / t2:.1f}x faster by eliminating "
           f"{ipc.total_bytes / 1e6:.1f} MB of in-machine IPC "
-          f"(Section 4.5's redesign, measured).")
+          "(Section 4.5's redesign, measured).")
 
 
 if __name__ == "__main__":

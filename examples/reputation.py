@@ -21,7 +21,7 @@ from repro.workloads import TweetGenerator
 def main() -> None:
     app = build_reputation_app()
     print(f"workflow has a cycle: {app.has_cycle()} "
-          f"(U1 publishes endorsements into a stream it subscribes to)")
+          "(U1 publishes endorsements into a stream it subscribes to)")
 
     events = TweetGenerator(rate_per_s=2000, seed=71, num_users=2000,
                             retweet_prob=0.25, reply_prob=0.15).take(20_000)
@@ -44,7 +44,7 @@ def main() -> None:
     top_user, top = leaderboard[0]
     print(f"\ntop user {top_user!r}: score {top['score']:.2f} from "
           f"{top['tweets']} tweets and {top['endorsements_received']} "
-          f"endorsements")
+          "endorsements")
 
 
 if __name__ == "__main__":

@@ -41,7 +41,7 @@ def main() -> None:
         summary = runtime.latency.summary()
         print(f"\nper-event latency: p50={summary.p50 * 1e3:.2f} ms  "
               f"p99={summary.p99 * 1e3:.2f} ms "
-              f"(paper bound: 2 s, Section 5)")
+              "(paper bound: 2 s, Section 5)")
         assert counts == truth, "slate counts diverged from ground truth"
         print("all retailer counts exact.")
 

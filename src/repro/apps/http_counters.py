@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import random
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterator, Optional, Sequence
 
 from repro.core.application import Application
 from repro.core.event import Event

@@ -17,8 +17,7 @@ split factor and any emit cadence.
 from __future__ import annotations
 
 import json
-import random
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.core.application import Application
 from repro.core.event import Event

@@ -13,7 +13,7 @@ slate, which makes this app the canonical *hotspot* workload for bench E4
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.core.application import Application
 from repro.core.event import Event

@@ -11,7 +11,8 @@ report the *staleness* of its answers against a live stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generic, Iterable, List, Sequence, Tuple, TypeVar
+from typing import (Any, Callable, Dict, Iterable, List, Sequence, Tuple,
+                    TypeVar)
 
 from repro.cluster.hashring import stable_hash64
 from repro.errors import ConfigurationError

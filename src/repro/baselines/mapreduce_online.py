@@ -16,8 +16,8 @@ MapUpdate wins on latency (bench E12).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.baselines.mapreduce import MapFunction, MapReduceCosts
 from repro.core.event import Event

@@ -17,7 +17,7 @@ restarts from zero).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.cluster.hashring import stable_hash64
 from repro.core.event import Event

@@ -93,6 +93,17 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--duration", type=float, default=None,
                           help="simulated seconds (default: trace span "
                                "+ 10)")
+    simulate.add_argument("--trace-out", metavar="PATH", default=None,
+                          help="write a JSONL span trace of the run "
+                               "(source/dispatch/execute/slate/kv spans "
+                               "with (origin, oseq) provenance)")
+    simulate.add_argument("--metrics-out", metavar="PATH", default=None,
+                          help="write the full metrics-registry snapshot "
+                               "as JSON")
+    simulate.add_argument("--timeline", action="store_true",
+                          help="sample per-machine/per-updater "
+                               "timeseries and include them in the "
+                               "report JSON")
     return parser
 
 
@@ -178,14 +189,31 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     duration = args.duration
     if duration is None:
         duration = events[-1].ts + 10.0
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs import JsonlTracer
+
+        tracer = JsonlTracer(args.trace_out)
     runtime = SimRuntime(
         app, ClusterSpec.uniform(args.machines, cores=args.cores),
         SimConfig(engine=args.engine,
                   delivery_semantics=args.delivery,
                   replay_horizon_s=args.replay_horizon,
-                  checkpoint_epoch_s=args.checkpoint_epoch),
-        [from_trace(events[0].sid, events)])
+                  checkpoint_epoch_s=args.checkpoint_epoch,
+                  trace=tracer is not None,
+                  timeline=args.timeline),
+        [from_trace(events[0].sid, events)],
+        tracer=tracer)
     report = runtime.run(duration)
+    if tracer is not None:
+        tracer.close()
+        print(f"wrote {tracer.written} spans to {args.trace_out}",
+              file=sys.stderr)
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(runtime.metrics.to_json())
+        print(f"wrote metrics snapshot to {args.metrics_out}",
+              file=sys.stderr)
     payload = {
         "engine": report.engine,
         "delivery": runtime.config.delivery_semantics,
@@ -209,6 +237,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             "checkpoint_epochs": report.robustness.checkpoint_epochs,
         },
     }
+    if args.timeline:
+        payload["timeline"] = report.timeline()
     print(json.dumps(payload, indent=2))
     return 0
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, Generic, Hashable, Iterable, List, Optional, Set, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, Iterable, List, Set, Tuple, TypeVar
 
 from repro.errors import ConfigurationError, WorkerFailedError
 

@@ -11,7 +11,7 @@ single machine with one worker pool.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.errors import ConfigurationError
 

@@ -142,7 +142,7 @@ def application_to_config(app: Application) -> Dict[str, Any]:
         if not isinstance(factory, type):
             raise ConfigurationError(
                 f"operator {spec.name!r} was built from an instance and "
-                f"cannot be exported to a config file"
+                "cannot be exported to a config file"
             )
         operators.append({
             "name": spec.name,

@@ -17,7 +17,7 @@ runtime, and simulator) so all engines agree on what "timestamp order" means.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Optional, Tuple
 
 #: Type alias: keys are atomic values; we standardize on ``str`` keys.

@@ -113,7 +113,7 @@ class Context:
             raise TimestampError(
                 f"operator {self.operator!r} emitted ts={ts} which does not "
                 f"exceed input ts={self.input_ts}; Section 3 requires output "
-                f"timestamps to be strictly greater than the input's"
+                "timestamps to be strictly greater than the input's"
             )
         event = Event(sid=sid, ts=ts, key=key, value=value)
         self.emitted.append(event)

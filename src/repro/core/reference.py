@@ -123,7 +123,7 @@ class ReferenceExecutor:
             spec = self.app.streams.spec(event.sid)
             if not spec.external:
                 raise WorkflowError(
-                    f"source event addressed to internal stream "
+                    "source event addressed to internal stream "
                     f"{event.sid!r}; only external streams accept input"
                 )
             stamped = self.app.streams.stamp(event)
@@ -139,7 +139,7 @@ class ReferenceExecutor:
             if processed > self.max_events:
                 raise SimulationError(
                     f"reference run exceeded max_events={self.max_events}; "
-                    f"the workflow may loop without terminating"
+                    "the workflow may loop without terminating"
                 )
             if isinstance(item, TimerRequest):
                 outputs, timers = self._fire_timer(item)

@@ -300,7 +300,7 @@ class Slate:
             raise SlateTooLargeError(
                 f"slate {self.slate_key} is {size} bytes "
                 f"(cap {max_slate_bytes}); the paper advises keeping slates "
-                f"to kilobytes, not megabytes (Section 5)"
+                "to kilobytes, not megabytes (Section 5)"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

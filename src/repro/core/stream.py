@@ -12,8 +12,8 @@ enforces.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Iterator, List, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.event import Event
 from repro.errors import WorkflowError
@@ -107,7 +107,7 @@ class StreamRegistry:
         spec = self.spec(event.sid)
         if from_operator and spec.external:
             raise WorkflowError(
-                f"operator attempted to publish into external stream "
+                "operator attempted to publish into external stream "
                 f"{event.sid!r}; external streams are input-only"
             )
         seq = next(self._seq[event.sid])

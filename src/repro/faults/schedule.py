@@ -37,8 +37,8 @@ schedule over the same workload are bit-for-bit identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -95,7 +95,7 @@ class FaultEvent:
         if self.cpu_factor < 1.0 or self.net_factor < 1.0:
             raise ConfigurationError(
                 f"{self.kind}: slow factors must be >= 1 (a factor below 1 "
-                f"would be a speed-up, not a fault)")
+                "would be a speed-up, not a fault)")
         if self.extra_delay_s < 0 or self.jitter_s < 0:
             raise ConfigurationError(f"{self.kind}: delays must be >= 0")
         if self.kind == "partition" and not self.group:

@@ -29,7 +29,7 @@ class BloomFilter:
         expected_items = max(1, expected_items)
         if not 0.0 < false_positive_rate < 1.0:
             raise ValueError(
-                f"false_positive_rate must be in (0,1), got "
+                "false_positive_rate must be in (0,1), got "
                 f"{false_positive_rate}"
             )
         ln2 = math.log(2.0)

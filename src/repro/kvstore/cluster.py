@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 from pathlib import Path
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.cluster.hashring import HashRing
 from repro.errors import ConfigurationError, QuorumError, StoreError
@@ -28,6 +28,9 @@ from repro.kvstore.api import (BatchWriteResult, ConsistencyLevel,
                                ReadResult, WriteResult)
 from repro.kvstore.device import StorageDevice, profile_for
 from repro.kvstore.node import StorageNode
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.obs import Tracer
 
 
 class ReplicatedKVStore:
@@ -43,6 +46,9 @@ class ReplicatedKVStore:
             overrides via ``device_overrides``).
         data_dir: When given, each node persists under a subdirectory.
         memtable_flush_bytes / compaction_threshold: Passed to each node.
+        tracer: Optional :class:`repro.obs.Tracer`; when set the store
+            emits one ``kv_write`` span per replicated cell write.
+            Strictly passive — only consulted behind ``is not None``.
     """
 
     def __init__(
@@ -55,6 +61,7 @@ class ReplicatedKVStore:
         memtable_flush_bytes: int = 4 * 1024 * 1024,
         compaction_threshold: int = 8,
         device_overrides: Optional[Dict[str, str]] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if not node_names:
             raise ConfigurationError("kv-store needs at least one node")
@@ -62,6 +69,7 @@ class ReplicatedKVStore:
             raise ConfigurationError("replication_factor must be >= 1")
         self.replication_factor = min(replication_factor, len(node_names))
         self.clock = clock
+        self.tracer = tracer
         self._ring: HashRing[str] = HashRing(node_names)
         overrides = device_overrides or {}
         #: Hinted handoff buffers: writes a down replica missed, keyed by
@@ -206,6 +214,10 @@ class ReplicatedKVStore:
                 f"write {row!r}/{column!r}: {acks} acks < required "
                 f"{required} ({consistency.value})"
             )
+        if self.tracer is not None:
+            self.tracer.emit(self.clock(), "kv_write", row=row,
+                             column=column, replicas=list(replicas),
+                             acks=acks)
         return WriteResult(acks=acks, replicas=replicas, cost_s=worst_cost)
 
     def write_batch(
@@ -260,6 +272,12 @@ class ReplicatedKVStore:
                 )
             total_cost += worst_cost
             acks_min = acks if acks_min is None else min(acks_min, acks)
+            if self.tracer is not None:
+                now = self.clock()
+                for row, column, _value, _ttl in cells:
+                    self.tracer.emit(now, "kv_write", row=row,
+                                     column=column,
+                                     replicas=list(replica_set), acks=acks)
         return BatchWriteResult(writes=len(writes), groups=len(groups),
                                 acks_min=acks_min or 0, cost_s=total_cost)
 

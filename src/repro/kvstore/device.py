@@ -15,7 +15,7 @@ commodity SATA HDD and SATA SSD — the hardware generation the paper used.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.errors import ConfigurationError

@@ -21,7 +21,7 @@ matching Muppet 2.0's dedicated background kv-store thread (Section 4.5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -322,6 +322,17 @@ class StorageNode:
     def absorbed_overwrites(self) -> int:
         """Disk writes avoided by in-memory overwrites (Section 4.2)."""
         return self._memtable.absorbed_overwrites
+
+    def observable_state(self) -> Dict[str, int]:
+        """Structural gauges for the metrics registry: LSM shape and
+        liveness, alongside (not duplicating) the ``stats`` counters."""
+        return {
+            "memtable_cells": len(self._memtable),
+            "memtable_bytes": self._memtable.size_bytes,
+            "sstables": len(self._sstables),
+            "stored_bytes": self.stored_bytes(),
+            "down": int(self.is_down),
+        }
 
     def total_cells(self) -> int:
         """Cells across memtable and SSTables (duplicates included)."""

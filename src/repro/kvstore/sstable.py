@@ -16,7 +16,7 @@ from __future__ import annotations
 import itertools
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import StoreError
 from repro.kvstore.bloom import BloomFilter

@@ -9,7 +9,7 @@ those quantities so benchmarks can print paper-versus-measured tables.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
@@ -104,6 +104,12 @@ class LatencyRecorder:
             p99=percentile(self._samples, 0.99),
             maximum=max(self._samples),
         )
+
+    def fill_histogram(self, histogram) -> "LatencyRecorder":
+        """Feed every sample into a registry histogram (report-time
+        bridge to :class:`repro.obs.Histogram`); returns self."""
+        histogram.observe_many(self._samples)
+        return self
 
 
 @dataclass

@@ -16,7 +16,7 @@ threads (slate contention ≤ 2); hot primaries can spill to the secondary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cluster.hashring import MEMO_MAX_ENTRIES, stable_hash64
 from repro.errors import ConfigurationError
@@ -37,6 +37,10 @@ class DispatchStats:
     queue_locks: int = 0         # ≤ 2 per dispatch, by construction
     memo_hits: int = 0           # candidate pairs served from the memo
     memo_misses: int = 0         # candidate pairs that cost two hashes
+
+    def as_dict(self) -> Dict[str, int]:
+        """Field snapshot; summed across dispatchers by the registry."""
+        return dict(vars(self))
 
 
 class TwoChoiceDispatcher:

@@ -63,7 +63,7 @@ class _SlateRequestHandler(BaseHTTPRequestHandler):
             updater, key = parts[1], parts[2]
             value = self._store_read(updater, key)
             if value is None:
-                return 404, {"error": f"no stored slate for "
+                return 404, {"error": "no stored slate for "
                                       f"{updater}/{key}"}
             return 200, {"updater": updater, "key": key, "slate": value,
                          "source": "store"}

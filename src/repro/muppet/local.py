@@ -27,7 +27,7 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.application import Application
 from repro.core.event import Event, EventCounter
@@ -39,6 +39,7 @@ from repro.kvstore.cluster import ReplicatedKVStore
 from repro.metrics import LatencyRecorder
 from repro.muppet.dispatch import TwoChoiceDispatcher
 from repro.muppet.queues import BoundedQueue, OverflowPolicy
+from repro.obs import MetricsRegistry
 from repro.slates.manager import FlushPolicy, SlateManager
 
 
@@ -152,6 +153,37 @@ class LocalMuppet:
         #: and the worker moves on (user code must not kill the engine).
         self.operator_errors = 0
         self.last_error: Optional[BaseException] = None
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Expose the engine's live stats objects through one registry.
+
+        Everything here is a lazy view sampled at snapshot time; workers
+        keep mutating their existing counters with zero added cost.
+        """
+        reg = self.metrics
+        reg.register_group("counters", self.counters.snapshot)
+        reg.register_view("dispatch", self.dispatcher.stats)
+        reg.register_view("slates", self.manager.stats)
+        reg.register_group("queues", lambda: {
+            "depth": sum(len(q) for q in self._queues),
+            "peak": max((q.stats.peak_depth for q in self._queues),
+                        default=0),
+            "rejected": sum(q.stats.rejected for q in self._queues),
+        })
+        reg.register_group("kv", lambda: {
+            f"{name}.{key}": value
+            for name, stats in self.store.stats_by_node().items()
+            for key, value in stats.items()
+        })
+        reg.register_group("errors", lambda: {
+            "operator_errors": self.operator_errors,
+        })
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One flat, sorted name->value reading of every registered stat."""
+        return self.metrics.snapshot()
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> "LocalMuppet":

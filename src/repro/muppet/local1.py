@@ -131,7 +131,6 @@ class LocalMuppet1:
         self._stopped = False
         self._threads: List[threading.Thread] = []
         # Event-time timers (watermark-driven, like LocalMuppet).
-        import heapq as _heapq
         import itertools as _itertools
 
         self._timers: List[Tuple[float, int, Any, float]] = []

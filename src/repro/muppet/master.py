@@ -11,8 +11,8 @@ machine from then on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set
 
 #: Callback invoked on every worker when the master broadcasts a failure.
 FailureListener = Callable[[str], None]
@@ -33,6 +33,10 @@ class MasterStats:
     duplicate_recovery_reports: int = 0
     #: Checkpoint-epoch barriers coordinated (effectively-once delivery).
     checkpoint_epochs: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Field snapshot; registered as a metrics-registry group."""
+        return dict(vars(self))
 
 
 class Master:

@@ -31,8 +31,8 @@ traffic can *lose* to hashing when popularity shifts (see the bench).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cluster.hashring import HashRing, route_key
 from repro.errors import ConfigurationError

@@ -17,8 +17,8 @@ has to invoke a queue overflow mechanism." The mechanism may
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Generic, Iterator, List, Optional, TypeVar
+from dataclasses import dataclass
+from typing import Deque, Dict, Generic, Iterator, List, Optional, TypeVar
 
 from repro.errors import ConfigurationError, QueueOverflowError
 
@@ -33,6 +33,10 @@ class QueueStats:
     accepted: int = 0
     rejected: int = 0
     peak_depth: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Field snapshot; registered as a metrics-registry view."""
+        return dict(vars(self))
 
 
 class BoundedQueue(Generic[T]):
@@ -77,7 +81,7 @@ class BoundedQueue(Generic[T]):
         if not self.offer(item):
             raise QueueOverflowError(
                 f"queue full at max_size={self.max_size}; strict put() "
-                f"has no overflow policy to fall back on")
+                "has no overflow policy to fall back on")
 
     def poll(self) -> Optional[T]:
         """Dequeue the next item, or None when empty."""
@@ -125,7 +129,7 @@ class OverflowPolicy:
         if self.kind not in ("drop", "divert", "throttle"):
             raise ConfigurationError(
                 f"unknown overflow policy {self.kind!r}; "
-                f"use drop, divert, or throttle"
+                "use drop, divert, or throttle"
             )
         if self.kind == "divert" and not self.overflow_sid:
             raise ConfigurationError(
@@ -167,7 +171,7 @@ class SourceThrottle:
         if not 0.0 < low_watermark < high_watermark <= 1.0:
             raise ConfigurationError(
                 f"need 0 < low ({low_watermark}) < high ({high_watermark}) "
-                f"<= 1"
+                "<= 1"
             )
         self.high_watermark = high_watermark
         self.low_watermark = low_watermark

@@ -29,8 +29,8 @@ applications recover exact totals. Bench E6e compares all three modes.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 

@@ -1,0 +1,52 @@
+"""repro.obs — the observability layer: metrics, tracing, timelines.
+
+Three cooperating pieces, all engine-agnostic:
+
+* :class:`MetricsRegistry` (:mod:`repro.obs.registry`) — counters,
+  lazy gauges, and fixed-bucket latency histograms; engines register
+  their existing stats objects as live views, so one snapshot reads the
+  whole system and ``counter_report()`` is generated from the registry's
+  family snapshot byte-identically to the pre-registry output.
+* :class:`Tracer` sinks (:mod:`repro.obs.trace`) — opt-in structured
+  span records (source → dispatch → enqueue → execute → slate flush →
+  kv replica write, plus batch flushes and replay-dedup decisions),
+  carrying each event's replay-stable ``(origin, oseq)`` provenance;
+  :func:`reconstruct_chain` rebuilds a single event's full path.
+* :class:`TimelineRecorder` (:mod:`repro.obs.timeline`) — per-machine
+  queue-depth / dirty-slate and per-updater latency timeseries sampled
+  on the existing flusher tick (zero extra simulator events).
+"""
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.timeline import TimelineRecorder
+from repro.obs.trace import (
+    JsonlTracer,
+    RingTracer,
+    Span,
+    Tracer,
+    read_jsonl,
+    reconstruct_chain,
+    spans_for,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "MetricsRegistry",
+    "RingTracer",
+    "Span",
+    "TimelineRecorder",
+    "Tracer",
+    "read_jsonl",
+    "reconstruct_chain",
+    "spans_for",
+]

@@ -1,0 +1,259 @@
+"""MetricsRegistry: counters, gauges, and fixed-bucket histograms.
+
+The paper's operators were tuned in production by watching queue depths,
+slate-flush backlogs, and per-function latencies (Sections 5-6: two-choice
+queue balancing, the background flusher, and hot-key detection all hinge on
+observable load). This module is the reproduction's single pane of glass
+for those quantities: every engine attaches one :class:`MetricsRegistry`
+and registers its live counter objects as *views*, so a snapshot reads the
+whole system without any hot-path bookkeeping beyond what already exists.
+
+Three instrument kinds:
+
+* :class:`Counter` — a monotone count the owner increments explicitly.
+* :class:`Gauge` — a lazy callable sampled only at snapshot time; views
+  over existing stats dataclasses are gauges, so registering them costs
+  the hot path nothing.
+* :class:`Histogram` — fixed bucket boundaries with linear-interpolated
+  p50/p95/p99 summaries; bucket counts (not raw samples) are retained, so
+  memory stays O(buckets) regardless of event volume.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Default latency buckets (seconds): 1 ms .. 30 s in roughly 2x steps,
+#: bracketing the paper's 2-second end-to-end bound from both sides.
+# fmt: off
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 30.0,
+)
+# fmt: on
+
+
+class Counter:
+    """A monotone counter owned by the registry."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A lazily sampled value: ``fn`` runs only at snapshot time."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], Any]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def read(self) -> Any:
+        """Sample the gauge now."""
+        return self.fn()
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile summaries.
+
+    Args:
+        name: Registry name.
+        buckets: Ascending upper bounds; an implicit overflow bucket
+            catches everything above the last bound.
+
+    Percentiles are linearly interpolated within the winning bucket (the
+    classic Prometheus ``histogram_quantile`` estimate), so they are
+    approximations bounded by bucket width — adequate for the latency
+    tables the benchmarks print, at O(buckets) memory.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "maximum")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S
+    ) -> None:
+        if not buckets:
+            raise ConfigurationError("histogram needs at least one bucket")
+        bounds = list(buckets)
+        if sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+            raise ConfigurationError(
+                f"histogram buckets must be strictly ascending, got {bounds}"
+            )
+        self.name = name
+        self.bounds: List[float] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # +overflow
+        self.count = 0
+        self.total = 0.0
+        self.maximum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record many samples (report-time bulk feed)."""
+        for value in values:
+            self.observe(value)
+
+    def percentile(self, fraction: float) -> float:
+        """Estimated percentile; 0.0 when no samples were recorded."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction {fraction} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = fraction * self.count
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                low = self.bounds[i - 1] if i > 0 else 0.0
+                high = self.bounds[i] if i < len(self.bounds) else self.maximum
+                if high <= low:
+                    return high
+                within = (rank - seen) / bucket_count
+                return min(low + within * (high - low), self.maximum)
+            seen += bucket_count
+        return self.maximum
+
+    @property
+    def mean(self) -> float:
+        """Sample mean; 0.0 when empty."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Plain-dict summary: count/mean/p50/p95/p99/max."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "max": self.maximum,
+        }
+
+
+def _numeric_fields(obj: Any) -> Dict[str, Any]:
+    """The int/float attributes of a stats object, insertion-ordered."""
+    return {
+        name: value
+        for name, value in vars(obj).items()
+        if isinstance(value, (int, float)) and not name.startswith("_")
+    }
+
+
+class MetricsRegistry:
+    """A namespace of counters, gauges, histograms, and object views.
+
+    Names are dotted paths (``"robustness.kv_retries"``); the first
+    segment is the *family*, which :meth:`family_snapshot` groups by —
+    the engines' ``counter_report`` is generated from exactly those
+    families, which is what makes the registry refactor byte-invisible
+    to the pre-existing determinism gates.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        #: (prefix, fn) pairs contributing whole dicts at snapshot time.
+        self._groups: List[Any] = []
+
+    # -- registration ------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            self._check_free(name)
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str, fn: Callable[[], Any]) -> Gauge:
+        """Register a lazy gauge; re-registering replaces the callable."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            self._check_free(name)
+            gauge = self._gauges[name] = Gauge(name, fn)
+        else:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            self._check_free(name)
+            histogram = self._histograms[name] = Histogram(name, buckets)
+        return histogram
+
+    def register_view(self, prefix: str, obj: Any) -> None:
+        """Expose a live stats object's numeric fields as gauges.
+
+        The object is read at snapshot time, so the owner keeps mutating
+        its fields exactly as before — the registry is a *view*, not a
+        copy, and attaching it costs the hot path nothing.
+        """
+        self._groups.append((prefix, lambda: _numeric_fields(obj)))
+
+    def register_group(self, prefix: str, fn: Callable[[], Mapping[str, Any]]) -> None:
+        """Expose a whole dict-producing callable under ``prefix``."""
+        self._groups.append((prefix, fn))
+
+    def _check_free(self, name: str) -> None:
+        if name in self._counters or name in self._gauges or name in self._histograms:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as another kind"
+            )
+
+    # -- reading -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """One flat, deterministically ordered name->value mapping.
+
+        Histograms expand to ``<name>.count/.mean/.p50/.p95/.p99/.max``.
+        Group and view entries are sampled now; conflicting names resolve
+        last-registered-wins (views layered over explicit instruments).
+        """
+        flat: Dict[str, Any] = {}
+        for name, counter in self._counters.items():
+            flat[name] = counter.value
+        for name, gauge in self._gauges.items():
+            flat[name] = gauge.read()
+        for name, histogram in self._histograms.items():
+            for stat, value in histogram.summary().items():
+                flat[f"{name}.{stat}"] = value
+        for prefix, fn in self._groups:
+            for key, value in fn().items():
+                flat[f"{prefix}.{key}"] = value
+        return dict(sorted(flat.items()))
+
+    def family_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot grouped by the first dotted segment of each name."""
+        families: Dict[str, Dict[str, Any]] = {}
+        for name, value in self.snapshot().items():
+            family, _, rest = name.partition(".")
+            families.setdefault(family, {})[rest or family] = value
+        return families
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The snapshot as a JSON document (CLI ``--metrics-out``)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True, default=float)

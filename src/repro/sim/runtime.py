@@ -60,6 +60,7 @@ from repro.metrics import (DataPlaneCounters, LatencyRecorder,
                            ThroughputReport)
 from repro.muppet.dispatch import SingleChoiceDispatcher, TwoChoiceDispatcher
 from repro.muppet.master import Master
+from repro.obs import MetricsRegistry, RingTracer, TimelineRecorder, Tracer
 from repro.muppet.queues import BoundedQueue, OverflowPolicy, SourceThrottle
 from repro.muppet.replay import ReplayStats
 from repro.sim.costs import CostModel
@@ -169,6 +170,18 @@ class SimConfig:
     #: Group dirty slates into multi-cell kv batch writes per flush
     #: cycle. On by default; off writes one kv cell per slate.
     coalesce_slate_flushes: bool = True
+    #: Opt-in structured event tracing (see :mod:`repro.obs.trace`).
+    #: Off by default: the engine then holds no tracer at all and every
+    #: emission site is one ``is not None`` check — the measured-zero-
+    #: overhead no-op path gated by ``bench_obs_overhead.py``. On, spans
+    #: land in an in-memory ring (or a sink passed to ``SimRuntime``).
+    trace: bool = False
+    #: Ring capacity for the default in-memory trace sink.
+    trace_capacity: int = 65_536
+    #: Record per-machine queue/dirty-slate and per-updater latency
+    #: timeseries, sampled on the existing flusher tick (no extra
+    #: simulator events — ``counter_report`` stays byte-identical).
+    timeline: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in (ENGINE_MUPPET1, ENGINE_MUPPET2):
@@ -177,22 +190,25 @@ class SimConfig:
             )
         if self.batch_max_events < 0:
             raise ConfigurationError(
-                f"batch_max_events must be >= 0 (0 disables batching), "
+                "batch_max_events must be >= 0 (0 disables batching), "
                 f"got {self.batch_max_events}")
         if self.batch_linger_s < 0:
             raise ConfigurationError(
-                f"batch_linger_s must be >= 0.0 seconds, "
+                "batch_linger_s must be >= 0.0 seconds, "
                 f"got {self.batch_linger_s!r}")
+        if self.trace_capacity < 1:
+            raise ConfigurationError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}")
         if self.overflow.kind == "throttle" and self.throttle is None:
             self.throttle = SourceThrottle()
         if self.delivery_semantics not in (
                 "at-most-once", "at-least-once", "effectively-once"):
             raise ConfigurationError(
-                f"delivery_semantics must be at-most-once, at-least-once "
+                "delivery_semantics must be at-most-once, at-least-once "
                 f"or effectively-once, got {self.delivery_semantics!r}")
         if self.checkpoint_epoch_s <= 0:
             raise ConfigurationError(
-                f"checkpoint_epoch_s must be > 0 seconds, "
+                "checkpoint_epoch_s must be > 0 seconds, "
                 f"got {self.checkpoint_epoch_s!r}")
         if self.delivery_semantics == "effectively-once":
             if self.replay_horizon_s is not None:
@@ -299,10 +315,32 @@ class SimReport:
         default_factory=DataPlaneCounters)
     #: Replay-journal accounting (all zero when replay is off).
     replay: ReplayStats = field(default_factory=ReplayStats)
+    #: Full :class:`repro.obs.MetricsRegistry` family snapshot taken at
+    #: report time: the six counter_report families plus the new
+    #: observability families (queues, slates, kv, latency histograms).
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Timeline samples (``SimConfig.timeline``); None when disabled.
+    timeline_data: Optional[Dict[str, Any]] = None
+
+    #: counter_report's families, in their historical print order.
+    REPORT_FAMILIES = ("counters", "robustness", "master", "dispatch",
+                       "dataplane", "replay")
 
     def events_per_second(self) -> float:
         """Processed updater/mapper deliveries per simulated second."""
         return self.throughput.events_per_second
+
+    def timeline(self) -> Dict[str, Any]:
+        """Per-machine and per-updater timeseries sampled during the run.
+
+        Shape: ``{"machines": {name: [{"t", "queue_depth", "queue_peak",
+        "dirty_slates", "alive"}, ...]}, "updaters": {name: [{"t",
+        "count", "mean", "p50", "p95", "p99", "max"}, ...]}}`` — empty
+        series when ``SimConfig.timeline`` was off.
+        """
+        if self.timeline_data is None:
+            return {"machines": {}, "updaters": {}}
+        return self.timeline_data
 
     def counter_report(self) -> str:
         """A deterministic, line-oriented dump of every counter.
@@ -312,10 +350,26 @@ class SimReport:
         this method — the chaos-determinism contract tests assert on it.
         Floats are rendered with ``repr`` (shortest round-trip form), so
         any numeric drift shows up as a diff.
+
+        The body is generated from the :class:`~repro.obs.
+        MetricsRegistry` family snapshot captured at report time; the
+        families and their keys mirror the pre-registry sections
+        exactly, so the output is byte-identical across the refactor.
+        Only the six historical families print — the registry's new
+        families (queues, slates, kv, latency) are read via
+        :attr:`metrics` instead, so existing seeded gates stay stable.
         """
         lines = [f"engine={self.engine}",
                  f"duration_s={self.duration_s!r}",
                  f"steps={self.steps}"]
+        if self.metrics:
+            for family in self.REPORT_FAMILIES:
+                for name, value in sorted(
+                        self.metrics.get(family, {}).items()):
+                    lines.append(f"{family}.{name}={value!r}")
+            return "\n".join(lines)
+        # Legacy path for reports constructed without a registry
+        # snapshot (hand-built SimReports in tests/tools).
         for name, value in sorted(self.counters.snapshot().items()):
             lines.append(f"counters.{name}={value!r}")
         for name, value in sorted(self.robustness.as_dict().items()):
@@ -352,12 +406,28 @@ class SimRuntime:
         config: Optional[SimConfig] = None,
         sources: Iterable[Source] = (),
         failures: Union[Iterable[Tuple[float, str]], FaultSchedule] = (),
+        tracer: Optional[Tracer] = None,
     ) -> None:
         app.validate()
         self.app = app
         self.cluster = cluster
         self.config = config or SimConfig()
         self.sources = list(sources)
+        #: The span sink, or None when tracing is off. Every emission
+        #: site guards on ``self._trace is not None`` so the disabled
+        #: path costs one attribute test — nothing is allocated, no
+        #: span arguments are even built.
+        if tracer is not None:
+            self._trace: Optional[Tracer] = tracer
+        elif self.config.trace:
+            self._trace = RingTracer(self.config.trace_capacity)
+        else:
+            self._trace = None
+        self._timeline = (TimelineRecorder() if self.config.timeline
+                          else None)
+        #: The observability registry: every stats object below is
+        #: registered as a live view (see :meth:`_register_metrics`).
+        self.metrics = MetricsRegistry()
         if isinstance(failures, FaultSchedule):
             self.fault_schedule = failures
         else:
@@ -400,6 +470,7 @@ class SimRuntime:
             device_overrides={m.name: m.storage for m in cluster.machines},
             memtable_flush_bytes=self.config.kv_memtable_flush_bytes,
             compaction_threshold=self.config.kv_compaction_threshold,
+            tracer=self._trace,
         )
         from repro.muppet.replay import ReplayJournal
 
@@ -425,6 +496,12 @@ class SimRuntime:
         self.machines: Dict[str, _Machine] = {}
         self._build_machines()
         self._build_rings()
+        self._register_metrics()
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The active span sink, or None when tracing is off."""
+        return self._trace
 
     # -- construction ------------------------------------------------------
     def _new_manager(self, capacity: int) -> SlateManager:
@@ -437,6 +514,7 @@ class SimRuntime:
             max_slate_bytes=self.config.max_slate_bytes,
             retry=self.config.kv_retry,
             coalesce_flushes=self.config.coalesce_slate_flushes,
+            tracer=self._trace,
         )
 
     def _build_machines(self) -> None:
@@ -514,6 +592,90 @@ class SimRuntime:
                 for w in machine.workers
             }
 
+    def _register_metrics(self) -> None:
+        """Attach every stats object to the registry as a live view.
+
+        The first six families mirror ``SimReport.counter_report``'s
+        historical sections exactly (same keys, same values), which is
+        what keeps that report byte-identical across the registry
+        refactor; the remaining families (queues, slates, kv, latency)
+        are new observability surface read via ``SimReport.metrics`` or
+        the CLI ``--metrics-out`` sink.
+        """
+        from repro.muppet.replay import ReplayStats
+
+        reg = self.metrics
+        reg.register_group("counters", self.counters.snapshot)
+        reg.register_group(
+            "robustness", lambda: self._robustness_counters().as_dict())
+        reg.register_group("master", self.master.stats.as_dict)
+        reg.register_group("dispatch", self._dispatch_stats)
+        reg.register_group("dataplane", self.dataplane.as_dict)
+        reg.register_group(
+            "replay",
+            lambda: dict(vars(self.replay_journal.stats
+                              if self.replay_journal is not None
+                              else ReplayStats())))
+        for name, machine in self.machines.items():
+            reg.register_group(f"queues.{name}",
+                               self._make_queue_probe(machine))
+            reg.register_group(f"slates.{name}",
+                               self._make_slate_probe(machine))
+        reg.register_group("kv", self._kv_probe)
+
+    def _make_queue_probe(self, machine: "_Machine"):
+        def probe() -> Dict[str, int]:
+            return {
+                "depth": sum(len(w.queue) for w in machine.workers),
+                "peak": max((w.queue.stats.peak_depth
+                             for w in machine.workers), default=0),
+                "rejected": sum(w.queue.stats.rejected
+                                for w in machine.workers),
+            }
+        return probe
+
+    def _make_slate_probe(self, machine: "_Machine"):
+        def probe() -> Dict[str, int]:
+            managers = self._managers_of(machine)
+            stats: Dict[str, int] = {
+                "dirty": sum(m.cache.dirty_count() for m in managers),
+                "resident": sum(len(m.cache) for m in managers),
+            }
+            for field_name in ("kv_reads", "kv_writes", "batch_flushes",
+                               "rehydrated"):
+                stats[field_name] = sum(getattr(m.stats, field_name)
+                                        for m in managers)
+            for field_name in ("hits", "misses", "evictions",
+                               "dirty_evictions"):
+                stats[f"cache_{field_name}"] = sum(
+                    m.cache.stats.as_dict()[field_name] for m in managers)
+            return stats
+        return probe
+
+    def _kv_probe(self) -> Dict[str, int]:
+        flat: Dict[str, int] = {
+            "hints_stored": self.store.hints_stored,
+            "hints_delivered": self.store.hints_delivered,
+            "hints_pending": self.store.pending_hints(),
+        }
+        for node_name, stats in self.store.stats_by_node().items():
+            for key, value in stats.items():
+                flat[f"{node_name}.{key}"] = value
+        for node_name, node in self.store.nodes.items():
+            for key, value in node.observable_state().items():
+                flat[f"{node_name}.{key}"] = value
+        return flat
+
+    def _dispatch_stats(self) -> Dict[str, Any]:
+        """Cluster-wide dispatcher counters (summed across machines)."""
+        dispatch: Dict[str, Any] = {}
+        for machine in self.machines.values():
+            if machine.dispatcher is not None:
+                stats = machine.dispatcher.stats
+                for key, value in stats.as_dict().items():
+                    dispatch[key] = dispatch.get(key, 0) + value
+        return dispatch
+
     # -- top-level run -------------------------------------------------------
     def run(self, duration_s: float) -> SimReport:
         """Simulate ``duration_s`` seconds and summarize the outcome."""
@@ -583,6 +745,10 @@ class SimRuntime:
         stamped = self.app.streams.stamp(event)
         self.counters.published += 1
         birth = self.sim.now()
+        if self._trace is not None:
+            origin, oseq = stamped.provenance()
+            self._trace.emit(birth, "source", sid=stamped.sid,
+                             key=stamped.key, origin=origin, oseq=oseq)
         for spec in self._subscribers_of(stamped.sid):
             envelope = _Envelope(stamped, birth, spec.name)
             self._send(envelope, from_machine=None,
@@ -659,7 +825,7 @@ class SimRuntime:
             self._batch_extra[key] = extra_delay
         if len(buf) >= self.config.batch_max_events:
             self.dataplane.size_flushes += 1
-            self._flush_batch(key)
+            self._flush_batch(key, trigger="size")
             return
         if key not in self._batch_timers:
             self._batch_timers[key] = self.sim.schedule_cancellable(
@@ -670,9 +836,10 @@ class SimRuntime:
         self._batch_timers.pop(key, None)
         if self._batch_buffers.get(key):
             self.dataplane.linger_flushes += 1
-            self._flush_batch(key)
+            self._flush_batch(key, trigger="linger")
 
-    def _flush_batch(self, key: Tuple[Optional[str], str]) -> None:
+    def _flush_batch(self, key: Tuple[Optional[str], str],
+                     trigger: str = "forced") -> None:
         """Ship one link's buffer as a single coalesced envelope.
 
         One per-message network latency is paid for the whole batch,
@@ -709,6 +876,10 @@ class SimRuntime:
         self.dataplane.batches_sent += 1
         if len(envelopes) > self.dataplane.max_batch_events:
             self.dataplane.max_batch_events = len(envelopes)
+        if self._trace is not None:
+            self._trace.emit(self.sim.now(), "batch_flush",
+                             src=from_name, dst=dest_name,
+                             events=len(envelopes), trigger=trigger)
 
         def deliver_all(sim: Simulator) -> None:
             for env in envelopes:
@@ -805,7 +976,22 @@ class SimRuntime:
             # re-route from scratch.
             self._send(envelope, from_machine=machine.name)
             return
+        if self._trace is not None:
+            origin, oseq = envelope.event.provenance()
+            self._trace.emit(self.sim.now(), "dispatch",
+                             machine=machine.name, fn=envelope.dest_fn,
+                             key=envelope.event.key, worker=worker.index,
+                             origin=origin, oseq=oseq)
         if worker.queue.offer(envelope):
+            if self._trace is not None:
+                origin, oseq = envelope.event.provenance()
+                self._trace.emit(self.sim.now(), "enqueue",
+                                 machine=machine.name,
+                                 fn=envelope.dest_fn,
+                                 key=envelope.event.key,
+                                 worker=worker.index,
+                                 depth=len(worker.queue),
+                                 origin=origin, oseq=oseq)
             self._try_start(worker)
             return
         self._overflow(machine, worker, envelope)
@@ -890,6 +1076,22 @@ class SimRuntime:
         instance = self._operator_instance(worker, spec.name)
         event = envelope.event
         ctx = Context(spec.name, event.ts, spec.publishes, event.key)
+        if self._trace is not None:
+            origin, oseq = event.provenance()
+            extra: Dict[str, Any] = {}
+            if spec.kind == "update":
+                # The kv-store cell this update touches — the join key
+                # that lets reconstruct_chain follow the event through
+                # slate flushes into replica writes.
+                extra["updater"] = spec.name
+                extra["row"], extra["column"] = SlateKey(
+                    spec.name, event.key).row_column()
+            self._trace.emit(self.sim.now(), "execute",
+                             machine=machine.name, op=spec.name,
+                             op_kind=spec.kind, key=event.key,
+                             timer=envelope.is_timer,
+                             replayed=envelope.replayed,
+                             origin=origin, oseq=oseq, **extra)
 
         service = costs.dispatch_lock_s * (2 if cfg.engine == ENGINE_MUPPET2
                                            else 1)
@@ -929,8 +1131,19 @@ class SimRuntime:
                     # that include it): skip the re-application. The
                     # slate read was still paid for — dedup is not free.
                     self.replay_journal.stats.deduped += 1
+                    if self._trace is not None:
+                        self._trace.emit(self.sim.now(), "dedup",
+                                         machine=machine.name,
+                                         op=spec.name, key=event.key,
+                                         origin=origin, oseq=oseq,
+                                         decision="skip")
                     return service, [], []
                 self._replay_reapplied += 1
+                if self._trace is not None:
+                    self._trace.emit(self.sim.now(), "dedup",
+                                     machine=machine.name, op=spec.name,
+                                     key=event.key, origin=origin,
+                                     oseq=oseq, decision="reapply")
             if envelope.is_timer:
                 instance.on_timer(ctx, event.key, slate,
                                   envelope.timer_payload)
@@ -1008,6 +1221,15 @@ class SimRuntime:
                 origin, oseq = derive_origin(envelope.event,
                                              envelope.dest_fn, ordinal)
                 stamped = replace(stamped, origin=origin, oseq=oseq)
+            if self._trace is not None:
+                parent_origin, parent_oseq = envelope.event.provenance()
+                child_origin, child_oseq = stamped.provenance()
+                self._trace.emit(self.sim.now(), "publish",
+                                 sid=stamped.sid, op=envelope.dest_fn,
+                                 ordinal=ordinal,
+                                 parent_origin=parent_origin,
+                                 parent_oseq=parent_oseq,
+                                 origin=child_origin, oseq=child_oseq)
             self.counters.published += 1
             for sub in self._subscribers_of(stamped.sid):
                 self._send(_Envelope(stamped, envelope.birth_ts, sub.name,
@@ -1049,6 +1271,11 @@ class SimRuntime:
         period = self.config.flusher_period_s
 
         def tick(sim: Simulator) -> None:
+            if self._timeline is not None:
+                # Piggyback timeline sampling on this pre-existing tick:
+                # no extra simulator events, so the step count (and with
+                # it counter_report) is identical with the timeline on.
+                self._sample_timeline(sim.now())
             for machine in self.machines.values():
                 if not machine.alive:
                     continue
@@ -1070,6 +1297,22 @@ class SimRuntime:
             sim.schedule_in(period, tick)
 
         self.sim.schedule_in(period, tick)
+
+    def _sample_timeline(self, now: float) -> None:
+        """Record one timeline sample (read-only over engine state)."""
+        timeline = self._timeline
+        assert timeline is not None
+        for machine in self.machines.values():
+            timeline.sample_machine(
+                now, machine.name,
+                queue_depth=sum(len(w.queue) for w in machine.workers),
+                queue_peak=max((w.queue.stats.peak_depth
+                                for w in machine.workers), default=0),
+                dirty_slates=sum(m.cache.dirty_count()
+                                 for m in self._managers_of(machine)),
+                alive=machine.alive)
+        for name, recorder in self.latency.items():
+            timeline.sample_updater(now, name, recorder.samples)
 
     def _schedule_epochs(self) -> None:
         """Periodic checkpoint-epoch barrier (effectively-once only)."""
@@ -1258,7 +1501,7 @@ class SimRuntime:
             machine = self.machines.get(machine_name)
             if machine is None:
                 raise ConfigurationError(
-                    f"crash fault targets unknown machine "
+                    "crash fault targets unknown machine "
                     f"{machine_name!r}; cluster has "
                     f"{sorted(self.machines)}")
             if not machine.alive:
@@ -1476,13 +1719,12 @@ class SimRuntime:
             if len(recorder):
                 by_updater[name] = recorder.summary()
                 all_latencies.extend(recorder.samples)
-        dispatch: Dict[str, Any] = {}
+                histogram = self.metrics.histogram(f"latency.{name}")
+                if histogram.count == 0:
+                    recorder.fill_histogram(histogram)
+        dispatch = self._dispatch_stats()
         queue_peak = 0
         for machine in self.machines.values():
-            if machine.dispatcher is not None:
-                stats = machine.dispatcher.stats
-                for key, value in vars(stats).items():
-                    dispatch[key] = dispatch.get(key, 0) + value
             for worker in machine.workers:
                 queue_peak = max(queue_peak, worker.queue.stats.peak_depth)
         return SimReport(
@@ -1509,4 +1751,7 @@ class SimRuntime:
             dataplane=self.dataplane,
             replay=(ReplayStats(**vars(self.replay_journal.stats))
                     if self.replay_journal is not None else ReplayStats()),
+            metrics=self.metrics.family_snapshot(),
+            timeline_data=(self._timeline.as_dict()
+                           if self._timeline is not None else None),
         )

@@ -39,6 +39,12 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def as_dict(self) -> Dict[str, int]:
+        """Counter snapshot; registered as a metrics-registry view."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "dirty_evictions": self.dirty_evictions}
+
 
 class SlateCache:
     """An LRU cache of :class:`Slate` objects with eviction callbacks.
@@ -57,7 +63,7 @@ class SlateCache:
     def __init__(self, capacity: int,
                  on_evict: Optional[EvictionCallback] = None) -> None:
         if capacity < 1:
-            raise ConfigurationError(f"cache capacity must be >= 1, "
+            raise ConfigurationError("cache capacity must be >= 1, "
                                      f"got {capacity}")
         self.capacity = capacity
         self._on_evict = on_evict

@@ -16,7 +16,7 @@ evicted from cache'."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.operators import Updater
 from repro.core.slate import Slate, SlateKey
@@ -25,6 +25,9 @@ from repro.kvstore.api import ConsistencyLevel
 from repro.kvstore.cluster import ReplicatedKVStore
 from repro.slates.cache import SlateCache
 from repro.slates.codec import DEFAULT_CODEC, SlateCodec, split_watermarks
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.obs import Tracer
 
 
 @dataclass(frozen=True)
@@ -46,14 +49,14 @@ class FlushPolicy:
         if self.kind not in ("write_through", "interval", "on_evict"):
             raise ConfigurationError(
                 f"unknown flush policy {self.kind!r}; use write_through, "
-                f"interval, or on_evict"
+                "interval, or on_evict"
             )
         if self.kind == "interval" and self.interval_s <= 0:
             raise ConfigurationError(
-                f"FlushPolicy interval_s must be positive, got "
+                "FlushPolicy interval_s must be positive, got "
                 f"{self.interval_s!r}; use FlushPolicy.write_through() "
-                f"for per-update flushing or FlushPolicy.on_evict() to "
-                f"flush only at eviction"
+                "for per-update flushing or FlushPolicy.on_evict() to "
+                "flush only at eviction"
             )
 
     @classmethod
@@ -163,6 +166,9 @@ class SlateManager:
             :meth:`ReplicatedKVStore.write_batch` calls per flush cycle
             (on by default; the perf-gate ablation knob — off flushes
             one kv write per slate, the pre-batching behaviour).
+        tracer: Optional :class:`repro.obs.Tracer`; when set the manager
+            emits ``slate_read``/``slate_flush`` spans. Strictly
+            passive — never consulted except behind ``is not None``.
     """
 
     def __init__(
@@ -176,6 +182,7 @@ class SlateManager:
         max_slate_bytes: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
         coalesce_flushes: bool = True,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.store = store
         self.codec = codec
@@ -185,6 +192,7 @@ class SlateManager:
         self.max_slate_bytes = max_slate_bytes
         self.retry = retry or RetryPolicy()
         self.coalesce_flushes = coalesce_flushes
+        self.tracer = tracer
         self.cache = SlateCache(cache_capacity, on_evict=self._evicted)
         self.stats = SlateManagerStats()
         self._last_interval_flush = 0.0
@@ -236,6 +244,11 @@ class SlateManager:
             self.stats.kv_read_misses += 1
             return None
         self.pending_io_s += result.cost_s
+        if self.tracer is not None:
+            self.tracer.emit(self.clock(), "slate_read",
+                             updater=slate_key.updater, key=slate_key.key,
+                             row=row, column=column,
+                             hit=result.value is not None)
         if result.value is None:
             self.stats.kv_read_misses += 1
             return None
@@ -350,6 +363,14 @@ class SlateManager:
         self.stats.kv_writes += len(dirty)
         self.stats.batch_flushes += 1
         self.stats.batched_writes += len(dirty)
+        if self.tracer is not None:
+            now = self.clock()
+            for slate in dirty:
+                row, column = slate.slate_key.row_column()
+                self.tracer.emit(now, "slate_flush",
+                                 updater=slate.slate_key.updater,
+                                 key=slate.slate_key.key,
+                                 row=row, column=column, batched=True)
         for slate in dirty:
             slate.mark_clean()
         return len(dirty)
@@ -375,6 +396,11 @@ class SlateManager:
             return
         self.pending_io_s += result.cost_s
         self.stats.kv_writes += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.clock(), "slate_flush",
+                             updater=slate.slate_key.updater,
+                             key=slate.slate_key.key,
+                             row=row, column=column, batched=False)
         slate.mark_clean()
 
     def _evicted(self, slate: Slate) -> None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import List, Optional, Sequence
+from typing import List
 
 from repro.errors import ConfigurationError
 

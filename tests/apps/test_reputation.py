@@ -5,8 +5,7 @@ import json
 import pytest
 
 from repro.apps.reputation import (ACTIVITY_BOOST, INITIAL_SCORE,
-                                   RETWEET_WEIGHT, REPLY_WEIGHT,
-                                   build_reputation_app)
+                                   RETWEET_WEIGHT, build_reputation_app)
 from repro.core import Event, ReferenceExecutor
 from repro.muppet.local import LocalConfig, LocalMuppet
 from repro.workloads import TweetGenerator

@@ -6,8 +6,7 @@ import pytest
 
 from repro.apps.appendix_a import Counter, RetailerMapper, build_appendix_app
 from repro.core import Event, ReferenceExecutor
-from repro.core.binary import (BinaryMapper, BinaryUpdater,
-                               PerformerUtilities, slate_bytes)
+from repro.core.binary import PerformerUtilities, slate_bytes
 from repro.core.operators import Context
 from repro.errors import SlateError
 from repro.muppet.local import LocalConfig, LocalMuppet

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.event import Event
 from repro.core.operators import (MIN_TS_INCREMENT, Context, Mapper,
                                   TimerRequest, Updater)
 from repro.errors import TimestampError, WorkflowError

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import Application, Event, Mapper, ReferenceExecutor, Updater
 from repro.errors import SimulationError, WorkflowError
-from tests.conftest import (CountingUpdater, EchoMapper, build_count_app,
+from tests.conftest import (CountingUpdater, build_count_app,
                             build_two_stage_app, make_events)
 
 

@@ -65,7 +65,7 @@ class TestLifecycle:
 
         window = TumblingWindow("w", 60.0)
         slate = Slate(SlateKey("U", "k"), window.init({}))
-        slate[f"__w_open__"] = True
+        slate["__w_open__"] = True
         window.close(slate)
         assert not window.is_open(slate)
         assert window.start_ts(slate) == -1.0

@@ -2,7 +2,6 @@
 
 from pathlib import Path
 
-import pytest
 
 from repro.kvstore.cells import Cell
 from repro.kvstore.commitlog import CommitLog

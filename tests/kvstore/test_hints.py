@@ -2,7 +2,6 @@
 
 import itertools
 
-import pytest
 
 from repro.kvstore.api import ConsistencyLevel
 from repro.kvstore.cluster import ReplicatedKVStore

@@ -6,7 +6,6 @@ from pathlib import Path
 import pytest
 
 from repro.errors import StoreError
-from repro.kvstore.device import StorageDevice
 from repro.kvstore.node import StorageNode
 
 

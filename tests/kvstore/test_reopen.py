@@ -3,7 +3,6 @@
 import itertools
 from pathlib import Path
 
-import pytest
 
 from repro.kvstore.node import StorageNode
 

@@ -2,7 +2,6 @@
 
 import itertools
 
-import pytest
 
 from repro.kvstore.node import StorageNode
 

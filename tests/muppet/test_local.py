@@ -10,7 +10,7 @@ from repro.muppet.local import LocalConfig, LocalMuppet
 from repro.muppet.queues import OverflowPolicy
 from repro.slates.manager import FlushPolicy
 from tests.conftest import (CountingUpdater, EchoMapper, build_count_app,
-                            build_two_stage_app, make_events)
+                            make_events)
 
 
 def run_app(app, events, config=None):
@@ -156,7 +156,6 @@ class TestDivertOverflow:
         with LocalMuppet(app, config) as runtime:
             runtime.ingest_many(make_events(400, keys=1), block=False)
             runtime.drain()
-            diverted = runtime.counters.diverted_overflow_stream
             main = runtime.read_slate("U1", "k0")["count"]
             assert main > 0
 

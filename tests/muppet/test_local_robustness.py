@@ -2,7 +2,6 @@
 
 import time
 
-import pytest
 
 from repro.core import Application, Event, Mapper, Updater
 from repro.muppet.local import LocalConfig, LocalMuppet

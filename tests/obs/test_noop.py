@@ -1,0 +1,120 @@
+"""The no-op contract: observability off costs nothing, on changes nothing.
+
+Satellite of the observability layer's acceptance criteria:
+
+* with ``SimConfig.trace`` off the engine holds ``None`` — no tracer
+  object exists, no span is ever allocated;
+* enabling tracing and timeline sampling changes no simulated result:
+  byte-identical ``counter_report()`` (which includes the DES step
+  count) and byte-identical final slates under a fixed seed.
+"""
+
+import json
+
+from repro.cluster import ClusterSpec
+from repro.faults import FaultSchedule
+from repro.obs import RingTracer
+from repro.sim import SimConfig, SimRuntime, constant_rate
+from repro.slates.manager import FlushPolicy
+from tests.conftest import build_count_app
+
+
+def run_seeded(**config_kwargs):
+    config_kwargs.setdefault("flush_policy", FlushPolicy.every(0.2))
+    config_kwargs.setdefault("queue_capacity", 100_000)
+    config_kwargs.setdefault("kill_kv_on_machine_failure", True)
+    config = SimConfig(**config_kwargs)
+    source = constant_rate("S1", rate_per_s=1000.0, duration_s=2.0,
+                           key_fn=lambda i: f"k{i % 32}")
+    chaos = FaultSchedule(seed=11).crash(0.8, "m001", recover_at=1.5)
+    runtime = SimRuntime(build_count_app(), ClusterSpec.uniform(4, cores=2),
+                         config, [source], failures=chaos)
+    report = runtime.run(4.0)
+    slates = json.dumps(runtime.slates_of("U1"), sort_keys=True)
+    return runtime, report, slates
+
+
+class TestNoOpPath:
+    def test_trace_off_holds_none_everywhere(self):
+        runtime, _, __ = run_seeded()
+        assert runtime.tracer is None
+        assert runtime.store.tracer is None
+        for machine in runtime.machines.values():
+            for manager in runtime._managers_of(machine):
+                assert manager.tracer is None
+
+    def test_trace_off_allocates_no_spans(self):
+        """No tracer object means no span can ever be built: the guard
+        is `is not None`, checked here by running with a ring tracer
+        injected but trace *off* — the engine must not touch it."""
+        sentinel = RingTracer()
+        config = SimConfig()
+        source = constant_rate("S1", rate_per_s=200.0, duration_s=0.5,
+                               key_fn=lambda i: f"k{i % 4}")
+        runtime = SimRuntime(build_count_app(),
+                             ClusterSpec.uniform(2, cores=2), config,
+                             [source], tracer=sentinel)
+        # An explicitly injected tracer IS used regardless of the knob
+        # (the CLI path); so assert the inverse: with no injection and
+        # trace off, nothing is live.
+        runtime.run(1.0)
+        assert runtime.tracer is sentinel  # injection wins
+        plain = SimRuntime(build_count_app(),
+                           ClusterSpec.uniform(2, cores=2), SimConfig(),
+                           [constant_rate("S1", rate_per_s=200.0,
+                                          duration_s=0.5,
+                                          key_fn=lambda i: f"k{i % 4}")])
+        plain.run(1.0)
+        assert plain.tracer is None
+
+    def test_timeline_off_records_nothing(self):
+        _, report, __ = run_seeded()
+        assert report.timeline_data is None
+        assert report.timeline() == {"machines": {}, "updaters": {}}
+
+
+class TestObservabilityIsPassive:
+    def test_tracing_changes_no_simulated_result(self):
+        _, report_off, slates_off = run_seeded()
+        _, report_on, slates_on = run_seeded(trace=True)
+        assert report_off.counter_report() == report_on.counter_report()
+        assert slates_off == slates_on
+
+    def test_timeline_changes_no_simulated_result(self):
+        """Timeline sampling piggybacks on the flusher tick, so even the
+        DES step count (printed in counter_report) is unchanged."""
+        _, report_off, slates_off = run_seeded()
+        _, report_on, slates_on = run_seeded(timeline=True)
+        assert report_off.steps == report_on.steps
+        assert report_off.counter_report() == report_on.counter_report()
+        assert slates_off == slates_on
+
+    def test_everything_on_still_byte_identical(self):
+        _, report_off, slates_off = run_seeded()
+        _, report_on, slates_on = run_seeded(
+            trace=True, timeline=True,
+            delivery_semantics="effectively-once")
+        _, report_off2, slates_off2 = run_seeded(
+            delivery_semantics="effectively-once")
+        assert report_off2.counter_report() == report_on.counter_report()
+        assert slates_off2 == slates_on
+
+    def test_timeline_series_populated_when_on(self):
+        runtime, report, _ = run_seeded(timeline=True)
+        timeline = report.timeline()
+        assert set(timeline["machines"]) == set(runtime.machines)
+        machine_points = timeline["machines"]["m001"]
+        assert any(not point["alive"] for point in machine_points)
+        assert any(point["alive"] for point in machine_points)
+        assert timeline["updaters"]["U1"][-1]["count"] > 0
+
+    def test_registry_families_match_report(self):
+        runtime, report, _ = run_seeded()
+        families = runtime.metrics.family_snapshot()
+        assert families["counters"]["processed"] == \
+            report.counters.processed
+        assert families["master"] == report.master_stats
+        assert families["dispatch"] == report.dispatch_stats
+        # New observability families exist without touching the report.
+        assert "kv" in families
+        assert any(family.startswith("queues") for family in families)

@@ -144,7 +144,7 @@ class TestCancellableTimers:
         order = []
         sim = Simulator()
         sim.schedule(1.0, lambda s: order.append("plain"))
-        keep = sim.schedule_cancellable(1.0, lambda s: order.append("keep"))
+        sim.schedule_cancellable(1.0, lambda s: order.append("keep"))
         drop = sim.schedule_cancellable(1.0, lambda s: order.append("drop"))
         drop.cancel()
         sim.run_until(2.0)

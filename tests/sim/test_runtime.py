@@ -4,7 +4,6 @@ import pytest
 
 from repro.cluster import ClusterSpec
 from repro.core import Application, ReferenceExecutor
-from repro.muppet.queues import OverflowPolicy, SourceThrottle
 from repro.sim import (ENGINE_MUPPET1, ENGINE_MUPPET2, SimConfig,
                        SimRuntime, constant_rate, from_trace)
 from repro.workloads import CheckinGenerator

@@ -5,7 +5,6 @@ import itertools
 import pytest
 
 from repro.core.operators import Updater
-from repro.core.slate import SlateKey
 from repro.errors import (ConfigurationError, SlateTooLargeError,
                           StoreError)
 from repro.kvstore.cluster import ReplicatedKVStore

@@ -20,7 +20,7 @@ class TestReadmeCode:
         namespace: dict = {}
         exec(compile(blocks[0], str(README), "exec"), namespace)  # noqa: S102
         # The block ends by printing the 'fast' slate; re-verify it.
-        runtime_cls = namespace["LocalMuppet"]
+        assert "LocalMuppet" in namespace
         assert "WordCounter" in namespace
 
     def test_simulator_block_runs(self):

@@ -1,14 +1,12 @@
 """Tweet and checkin generators: schema, determinism, knobs."""
 
-import json
 from collections import Counter
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.workloads.checkins import (CheckinGenerator, parse_checkin)
-from repro.workloads.tweets import (DEFAULT_TOPICS, TopicBurst,
-                                    TweetGenerator, parse_tweet)
+from repro.workloads.tweets import TopicBurst, TweetGenerator, parse_tweet
 from repro.apps.retailer_count import match_retailer
 
 
