@@ -1,0 +1,48 @@
+"""Static and dynamic correctness analysis for the reproduction.
+
+The repo has two engines with hard correctness contracts — the DES
+simulator must be byte-deterministic, and the threaded
+:class:`~repro.muppet.local.LocalMuppet` must bound per-key slate access
+to the dispatcher's two-choice pair of queues. End-to-end byte-diff
+tests say *that* something drifted; this package says *where*:
+
+* :mod:`repro.analysis.lint` — an AST rule engine with ~8 repo-specific
+  ``MUP###`` rules (wall-clock in deterministic code, unseeded RNG,
+  unordered iteration feeding ordered sinks, slate-write bypasses,
+  un-guarded tracer calls, event mutation, swallowed exceptions, lock
+  ordering) and ``# noqa: MUP###`` suppressions that require a reason.
+* :mod:`repro.analysis.races` — an opt-in lockset (eraser-style) race
+  detector and lock-order-graph deadlock checker instrumenting
+  ``LocalMuppet``'s locks and shared state.
+* :mod:`repro.analysis.invariants` — a trace invariant checker that
+  replays an observability span trace (ring or JSONL) and asserts the
+  paper-level guarantees: per-worker FIFO, watermark monotonicity per
+  origin, the two-choice queue bound, and ring ownership of slate
+  writes.
+
+All three are wired into ``python -m repro analyze lint|races|invariants``
+and CI's ``analysis`` job.
+"""
+
+from repro.analysis.invariants import (InvariantChecker, InvariantViolation,
+                                       check_trace)
+from repro.analysis.lint import (Finding, LintRule, iter_rules, lint_paths,
+                                 lint_source, rule_table)
+from repro.analysis.races import (LockMonitor, RaceReport,
+                                  instrument_local_muppet, race_smoke_run)
+
+__all__ = [
+    "Finding",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LintRule",
+    "LockMonitor",
+    "RaceReport",
+    "check_trace",
+    "instrument_local_muppet",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "race_smoke_run",
+    "rule_table",
+]

@@ -1,0 +1,243 @@
+"""AST-based lint engine for repo-specific determinism/concurrency rules.
+
+The general-purpose linters (ruff's pyflakes/pycodestyle set, run by CI's
+``lint`` job) know nothing about *this* codebase's contracts: that the
+simulator must never read the wall clock, that slate writes must ride the
+flush path so dedup watermarks stay atomic with the fields, that tracer
+calls must be guarded so the disabled path stays free. This module is the
+rule engine for those contracts; the rules themselves live in
+:mod:`repro.analysis.rules` and register here.
+
+Engine features:
+
+* **Registry** — rules subclass :class:`LintRule` and register with
+  :func:`register_rule`; ``iter_rules()`` yields them sorted by code.
+* **Per-path scoping** — each rule declares regexes over the
+  repo-relative posix path (``repro/sim/runtime.py``); a rule only runs
+  where its contract applies (e.g. wall-clock is banned in ``repro.sim``
+  but merely audited in the threaded ``repro.muppet`` engines).
+* **Suppressions** — ``# noqa: MUP001 -- reason`` on the flagged line
+  suppresses that code there. The reason string (after ``--``) is
+  *mandatory*: a bare noqa with no reason produces an ``MUP000``
+  finding instead of a suppression, so every exemption documents
+  itself.
+
+Run it via ``python -m repro analyze lint src/repro`` (exit 1 on
+findings) or programmatically through :func:`lint_paths` /
+:func:`lint_source` (the fixture tests use the latter with virtual
+paths).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import AnalysisError
+
+#: ``# noqa: MUP001 -- reason`` (codes may be comma-separated; the
+#: ``--``-prefixed reason is required for the suppression to count).
+_NOQA_RE = re.compile(
+    r"#\s*noqa:\s*(?P<codes>MUP\d{3}(?:\s*,\s*MUP\d{3})*)"
+    r"(?:\s*--\s*(?P<reason>\S.*))?",
+)
+
+#: Engine-reserved code for malformed suppressions.
+SUPPRESSION_CODE = "MUP000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: CODE message`` — the CLI output line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# noqa`` directive on one physical line."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: Optional[str]
+
+
+class LintRule:
+    """Base class for one ``MUP###`` rule.
+
+    Subclasses set :attr:`code`, :attr:`name`, :attr:`description`, and
+    the path scope, then implement :meth:`check`, returning findings for
+    one parsed module.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    #: Regexes over the repo-relative posix path; the rule runs on a file
+    #: iff any include matches and no exclude matches.
+    include: Sequence[str] = (r"^repro/",)
+    exclude: Sequence[str] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        """Is ``relpath`` (posix, starting at ``repro/``) in scope?"""
+        if not any(re.search(pattern, relpath) for pattern in self.include):
+            return False
+        return not any(re.search(pattern, relpath) for pattern in self.exclude)
+
+    def check(self, tree: ast.Module, relpath: str,
+              source_lines: List[str]) -> List[Finding]:
+        """Return this rule's findings for one module."""
+        raise NotImplementedError
+
+    def finding(self, relpath: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(path=relpath, line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       code=self.code, message=message)
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not re.fullmatch(r"MUP\d{3}", cls.code):
+        raise AnalysisError(f"rule code must match MUP###, got {cls.code!r}")
+    if cls.code == SUPPRESSION_CODE:
+        raise AnalysisError(f"{SUPPRESSION_CODE} is reserved for the engine")
+    if cls.code in _REGISTRY:
+        raise AnalysisError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def iter_rules() -> Iterator[LintRule]:
+    """Instantiate every registered rule, sorted by code."""
+    _load_rules()
+    for code in sorted(_REGISTRY):
+        yield _REGISTRY[code]()
+
+
+def rule_table() -> List[Tuple[str, str, str]]:
+    """``(code, name, description)`` rows for docs and ``--list``."""
+    return [(rule.code, rule.name, rule.description) for rule in iter_rules()]
+
+
+def _load_rules() -> None:
+    """Import the rules package (idempotent) to populate the registry."""
+    import repro.analysis.rules  # noqa: F401 (import registers rules)
+
+
+# -- suppression handling ----------------------------------------------------
+
+def parse_suppressions(source_lines: List[str]) -> Tuple[
+        Dict[int, Tuple[str, ...]], List[Finding]]:
+    """Extract valid suppressions and flag reasonless ones.
+
+    Returns ``(by_line, engine_findings)`` where ``by_line`` maps a line
+    number to the codes validly suppressed there.
+    """
+    by_line: Dict[int, Tuple[str, ...]] = {}
+    bad: List[Finding] = []
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        codes = tuple(c.strip() for c in match.group("codes").split(","))
+        if match.group("reason") is None:
+            bad.append(Finding(
+                path="", line=lineno, col=match.start() + 1,
+                code=SUPPRESSION_CODE,
+                message=("suppression of "
+                         f"{', '.join(codes)} needs a reason: write "
+                         "'# noqa: MUP### -- why this is safe'")))
+            continue
+        by_line[lineno] = codes
+    return by_line, bad
+
+
+# -- running -----------------------------------------------------------------
+
+@dataclass
+class LintReport:
+    """Findings plus how much was scanned (for the CLI summary)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: int = 0
+
+
+def normalize_relpath(path: str) -> str:
+    """Repo-relative posix path starting at the ``repro/`` package.
+
+    Rule scopes are written against ``repro/...`` so that lint results
+    do not depend on where the repo is checked out or whether the caller
+    passed ``src/repro`` or an absolute path.
+    """
+    posix = Path(path).as_posix()
+    marker = posix.rfind("repro/")
+    return posix[marker:] if marker >= 0 else posix
+
+
+def lint_source(source: str, path: str,
+                rules: Optional[Iterable[LintRule]] = None) -> List[Finding]:
+    """Lint one source string as if it lived at ``path``.
+
+    This is the fixture-test entry point: known-bad snippets are linted
+    under virtual paths (``repro/sim/bad.py``) to prove each rule fires,
+    stays quiet on clean code, and honors suppressions.
+    """
+    relpath = normalize_relpath(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse {path}: {exc}") from exc
+    source_lines = source.splitlines()
+    suppressed, engine_findings = parse_suppressions(source_lines)
+    findings = [Finding(path=relpath, line=f.line, col=f.col, code=f.code,
+                        message=f.message) for f in engine_findings]
+    for rule in (rules if rules is not None else iter_rules()):
+        if not rule.applies_to(relpath):
+            continue
+        for finding in rule.check(tree, relpath, source_lines):
+            if finding.code in suppressed.get(finding.line, ()):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Expand files/directories into ``.py`` files, sorted for stable output."""
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise AnalysisError(f"lint target does not exist: {raw}")
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint files/directories; ``select`` restricts to specific codes."""
+    rules = [rule for rule in iter_rules()
+             if select is None or rule.code in select]
+    report = LintReport(rules_run=len(rules))
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        report.files_checked += 1
+        report.findings.extend(lint_source(source, str(file_path), rules))
+    return report

@@ -1,0 +1,479 @@
+"""Dynamic lockset race detection for the threaded engine.
+
+:class:`repro.muppet.local.LocalMuppet` is the one component the
+virtual-clock determinism gate cannot cover — it runs real threads, so
+its bugs are schedules, not states. This module instruments a runtime
+*before* it starts: every engine lock is wrapped in a
+:class:`TrackedLock`, and the shared state the workers/flusher/timer
+threads touch (slates, counters, latency, the processing table) is
+shimmed to report each access to a :class:`LockMonitor`.
+
+Two detectors run over the recording:
+
+* **Eraser-style lockset** (Savage et al.): each shared-state name
+  carries a candidate set of locks, intersected with the locks held at
+  every access. If the candidate set empties while ≥2 threads and ≥1
+  write were seen, no single lock protected that state — a data race,
+  reported with the conflicting threads, their stacks, and the locks
+  each held.
+* **Lock-order graph**: every nested acquisition adds a ``held →
+  acquired`` edge; a cycle means two schedules can deadlock even if no
+  run has yet. The static twin of this check is lint rule MUP008.
+
+Everything here is opt-in diagnostics: an uninstrumented runtime pays
+nothing, an instrumented one serializes through the monitor and is
+expected to be slow.
+
+Typical use (also wired as ``python -m repro analyze races``)::
+
+    runtime = LocalMuppet(app, LocalConfig(num_threads=4))
+    monitor = instrument_local_muppet(runtime)
+    with runtime:
+        runtime.ingest_many(events)
+        runtime.drain()
+        monitor.stop_recording()
+    for race in monitor.races():
+        print(race.format())
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.operators import Updater
+from repro.errors import AnalysisError
+
+__all__ = [
+    "LockMonitor",
+    "RaceReport",
+    "TrackedLock",
+    "instrument_local_muppet",
+    "race_smoke_run",
+]
+
+
+@dataclass(frozen=True)
+class _AccessSample:
+    """One recorded access to a shared state (stack captured lazily)."""
+
+    thread: str
+    kind: str  # "read" | "write"
+    locks: Tuple[str, ...]
+    stack: str
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One lockset violation: no common lock across all accesses."""
+
+    state: str
+    threads: Tuple[str, ...]
+    samples: Tuple[_AccessSample, ...]
+
+    def format(self) -> str:
+        lines = [f"RACE on {self.state}: no common lock across "
+                 f"{len(self.threads)} threads ({', '.join(self.threads)})"]
+        for sample in self.samples:
+            held = ", ".join(sample.locks) if sample.locks else "<none>"
+            lines.append(f"  {sample.kind} by {sample.thread} "
+                         f"holding [{held}]")
+            for frame in sample.stack.rstrip().splitlines():
+                lines.append(f"    {frame}")
+        return "\n".join(lines)
+
+
+class LockMonitor:
+    """Records lock events and shared-state accesses from many threads.
+
+    Thread-safe via one internal (untracked) lock. Recording stops at
+    :meth:`stop_recording` — call it before engine teardown so
+    post-join cleanup (``stop()`` flushing without worker locks) is not
+    misread as racy.
+    """
+
+    #: Max distinct access samples kept per state (enough to show the
+    #: conflicting pair plus context without unbounded growth).
+    MAX_SAMPLES = 6
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._recording = True
+        #: thread ident -> stack of currently held TrackedLocks.
+        self._held: Dict[int, List["TrackedLock"]] = {}
+        #: state name -> candidate lockset (None until first access).
+        self._lockset: Dict[str, FrozenSet[str]] = {}
+        self._state_threads: Dict[str, Set[str]] = {}
+        self._state_writes: Dict[str, bool] = {}
+        self._samples: Dict[str, List[_AccessSample]] = {}
+        self._sampled: Set[Tuple[str, str, Tuple[str, ...], str]] = set()
+        self._raced: Set[str] = set()
+        #: (held group, acquired group) -> sample stack.
+        self._order_edges: Dict[Tuple[str, str], str] = {}
+        self.acquisitions = 0
+        self.accesses = 0
+
+    # -- recording hooks (called by TrackedLock and the shims) --------------
+    def on_acquire(self, lock: "TrackedLock") -> None:
+        ident = threading.get_ident()
+        with self._lock:
+            if not self._recording:
+                return
+            self.acquisitions += 1
+            held = self._held.setdefault(ident, [])
+            for prior in held:
+                if prior is lock:
+                    continue
+                edge = (prior.group, lock.group)
+                if edge[0] != edge[1] and edge not in self._order_edges:
+                    self._order_edges[edge] = "".join(
+                        traceback.format_stack(limit=10))
+            held.append(lock)
+
+    def on_release(self, lock: "TrackedLock") -> None:
+        ident = threading.get_ident()
+        with self._lock:
+            held = self._held.get(ident)
+            if held is None:
+                return
+            # Remove the most recent occurrence (locks are non-reentrant
+            # but distinct slate locks share a group).
+            for i in range(len(held) - 1, -1, -1):
+                if held[i] is lock:
+                    del held[i]
+                    break
+
+    def record_access(self, state: str, kind: str = "write") -> None:
+        """Apply the lockset algorithm to one access of ``state``."""
+        ident = threading.get_ident()
+        thread = threading.current_thread().name
+        with self._lock:
+            if not self._recording:
+                return
+            self.accesses += 1
+            held = frozenset(lock.name for lock in self._held.get(ident, ()))
+            previous = self._lockset.get(state)
+            self._lockset[state] = (held if previous is None
+                                    else previous & held)
+            self._state_threads.setdefault(state, set()).add(thread)
+            if kind == "write":
+                self._state_writes[state] = True
+            # Stack capture is the expensive part; only sample each
+            # distinct (thread, lockset, kind) once per state.
+            sample_key = (state, thread, tuple(sorted(held)), kind)
+            samples = self._samples.setdefault(state, [])
+            if (sample_key not in self._sampled
+                    and len(samples) < self.MAX_SAMPLES):
+                self._sampled.add(sample_key)
+                samples.append(_AccessSample(
+                    thread=thread, kind=kind, locks=tuple(sorted(held)),
+                    stack="".join(traceback.format_stack(limit=8))))
+            if (not self._lockset[state]
+                    and len(self._state_threads[state]) >= 2
+                    and self._state_writes.get(state, False)):
+                self._raced.add(state)
+
+    def stop_recording(self) -> None:
+        """Freeze the recording (teardown accesses are ignored)."""
+        with self._lock:
+            self._recording = False
+
+    # -- reports -------------------------------------------------------------
+    def races(self) -> List[RaceReport]:
+        """All states whose candidate lockset emptied under contention."""
+        with self._lock:
+            reports = []
+            for state in sorted(self._raced):
+                reports.append(RaceReport(
+                    state=state,
+                    threads=tuple(sorted(self._state_threads[state])),
+                    samples=tuple(self._samples.get(state, ())),
+                ))
+            return reports
+
+    def ordering_cycles(self) -> List[List[str]]:
+        """Cycles in the lock-order graph (potential deadlocks)."""
+        with self._lock:
+            edges: Dict[str, Set[str]] = {}
+            for src, dst in self._order_edges:
+                edges.setdefault(src, set()).add(dst)
+        cycles: List[List[str]] = []
+        seen_cycles: Set[Tuple[str, ...]] = set()
+
+        def visit(node: str, path: List[str], on_path: Set[str]) -> None:
+            for nxt in sorted(edges.get(node, ())):
+                if nxt in on_path:
+                    cycle = path[path.index(nxt):] + [nxt]
+                    # Canonicalize so each cycle reports once.
+                    pivot = min(range(len(cycle) - 1),
+                                key=lambda i: cycle[i])
+                    canon = tuple(cycle[pivot:-1] + cycle[:pivot])
+                    if canon not in seen_cycles:
+                        seen_cycles.add(canon)
+                        cycles.append(cycle)
+                    continue
+                visit(nxt, path + [nxt], on_path | {nxt})
+
+        for start in sorted(edges):
+            visit(start, [start], {start})
+        return cycles
+
+    def report(self) -> str:
+        """Human-readable summary of both detectors."""
+        races = self.races()
+        cycles = self.ordering_cycles()
+        lines = [f"lock acquisitions: {self.acquisitions}, "
+                 f"state accesses: {self.accesses}"]
+        if not races and not cycles:
+            lines.append("no data races, no lock-order cycles")
+        for race in races:
+            lines.append(race.format())
+        for cycle in cycles:
+            lines.append("LOCK-ORDER CYCLE: " + " -> ".join(cycle))
+        return "\n".join(lines)
+
+
+class TrackedLock:
+    """A non-reentrant lock that reports acquire/release to a monitor.
+
+    ``group`` names the lock's role in the order graph; distinct
+    per-slate locks all share the group ``"slate"`` so the graph stays
+    small and order edges aggregate by role.
+    """
+
+    def __init__(self, name: str, monitor: LockMonitor,
+                 group: Optional[str] = None) -> None:
+        self.name = name
+        self.group = group if group is not None else name
+        self._monitor = monitor
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._monitor.on_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._monitor.on_release(self)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class _MonitoredCounters:
+    """Attribute proxy over an EventCounter, reporting field accesses."""
+
+    __slots__ = ("_target", "_monitor")
+
+    def __init__(self, target: Any, monitor: LockMonitor) -> None:
+        object.__setattr__(self, "_target", target)
+        object.__setattr__(self, "_monitor", monitor)
+
+    def __getattr__(self, name: str) -> Any:
+        value = getattr(object.__getattribute__(self, "_target"), name)
+        if not callable(value):
+            object.__getattribute__(self, "_monitor").record_access(
+                f"counters.{name}", "read")
+        return value
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        object.__getattribute__(self, "_monitor").record_access(
+            f"counters.{name}", "write")
+        setattr(object.__getattribute__(self, "_target"), name, value)
+
+
+class _MonitoredList(list):
+    """The worker ``_processing`` table with per-slot access recording."""
+
+    def __init__(self, items: List[Any], monitor: LockMonitor,
+                 name: str) -> None:
+        super().__init__(items)
+        self._monitor = monitor
+        self._name = name
+
+    def __getitem__(self, index):  # type: ignore[no-untyped-def]
+        self._monitor.record_access(f"{self._name}[{index}]", "read")
+        return super().__getitem__(index)
+
+    def __setitem__(self, index, value):  # type: ignore[no-untyped-def]
+        self._monitor.record_access(f"{self._name}[{index}]", "write")
+        super().__setitem__(index, value)
+
+    def __iter__(self):  # type: ignore[no-untyped-def]
+        self._monitor.record_access(self._name, "read")
+        return super().__iter__()
+
+
+def instrument_local_muppet(runtime: Any,
+                            monitor: Optional[LockMonitor] = None
+                            ) -> LockMonitor:
+    """Swap a LocalMuppet's locks and shared state for tracked shims.
+
+    Must run before ``runtime.start()`` — worker threads capture lock
+    references at loop entry. Returns the monitor (a fresh one if none
+    was given). The instrumented runtime behaves identically, slower.
+    """
+    if getattr(runtime, "_running", False):
+        raise AnalysisError(
+            "instrument_local_muppet must run before runtime.start(); "
+            "worker threads bind the original locks once started")
+    mon = monitor if monitor is not None else LockMonitor()
+
+    # 1. The seven engine locks (conditions rebuilt over tracked locks).
+    dispatch = TrackedLock("dispatch", mon)
+    runtime._dispatch_lock = dispatch
+    runtime._work_available = threading.Condition(dispatch)
+    runtime._manager_lock = TrackedLock("manager", mon)
+    runtime._slate_locks_guard = TrackedLock("slate_locks_guard", mon)
+    runtime._latency_lock = TrackedLock("latency", mon)
+    runtime._counter_lock = TrackedLock("counter", mon)
+    runtime._idle = threading.Condition(TrackedLock("idle", mon))
+    runtime._timer_cond = threading.Condition(TrackedLock("timer", mon))
+
+    # 2. Per-slate locks: the factory now mints tracked locks (one
+    #    group, distinct instances per key).
+    def _tracked_slate_lock(slate_key: Any) -> TrackedLock:
+        with runtime._slate_locks_guard:
+            lock = runtime._slate_locks.get(slate_key)
+            if lock is None:
+                lock = TrackedLock(
+                    f"slate[{slate_key.updater}/{slate_key.key}]",
+                    mon, group="slate")
+                runtime._slate_locks[slate_key] = lock
+            return lock
+
+    runtime._slate_locks.clear()
+    runtime._slate_lock = _tracked_slate_lock
+
+    # 3. Shared state: counters, the processing table, latency.
+    runtime.counters = _MonitoredCounters(runtime.counters, mon)
+    runtime._processing = _MonitoredList(runtime._processing, mon,
+                                         "processing")
+    latency_record = runtime.latency.record
+
+    def _tracked_latency_record(value: float) -> None:
+        mon.record_access("latency", "write")
+        latency_record(value)
+
+    runtime.latency.record = _tracked_latency_record
+
+    # 4. Slate field accesses. Writes happen inside updater.update() /
+    #    on_timer() (under the per-slate lock); the flusher's encode is
+    #    a read of the same fields. Recording both lets the lockset
+    #    algorithm see whether any one lock covers slate mutation.
+    for op_name, instance in runtime._instances.items():
+        if not isinstance(instance, Updater):
+            continue
+        _shim_updater(instance, op_name, mon)
+
+    manager = runtime.manager
+
+    def _record_dirty_reads() -> None:
+        for slate_key in manager.dirty_keys():
+            mon.record_access(
+                f"slate:{slate_key.updater}/{slate_key.key}", "read")
+
+    flush_due = manager.flush_due
+
+    def _tracked_flush_due() -> int:
+        _record_dirty_reads()
+        return flush_due()
+
+    flush_all_dirty = manager.flush_all_dirty
+
+    def _tracked_flush_all_dirty() -> int:
+        _record_dirty_reads()
+        return flush_all_dirty()
+
+    flush_one = manager.flush_one
+
+    def _tracked_flush_one(slate_key: Any) -> bool:
+        mon.record_access(
+            f"slate:{slate_key.updater}/{slate_key.key}", "read")
+        return flush_one(slate_key)
+
+    manager.flush_due = _tracked_flush_due
+    manager.flush_all_dirty = _tracked_flush_all_dirty
+    manager.flush_one = _tracked_flush_one
+    return mon
+
+
+def _shim_updater(instance: Any, op_name: str, mon: LockMonitor) -> None:
+    """Record a slate write around ``update``/``on_timer`` calls."""
+    update = instance.update
+    on_timer = instance.on_timer
+
+    def _tracked_update(ctx: Any, event: Any, slate: Any) -> None:
+        mon.record_access(f"slate:{op_name}/{event.key}", "write")
+        update(ctx, event, slate)
+
+    def _tracked_on_timer(ctx: Any, key: Any, slate: Any,
+                          payload: Any) -> None:
+        mon.record_access(f"slate:{op_name}/{key}", "write")
+        on_timer(ctx, key, slate, payload)
+
+    instance.update = _tracked_update
+    instance.on_timer = _tracked_on_timer
+
+
+# -- the CI smoke run ---------------------------------------------------------
+def race_smoke_run(events: int = 2000, threads: int = 4, keys: int = 16,
+                   flush_every_s: float = 0.02,
+                   build: Optional[Callable[[], Any]] = None) -> LockMonitor:
+    """Run an instrumented LocalMuppet under churn; return the monitor.
+
+    The workload is tuned to exercise every lock pair: many keys (slate
+    lock contention), a short flush interval (flusher vs. worker), and
+    enough events that the two-choice dispatcher routes one key to two
+    workers. CI asserts the result is race- and cycle-free.
+    """
+    from repro.core.application import Application
+    from repro.core.operators import Mapper
+    from repro.muppet.local import LocalConfig, LocalMuppet
+    from repro.slates.manager import FlushPolicy
+
+    if build is None:
+        class _Echo(Mapper):
+            def map(self, ctx: Any, event: Any) -> None:
+                ctx.publish("S2", event.key, event.value)
+
+        class _Count(Updater):
+            def init_slate(self, key: str) -> Dict[str, Any]:
+                return {"count": 0}
+
+            def update(self, ctx: Any, event: Any, slate: Any) -> None:
+                slate["count"] += 1
+
+        def build() -> Any:
+            app = Application("race-smoke")
+            app.add_stream("S1", external=True)
+            app.add_stream("S2")
+            app.add_mapper("M1", _Echo, subscribes=["S1"], publishes=["S2"])
+            app.add_updater("U1", _Count, subscribes=["S2"])
+            return app.validate()
+
+    from repro.core.event import Event
+
+    config = LocalConfig(num_threads=threads,
+                         flush_policy=FlushPolicy.every(flush_every_s),
+                         flusher_period_s=flush_every_s / 2)
+    runtime = LocalMuppet(build(), config)
+    monitor = instrument_local_muppet(runtime)
+    with runtime:
+        for i in range(events):
+            runtime.ingest(Event("S1", ts=i * 0.001, key=f"k{i % keys}",
+                                 value=i))
+        runtime.drain()
+        monitor.stop_recording()
+    return monitor

@@ -1,0 +1,12 @@
+"""Rule registry population.
+
+Importing this package imports every rule module; each module's
+``@register_rule`` decorators add its rules to the registry consumed by
+:func:`repro.analysis.lint.iter_rules`. Add new rule modules to the
+import list below (codes must be unique ``MUP###``).
+"""
+
+from repro.analysis.rules import (determinism, events, locks, slates,
+                                  tracing)
+
+__all__ = ["determinism", "events", "locks", "slates", "tracing"]

@@ -1,0 +1,67 @@
+"""Shared AST utilities for the MUP rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Best-effort dotted name of an expression (``self._trace`` →
+    ``"self._trace"``); ``None`` for anything not a name/attribute chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the canonical dotted names they import.
+
+    ``import time as t`` → ``{"t": "time"}``; ``from time import
+    monotonic`` → ``{"monotonic": "time.monotonic"}``. Used to resolve
+    calls back to their canonical module path so rules cannot be dodged
+    by aliasing.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}")
+    return aliases
+
+
+def canonical_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted name with its leading segment resolved through imports."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    resolved = aliases.get(head, head)
+    return f"{resolved}.{rest}" if rest else resolved
+
+
+def walk_with_parents(tree: ast.AST) -> Iterator[Tuple[ast.AST, List[ast.AST]]]:
+    """Yield ``(node, ancestors)`` pairs, ancestors outermost-first."""
+    stack: List[Tuple[ast.AST, List[ast.AST]]] = [(tree, [])]
+    while stack:
+        node, parents = stack.pop()
+        yield node, parents
+        child_parents = parents + [node]
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_parents))
+
+
+def enclosing_function(parents: List[ast.AST]) -> Optional[ast.AST]:
+    """The innermost def/async-def in an ancestor list, if any."""
+    for node in reversed(parents):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None

@@ -1,0 +1,120 @@
+"""MUP006 + MUP007: event immutability and exception hygiene.
+
+* **MUP006** — :class:`repro.core.event.Event` is a frozen dataclass:
+  its identity fields (``sid, ts, key, value, seq, origin, oseq``) are
+  shared by reference across queues, the replay journal, coalescing
+  buffers, and dedup watermarks. Mutating one in place (including the
+  ``object.__setattr__`` escape hatch) corrupts every holder at once;
+  re-addressing must go through ``dataclasses.replace`` /
+  ``Event.with_stream``. The frozen dataclass raises at runtime — this
+  rule catches it at review time, before the test that would have
+  tripped it exists.
+* **MUP007** — engine code must not swallow failures: a bare
+  ``except:`` (which also catches KeyboardInterrupt/SystemExit) or an
+  ``except ...: pass`` hides the lost-event accounting the paper
+  requires ("logged as lost", Section 4.3). Handlers must either handle
+  (count, reroute, degrade) or re-raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.lint import Finding, LintRule, register_rule
+from repro.analysis.rules.base import dotted_name
+
+#: Event's frozen fields.
+_EVENT_FIELDS = {"sid", "ts", "key", "value", "seq", "origin", "oseq"}
+
+def _names_event(receiver: str) -> bool:
+    """Does the receiver's name (by repo convention) bind an Event?
+
+    Matches ``event``, ``timer_event``, ``envelope.event``, ``evt``,
+    ``stamped``, ``diverted`` — the binding names the engines use.
+    """
+    last = receiver.split(".")[-1].lower()
+    return "event" in last or last in ("evt", "stamped", "diverted")
+
+
+@register_rule
+class EventMutationRule(LintRule):
+    """Flag in-place mutation of Event fields after construction."""
+
+    code = "MUP006"
+    name = "event-mutation"
+    description = ("assignment to Event fields (sid/ts/key/value/seq/"
+                   "origin/oseq) after construction; events are shared "
+                   "by reference — use dataclasses.replace")
+    include = (r"^repro/",)
+    exclude = (r"^repro/core/event\.py$",)
+
+    def check(self, tree: ast.Module, relpath: str,
+              source_lines: List[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                if target.attr not in _EVENT_FIELDS:
+                    continue
+                receiver = dotted_name(target.value)
+                if receiver is None or receiver in ("self", "cls"):
+                    continue
+                if not _names_event(receiver):
+                    continue
+                findings.append(self.finding(
+                    relpath, target,
+                    f"mutating {receiver}.{target.attr} in place; Event "
+                    "is frozen and shared by reference — build a copy "
+                    "with dataclasses.replace or Event.with_stream"))
+            # The frozen-dataclass escape hatch.
+            if isinstance(node, ast.Call):
+                func = dotted_name(node.func)
+                if func == "object.__setattr__" and node.args:
+                    receiver = dotted_name(node.args[0])
+                    if receiver is not None and _names_event(receiver):
+                        findings.append(self.finding(
+                            relpath, node,
+                            f"object.__setattr__({receiver}, ...) defeats "
+                            "Event's frozen contract; use "
+                            "dataclasses.replace"))
+        return findings
+
+
+@register_rule
+class SwallowedExceptionRule(LintRule):
+    """Flag bare/silently-swallowed exception handlers in engine code."""
+
+    code = "MUP007"
+    name = "swallowed-exception"
+    description = ("bare 'except:' or 'except ...: pass' in engine code; "
+                   "failures must be counted (lost-event accounting) or "
+                   "re-raised, never silently dropped")
+    include = (r"^repro/(sim|core|muppet|slates|kvstore|cluster|faults)/",)
+
+    def check(self, tree: ast.Module, relpath: str,
+              source_lines: List[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(self.finding(
+                    relpath, node,
+                    "bare 'except:' also catches KeyboardInterrupt/"
+                    "SystemExit; name the exception (ReproError or "
+                    "Exception at minimum)"))
+                continue
+            if all(isinstance(stmt, ast.Pass) for stmt in node.body):
+                findings.append(self.finding(
+                    relpath, node,
+                    "exception swallowed with 'pass'; count it "
+                    "(lost-event accounting), degrade explicitly, or "
+                    "re-raise"))
+        return findings

@@ -1,0 +1,109 @@
+"""MUP005: tracer calls must be guarded by ``is not None``.
+
+The observability layer's contract (PR 4's overhead budget): with
+tracing off, engines hold ``None`` instead of a tracer and every
+emission site costs exactly one ``is not None`` check — measured ~0.2%
+against a 2% budget. An un-guarded ``tracer.emit(...)`` either crashes
+the disabled path (AttributeError on ``None``) or forces a real tracer
+object into it, paying allocation per span where the budget allows a
+pointer compare. This rule enforces the guard shape at every emit site.
+
+Accepted guard shapes::
+
+    if self._trace is not None:
+        self._trace.emit(...)
+
+    if tracer is None:
+        return            # early-exit anywhere earlier in the function
+    tracer.emit(...)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.lint import Finding, LintRule, register_rule
+from repro.analysis.rules.base import (dotted_name, enclosing_function,
+                                       walk_with_parents)
+
+
+def _none_compare(test: ast.expr, name: str, is_not: bool) -> bool:
+    """Does ``test`` contain ``<name> is [not] None`` (possibly inside
+    an ``and`` chain, e.g. ``if tracer is not None and deep:``)?"""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_none_compare(v, name, is_not) for v in test.values)
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return False
+    op = test.ops[0]
+    wanted = ast.IsNot if is_not else ast.Is
+    if not isinstance(op, wanted):
+        return False
+    left = dotted_name(test.left)
+    right = test.comparators[0]
+    return left == name and isinstance(right, ast.Constant) and (
+        right.value is None)
+
+
+@register_rule
+class UnguardedTracerRule(LintRule):
+    """Flag ``<tracer>.emit(...)`` outside an ``is not None`` guard."""
+
+    code = "MUP005"
+    name = "unguarded-tracer"
+    description = ("tracer.emit(...) without an 'is not None' guard; "
+                   "the disabled path must cost one pointer compare "
+                   "(obs overhead budget)")
+    include = (r"^repro/",)
+    exclude = (r"^repro/obs/", r"^repro/analysis/")
+
+    def check(self, tree: ast.Module, relpath: str,
+              source_lines: List[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node, parents in walk_with_parents(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr != "emit":
+                continue
+            receiver = dotted_name(node.func.value)
+            if receiver is None or "trace" not in receiver.lower():
+                continue
+            if self._guarded(receiver, node, parents):
+                continue
+            findings.append(self.finding(
+                relpath, node,
+                f"{receiver}.emit(...) is not behind an "
+                f"'{receiver} is not None' guard; tracing off must cost "
+                "one pointer compare, not an attribute error"))
+        return findings
+
+    @staticmethod
+    def _guarded(receiver: str, call: ast.Call,
+                 parents: List[ast.AST]) -> bool:
+        # Shape 1: an ancestor `if <receiver> is not None:` with the
+        # call in its body (not its orelse).
+        for index, ancestor in enumerate(parents):
+            if isinstance(ancestor, ast.If) and _none_compare(
+                    ancestor.test, receiver, is_not=True):
+                child = parents[index + 1] if index + 1 < len(parents) else None
+                if child is None or child not in ancestor.orelse:
+                    return True
+        # Shape 2: an earlier `if <receiver> is None: return/raise/continue`
+        # in the enclosing function, lexically before the call.
+        func = enclosing_function(parents)
+        if func is None:
+            return False
+        call_line = call.lineno
+        for node in ast.walk(func):
+            if not isinstance(node, ast.If):
+                continue
+            if node.lineno >= call_line:
+                continue
+            if not _none_compare(node.test, receiver, is_not=False):
+                continue
+            if node.body and isinstance(
+                    node.body[-1], (ast.Return, ast.Raise, ast.Continue)):
+                return True
+        return False

@@ -1,0 +1,105 @@
+"""Canonical traced scenarios for the analysis tools.
+
+The invariant checker needs a trace worth checking: long enough to
+cross a failure, a recovery, and replay, yet fully retained (a ring
+that dropped its head makes FIFO/coverage checks report phantom
+violations). This module re-creates the repo's E6d chaos scenario —
+the same one the CI determinism gate replays — with tracing on and a
+ring sized so nothing is dropped.
+
+E6d: S1 → M1(echo) → S2 → U1(count), 2000 events/s for 3 s over 64
+keys on a 4-machine cluster; m001 crashes at t=1.05 s and recovers at
+t=2.0 s with its co-located kv node; slates flush every 0.2 s.
+
+The default delivery mode here is **effectively-once**: that is the
+mode whose guarantees the checker asserts in full. Under at-most-once
+the documented orphaned-cache residual (see
+``SimRuntime.schedule_add_machine``) can legitimately break strict
+ring ownership — useful for demonstrating the checker catches it, not
+for a green CI gate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.errors import AnalysisError
+from repro.obs.trace import Span
+
+__all__ = ["build_e6d_app", "e6d_chaos_run", "e6d_chaos_trace"]
+
+
+def build_e6d_app() -> Any:
+    """S1 → M1(echo) → S2 → U1(count), as in the E6 chaos benches."""
+    from repro.core.application import Application
+    from repro.core.operators import Mapper, Updater
+
+    class _Echo(Mapper):
+        def map(self, ctx: Any, event: Any) -> None:
+            ctx.publish("S2", event.key, event.value)
+
+    class _Count(Updater):
+        def init_slate(self, key: str) -> dict:
+            return {"count": 0}
+
+        def update(self, ctx: Any, event: Any, slate: Any) -> None:
+            slate["count"] += 1
+
+    app = Application("e6d-chaos")
+    app.add_stream("S1", external=True)
+    app.add_stream("S2")
+    app.add_mapper("M1", _Echo, subscribes=["S1"], publishes=["S2"])
+    app.add_updater("U1", _Count, subscribes=["S2"])
+    return app.validate()
+
+
+def e6d_chaos_run(delivery: str = "effectively-once",
+                  trace_capacity: int = 262_144,
+                  rate_per_s: float = 2000.0,
+                  duration_s: float = 3.0) -> Any:
+    """Run the traced E6d chaos scenario; returns the finished runtime.
+
+    The returned :class:`~repro.sim.SimRuntime` has run to completion;
+    its ``tracer`` holds the full span trace.
+    """
+    from repro.cluster import ClusterSpec
+    from repro.faults import FaultSchedule
+    from repro.sim import SimConfig, SimRuntime
+    from repro.sim.sources import constant_rate
+    from repro.slates.manager import FlushPolicy
+
+    config = SimConfig(
+        flush_policy=FlushPolicy.every(0.2),
+        queue_capacity=100_000,
+        kill_kv_on_machine_failure=True,
+        delivery_semantics=delivery,
+        trace=True,
+        trace_capacity=trace_capacity,
+    )
+    source = constant_rate("S1", rate_per_s=rate_per_s,
+                           duration_s=duration_s,
+                           key_fn=lambda i: f"k{i % 64}")
+    chaos = FaultSchedule(seed=7).crash(1.05, "m001", recover_at=2.0)
+    runtime = SimRuntime(build_e6d_app(), ClusterSpec.uniform(4, cores=4),
+                         config, [source], failures=chaos)
+    runtime.run(6.0)
+    return runtime
+
+
+def e6d_chaos_trace(delivery: str = "effectively-once",
+                    trace_capacity: int = 262_144,
+                    rate_per_s: float = 2000.0,
+                    duration_s: float = 3.0) -> List[Span]:
+    """The complete E6d span trace (raises if the ring dropped spans)."""
+    runtime = e6d_chaos_run(delivery=delivery,
+                            trace_capacity=trace_capacity,
+                            rate_per_s=rate_per_s,
+                            duration_s=duration_s)
+    tracer = runtime.tracer
+    assert tracer is not None
+    dropped = getattr(tracer, "dropped", 0)
+    if dropped:
+        raise AnalysisError(
+            f"trace ring dropped {dropped} spans; a truncated trace "
+            "cannot be invariant-checked — raise trace_capacity")
+    return tracer.spans()

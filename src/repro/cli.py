@@ -104,6 +104,48 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="sample per-machine/per-updater "
                                "timeseries and include them in the "
                                "report JSON")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static lint, race detection, trace invariant checking")
+    tool = analyze.add_subparsers(dest="tool", required=True)
+
+    lint = tool.add_parser("lint",
+                           help="run the MUP### determinism/concurrency "
+                                "rules over source paths")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories (default: src/repro)")
+    lint.add_argument("--select", metavar="CODES", default=None,
+                      help="comma-separated rule codes to run "
+                           "(e.g. MUP001,MUP003)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
+
+    races = tool.add_parser("races",
+                            help="lockset race + lock-order-cycle "
+                                 "detection over an instrumented "
+                                 "LocalMuppet smoke run")
+    races.add_argument("--events", type=int, default=2000,
+                       help="events to ingest (default: 2000)")
+    races.add_argument("--threads", type=int, default=4,
+                       help="worker threads (default: 4)")
+    races.add_argument("--keys", type=int, default=16,
+                       help="distinct keys (default: 16)")
+
+    invariants = tool.add_parser(
+        "invariants",
+        help="replay a span trace and check FIFO/watermark/two-choice/"
+             "ring-ownership invariants")
+    source = invariants.add_mutually_exclusive_group(required=True)
+    source.add_argument("--trace", metavar="PATH",
+                        help="JSONL span trace to check")
+    source.add_argument("--e6d", action="store_true",
+                        help="run the traced E6d chaos scenario and "
+                             "check its trace")
+    invariants.add_argument("--checks", metavar="NAMES", default=None,
+                            help="comma-separated subset (fifo, "
+                                 "watermarks, two_choice, "
+                                 "ring_ownership); all by default")
     return parser
 
 
@@ -243,11 +285,56 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.tool == "lint":
+        from repro.analysis.lint import lint_paths, rule_table
+
+        if args.list_rules:
+            for code, name, description in rule_table():
+                print(f"{code}  {name}: {description}")
+            return 0
+        select = (None if args.select is None
+                  else [c.strip() for c in args.select.split(",")])
+        report = lint_paths(args.paths, select=select)
+        for finding in report.findings:
+            print(finding.format())
+        print(f"{report.files_checked} files, {report.rules_run} rules, "
+              f"{len(report.findings)} findings", file=sys.stderr)
+        return 1 if report.findings else 0
+
+    if args.tool == "races":
+        from repro.analysis.races import race_smoke_run
+
+        monitor = race_smoke_run(events=args.events, threads=args.threads,
+                                 keys=args.keys)
+        print(monitor.report())
+        return 1 if (monitor.races() or monitor.ordering_cycles()) else 0
+
+    from repro.analysis.invariants import check_trace
+
+    checks = (None if args.checks is None
+              else [c.strip() for c in args.checks.split(",")])
+    if args.e6d:
+        from repro.analysis.scenarios import e6d_chaos_trace
+
+        trace: object = e6d_chaos_trace()
+        label = "E6d chaos trace"
+    else:
+        trace = args.trace
+        label = args.trace
+    violations = check_trace(trace, checks=checks)
+    for violation in violations:
+        print(violation.format())
+    print(f"{label}: {len(violations)} violations", file=sys.stderr)
+    return 1 if violations else 0
+
+
 _COMMANDS = {
     "validate": _cmd_validate,
     "generate": _cmd_generate,
     "run": _cmd_run,
     "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
 }
 
 

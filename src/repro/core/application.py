@@ -194,7 +194,7 @@ class Application:
         """Operators that may publish into stream ``sid``, sorted by name."""
         return [s for s in self.operators() if sid in s.publishes]
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """The workflow as a ``networkx.DiGraph`` (nodes=operators+streams).
 
         Stream nodes are prefixed ``"stream:"`` so operator and stream

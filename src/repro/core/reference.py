@@ -29,7 +29,7 @@ from repro.core.operators import (Context, Mapper, Operator, TimerRequest,
                                   Updater)
 from repro.core.slate import Slate, SlateKey
 from repro.errors import SimulationError, WorkflowError
-from repro.muppet.queues import BoundedQueue
+from repro.muppet.queues import BoundedQueue, QueueStats
 
 #: Prefix for the synthetic stream on which timer callbacks are ordered.
 #: "!" sorts before every alphanumeric stream ID, so a timer at timestamp T
@@ -162,7 +162,7 @@ class ReferenceExecutor:
         )
 
     @property
-    def pending_stats(self):
+    def pending_stats(self) -> QueueStats:
         """Admission-ledger stats; ``peak_depth`` is the peak backlog."""
         return self._pending.stats
 

@@ -25,7 +25,7 @@ Two hot-path amortizations live here:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.core.event import Timestamp

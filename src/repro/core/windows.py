@@ -63,7 +63,7 @@ class TumblingWindow:
         fields[self._start_field] = -1.0
         return fields
 
-    def observe(self, ctx: Context, ts: float, slate) -> bool:
+    def observe(self, ctx: Context, ts: float, slate: Any) -> bool:
         """Note one event; opens the window (and arms the timer) if it
         is not already open. Returns True when this event opened it."""
         if slate.get(self._open_field):
@@ -73,15 +73,15 @@ class TumblingWindow:
         ctx.set_timer(ts + self.length_s)
         return True
 
-    def is_open(self, slate) -> bool:
+    def is_open(self, slate: Any) -> bool:
         """Whether a window is currently open on this slate."""
         return bool(slate.get(self._open_field))
 
-    def start_ts(self, slate) -> float:
+    def start_ts(self, slate: Any) -> float:
         """Opening timestamp of the current window (-1 when closed)."""
         return float(slate.get(self._start_field, -1.0))
 
-    def close(self, slate) -> None:
+    def close(self, slate: Any) -> None:
         """Close the window (call from ``on_timer`` after emitting)."""
         slate[self._open_field] = False
         slate[self._start_field] = -1.0

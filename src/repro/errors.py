@@ -74,3 +74,15 @@ class EngineStoppedError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class AnalysisError(ReproError):
+    """A static/dynamic analysis tool was misused or given bad input.
+
+    Raised by :mod:`repro.analysis` when a lint target cannot be parsed,
+    a rule registration is malformed, a trace file is not a span trace,
+    or the race detector is attached to an already-running engine. A
+    *finding* (lint hit, race, invariant violation) is never an
+    exception — findings are data; this error means the tool itself
+    could not run.
+    """

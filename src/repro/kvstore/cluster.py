@@ -387,12 +387,12 @@ class ReplicatedKVStore:
     # -- maintenance / introspection ----------------------------------------------
     def flush_all(self) -> float:
         """Flush every node's memtable; returns total background cost."""
-        return sum(node.flush() for node in self.nodes.values()
+        return sum(node.flush() for _, node in sorted(self.nodes.items())
                    if not node.is_down)
 
     def compact_all(self) -> float:
         """Compact every node; returns total background cost."""
-        return sum(node.compact() for node in self.nodes.values()
+        return sum(node.compact() for _, node in sorted(self.nodes.items())
                    if not node.is_down)
 
     def total_cells(self) -> int:

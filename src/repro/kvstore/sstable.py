@@ -162,7 +162,7 @@ def merge_sstables(tables: List[SSTable], now: float,
             if existing is None or cell.supersedes(existing):
                 newest[cell.key] = cell
     survivors = []
-    for cell in newest.values():
+    for cell in newest.values():  # noqa: MUP003 -- SSTable() sorts cells at construction; survivor order cannot leak
         if cell.expired(now):
             continue  # TTL GC happens here, at compaction.
         if drop_tombstones and cell.is_tombstone:

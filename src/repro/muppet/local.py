@@ -33,7 +33,8 @@ from repro.core.application import Application
 from repro.core.event import Event, EventCounter
 from repro.core.operators import Context, Mapper, Operator, TimerRequest, Updater
 from repro.core.slate import Slate, SlateKey
-from repro.errors import ConfigurationError, EngineStoppedError, WorkflowError
+from repro.errors import (ConfigurationError, EngineStoppedError, StoreError,
+                          WorkflowError)
 from repro.kvstore.api import ConsistencyLevel
 from repro.kvstore.cluster import ReplicatedKVStore
 from repro.metrics import LatencyRecorder
@@ -60,10 +61,15 @@ class LocalConfig:
     flusher_period_s: float = 0.1
     record_latency: bool = True
     max_slate_bytes: Optional[int] = None
+    #: How long a throttled source sleeps between retries when its
+    #: target queue is full (the block-the-source overflow policy).
+    throttle_poll_s: float = 0.001
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
             raise ConfigurationError("num_threads must be >= 1")
+        if self.throttle_poll_s <= 0:
+            raise ConfigurationError("throttle_poll_s must be positive")
 
 
 class _WorkItem:
@@ -109,13 +115,13 @@ class LocalMuppet:
         self.store = store if store is not None else ReplicatedKVStore(
             node_names=[f"kv{i}" for i in range(cfg.kv_nodes)],
             replication_factor=cfg.kv_replication,
-            clock=time.monotonic,
+            clock=time.monotonic,  # noqa: MUP001 -- threaded engine: real kv timestamps/TTLs by design
         )
         self.manager = SlateManager(
             store=self.store,
             cache_capacity=cfg.cache_slates,
             flush_policy=cfg.flush_policy,
-            clock=time.monotonic,
+            clock=time.monotonic,  # noqa: MUP001 -- threaded engine: real flush intervals by design
             consistency=cfg.consistency,
             max_slate_bytes=cfg.max_slate_bytes,
         )
@@ -259,7 +265,7 @@ class LocalMuppet:
             if stamped.ts > self._watermark:
                 self._watermark = stamped.ts
                 self._timer_cond.notify_all()
-        birth = time.monotonic()
+        birth = time.monotonic()  # noqa: MUP001 -- wall-clock latency birthstamp (threaded engine)
         ok = True
         for sub in self.app.subscribers_of(stamped.sid):
             item = _WorkItem(stamped, sub.name, birth)
@@ -278,7 +284,7 @@ class LocalMuppet:
     # -- dispatch -----------------------------------------------------------------
     def _dispatch(self, item: _WorkItem, from_source: bool = False,
                   timeout: float = 30.0, allow_divert: bool = True) -> bool:
-        deadline = time.monotonic() + timeout
+        deadline = time.monotonic() + timeout  # noqa: MUP001 -- real throttling deadline (threaded engine)
         while True:
             with self._dispatch_lock:
                 lengths = [len(q) for q in self._queues]
@@ -297,13 +303,13 @@ class LocalMuppet:
             if policy.kind == "divert":
                 return self._divert(item)
             # throttle: block the source until space frees up.
-            if not from_source or time.monotonic() >= deadline:
+            if not from_source or time.monotonic() >= deadline:  # noqa: MUP001 -- real throttling deadline (threaded engine)
                 with self._counter_lock:
                     self.counters.dropped_overflow += 1
                 return False
             with self._counter_lock:
                 self.counters.throttled += 1
-            time.sleep(0.001)
+            time.sleep(self.config.throttle_poll_s)  # noqa: MUP001 -- source backpressure needs real waiting (threaded engine)
 
     def _divert(self, item: _WorkItem) -> bool:
         sid = self.config.overflow.overflow_sid
@@ -334,7 +340,7 @@ class LocalMuppet:
         semantics, so windowed applications (hot topics) emit their final
         windows when a bounded run finishes.
         """
-        deadline = time.monotonic() + timeout
+        deadline = time.monotonic() + timeout  # noqa: MUP001 -- real drain deadline (threaded engine)
         while True:
             if not self._wait_idle(deadline):
                 return False
@@ -349,7 +355,7 @@ class LocalMuppet:
     def _wait_idle(self, deadline: float) -> bool:
         with self._idle:
             while self._inflight > 0:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - time.monotonic()  # noqa: MUP001 -- real drain deadline (threaded engine)
                 if remaining <= 0:
                     return False
                 self._idle.wait(min(remaining, 0.1))
@@ -371,9 +377,11 @@ class LocalMuppet:
                 self._process(item)
             except Exception as exc:
                 # A failing map/update costs one event, not the worker.
+                # last_error shares the counter lock so a status() reader
+                # never sees the count bumped without its exception.
                 with self._counter_lock:
                     self.operator_errors += 1
-                self.last_error = exc
+                    self.last_error = exc
             finally:
                 with self._dispatch_lock:
                     self._processing[index] = None
@@ -403,7 +411,7 @@ class LocalMuppet:
                     self.manager.note_update(slate)
             if self.config.record_latency and not item.is_timer:
                 with self._latency_lock:
-                    self.latency.record(time.monotonic() - item.birth)
+                    self.latency.record(time.monotonic() - item.birth)  # noqa: MUP001 -- wall-clock latency measurement (threaded engine)
         with self._counter_lock:
             self.counters.processed += 1
         for out in ctx.emitted:
@@ -455,35 +463,60 @@ class LocalMuppet:
 
     # -- background flush ---------------------------------------------------------
     def _flusher_loop(self) -> None:
-        """The Muppet 2.0 background kv-store I/O thread (Section 4.5)."""
+        """The Muppet 2.0 background kv-store I/O thread (Section 4.5).
+
+        Each slate is encoded under its own lock (then the manager
+        lock, the canonical order) so a worker running ``update()`` on
+        the same slate can never mutate its fields mid-encode — the
+        manager lock alone does not cover field mutation, which happens
+        under per-slate locks in :meth:`_process`. Keys are flushed in
+        sorted order so the kv write sequence is key-deterministic.
+        """
         while self._running:
-            time.sleep(self.config.flusher_period_s)
+            time.sleep(self.config.flusher_period_s)  # noqa: MUP001 -- real I/O pacing (threaded engine)
             with self._manager_lock:
-                self.manager.flush_due()
+                if not self.manager.due():
+                    continue
+                self.manager.mark_interval_flushed()
+                dirty = self.manager.dirty_keys()
+            dirty.sort(key=lambda sk: (sk.updater, sk.key))
+            for slate_key in dirty:
+                with self._slate_lock(slate_key):
+                    with self._manager_lock:
+                        self.manager.flush_one(slate_key)
 
     # -- reads -------------------------------------------------------------------
     def read_slate(self, updater: str, key: str) -> Optional[Dict[str, Any]]:
         """Read a slate's current contents from the cache (fresh), else
-        the store — the Section 4.4 slate-fetch semantics."""
+        the store — the Section 4.4 slate-fetch semantics.
+
+        Snapshots the slate under its lock so a concurrent ``update()``
+        can never be observed mid-mutation.
+        """
         slate_key = SlateKey(updater, key)
-        with self._manager_lock:
-            slate = self.manager.cache.peek(slate_key)
-            if slate is not None:
-                return slate.as_dict()
+        with self._slate_lock(slate_key):
+            with self._manager_lock:
+                slate = self.manager.cache.peek(slate_key)
+                if slate is not None:
+                    return slate.as_dict()
         try:
             result = self.store.read(key, updater)
-        except Exception:
+        except StoreError:
             return None
         if result.value is None:
             return None
         return self.manager.codec.decode(result.value)
 
     def read_slates_of(self, updater: str) -> Dict[str, Dict[str, Any]]:
-        """All cached slates of one updater."""
-        found: Dict[str, Dict[str, Any]] = {}
+        """All cached slates of one updater, in sorted key order."""
         with self._manager_lock:
-            for slate_key in self.manager.cache.resident():
-                if slate_key.updater == updater:
+            keys = [slate_key for slate_key in self.manager.cache.resident()
+                    if slate_key.updater == updater]
+        keys.sort(key=lambda sk: sk.key)
+        found: Dict[str, Dict[str, Any]] = {}
+        for slate_key in keys:
+            with self._slate_lock(slate_key):
+                with self._manager_lock:
                     slate = self.manager.cache.peek(slate_key)
                     if slate is not None:
                         found[slate_key.key] = slate.as_dict()

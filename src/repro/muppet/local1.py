@@ -52,10 +52,15 @@ class Local1Config:
     kv_replication: int = 1
     flusher_period_s: float = 0.1
     record_latency: bool = True
+    #: How long senders/workers sleep between queue polls (the 1.0
+    #: design busy-waits instead of using a shared condition).
+    poll_interval_s: float = 0.0005
 
     def __post_init__(self) -> None:
         if self.workers_per_function < 1:
             raise ConfigurationError("workers_per_function must be >= 1")
+        if self.poll_interval_s <= 0:
+            raise ConfigurationError("poll_interval_s must be positive")
 
 
 class _Worker1:
@@ -119,7 +124,7 @@ class LocalMuppet1:
         self.store = store if store is not None else ReplicatedKVStore(
             node_names=[f"kv{i}" for i in range(cfg.kv_nodes)],
             replication_factor=cfg.kv_replication,
-            clock=time.monotonic,
+            clock=time.monotonic,  # noqa: MUP001 -- threaded 1.0 engine is wall-clock by design
         )
         self.counters = EventCounter()
         self.latency = LatencyRecorder()
@@ -156,7 +161,7 @@ class LocalMuppet1:
                     manager=SlateManager(
                         self.store, cache_capacity=per_worker_cache,
                         flush_policy=cfg.flush_policy,
-                        clock=time.monotonic),
+                        clock=time.monotonic),  # noqa: MUP001 -- threaded 1.0 engine is wall-clock by design
                     publishes=spec.publishes)
                 self._workers[wid] = worker
                 ring.add(wid)
@@ -219,7 +224,7 @@ class LocalMuppet1:
             if stamped.ts > self._watermark:
                 self._watermark = stamped.ts
                 self._timer_cond.notify_all()
-        birth = time.monotonic()
+        birth = time.monotonic()  # noqa: MUP001 -- real ingest timestamp for latency measurement
         ok = True
         for sub in self.app.subscribers_of(stamped.sid):
             ok = self._route(stamped, sub.name, birth) and ok
@@ -234,16 +239,17 @@ class LocalMuppet1:
         """Hash <key, function> to the one owning worker (Section 4.1)."""
         wid = self._rings[function].lookup(route_key(event.key, function))
         worker = self._workers[wid]
-        deadline = time.monotonic() + 30.0
+        deadline = time.monotonic() + 30.0  # noqa: MUP001 -- real backpressure deadline (threaded engine)
         while True:
             if worker.queue.offer((event, birth, is_timer, payload)):
                 self._inflight_add(1)
                 return True
-            if time.monotonic() > deadline:
+            if time.monotonic() > deadline:  # noqa: MUP001 -- real backpressure deadline (threaded engine)
                 with self._counter_lock:
                     self.counters.dropped_overflow += 1
                 return False
-            time.sleep(0.0005)  # 1.0-style backpressure: sender waits
+            # 1.0-style backpressure: sender waits.
+            time.sleep(self.config.poll_interval_s)  # noqa: MUP001 -- real I/O pacing (threaded engine)
 
     def _inflight_add(self, delta: int) -> None:
         with self._idle:
@@ -258,7 +264,7 @@ class LocalMuppet1:
         order once the queues empty (end-of-stream semantics)."""
         import heapq
 
-        deadline = time.monotonic() + timeout
+        deadline = time.monotonic() + timeout  # noqa: MUP001 -- real drain deadline (threaded engine)
         while True:
             if not self._wait_idle(deadline):
                 return False
@@ -273,7 +279,7 @@ class LocalMuppet1:
     def _wait_idle(self, deadline: float) -> bool:
         with self._idle:
             while self._inflight > 0:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - time.monotonic()  # noqa: MUP001 -- real drain deadline (threaded engine)
                 if remaining <= 0:
                     return False
                 self._idle.wait(min(remaining, 0.1))
@@ -285,7 +291,7 @@ class LocalMuppet1:
             if item is None:
                 if not self._running:
                     return
-                time.sleep(0.0005)
+                time.sleep(self.config.poll_interval_s)  # noqa: MUP001 -- real queue-poll pacing (threaded engine)
                 continue
             try:
                 self._process(worker, *item)
@@ -315,7 +321,7 @@ class LocalMuppet1:
             worker.manager.note_update(slate)
             if self.config.record_latency and not is_timer:
                 with self._latency_lock:
-                    self.latency.record(time.monotonic() - birth)
+                    self.latency.record(time.monotonic() - birth)  # noqa: MUP001 -- real end-to-end latency sample
         with self._counter_lock:
             self.counters.processed += 1
         for output in outputs:
@@ -366,8 +372,8 @@ class LocalMuppet1:
 
     def _flusher_loop(self) -> None:
         while self._running:
-            time.sleep(self.config.flusher_period_s)
-            for worker in self._workers.values():
+            time.sleep(self.config.flusher_period_s)  # noqa: MUP001 -- real I/O pacing (threaded engine)
+            for _, worker in sorted(self._workers.items()):
                 worker.manager.flush_due()
 
     # -- reads --------------------------------------------------------------
@@ -390,7 +396,7 @@ class LocalMuppet1:
     def read_slates_of(self, updater: str) -> Dict[str, Dict[str, Any]]:
         """All cached slates of one updater across its workers."""
         found: Dict[str, Dict[str, Any]] = {}
-        for worker in self._workers.values():
+        for _, worker in sorted(self._workers.items()):
             if worker.function != updater:
                 continue
             for slate_key in worker.manager.cache.resident():

@@ -79,7 +79,7 @@ class SlateLogSink:
         if self._directory is None:
             return written
         with self._lock:
-            for updater, buffer in self._buffers.items():
+            for updater, buffer in sorted(self._buffers.items()):
                 path = self._directory / f"{updater}.jsonl"
                 with path.open("a", encoding="utf-8") as handle:
                     handle.write(buffer.getvalue())
@@ -130,11 +130,11 @@ class SharedLogger:
 
     def log(self, line: str) -> None:
         """Append under the shared lock (measures wait time)."""
-        start = time.perf_counter()
+        start = time.perf_counter()  # noqa: MUP001 -- measures real lock contention (the point of this class)
         with self._lock:
-            waited = time.perf_counter() - start
+            waited = time.perf_counter() - start  # noqa: MUP001 -- measures real lock contention (the point of this class)
             if self._write_cost_s:
-                time.sleep(self._write_cost_s)
+                time.sleep(self._write_cost_s)  # noqa: MUP001 -- simulates real IO cost inside the critical section
             self._lines.append(line)
             self.stats.records += 1
             self.stats.lock_wait_s += waited
@@ -159,7 +159,7 @@ class PerWorkerLogger:
     def log(self, worker_index: int, line: str) -> None:
         """Append to the worker's private log (no shared lock)."""
         if self._write_cost_s:
-            time.sleep(self._write_cost_s)
+            time.sleep(self._write_cost_s)  # noqa: MUP001 -- simulates real IO cost (contention comparison bench)
         self._logs[worker_index].append(line)
         with self._stats_lock:
             self.stats.records += 1

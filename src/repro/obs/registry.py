@@ -234,22 +234,22 @@ class MetricsRegistry:
         last-registered-wins (views layered over explicit instruments).
         """
         flat: Dict[str, Any] = {}
-        for name, counter in self._counters.items():
+        for name, counter in self._counters.items():  # noqa: MUP003 -- flat is sorted before return
             flat[name] = counter.value
-        for name, gauge in self._gauges.items():
+        for name, gauge in self._gauges.items():  # noqa: MUP003 -- flat is sorted before return
             flat[name] = gauge.read()
-        for name, histogram in self._histograms.items():
-            for stat, value in histogram.summary().items():
+        for name, histogram in self._histograms.items():  # noqa: MUP003 -- flat is sorted before return
+            for stat, value in histogram.summary().items():  # noqa: MUP003 -- flat is sorted before return
                 flat[f"{name}.{stat}"] = value
         for prefix, fn in self._groups:
-            for key, value in fn().items():
+            for key, value in fn().items():  # noqa: MUP003 -- flat is sorted before return
                 flat[f"{prefix}.{key}"] = value
         return dict(sorted(flat.items()))
 
     def family_snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Snapshot grouped by the first dotted segment of each name."""
         families: Dict[str, Dict[str, Any]] = {}
-        for name, value in self.snapshot().items():
+        for name, value in self.snapshot().items():  # noqa: MUP003 -- snapshot() is already name-sorted
             family, _, rest = name.partition(".")
             families.setdefault(family, {})[rest or family] = value
         return families

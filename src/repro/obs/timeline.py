@@ -80,9 +80,11 @@ class TimelineRecorder:
         """The full timeline: ``{"machines": {...}, "updaters": {...}}``."""
         return {
             "machines": {
-                name: list(points) for name, points in self.machine_series.items()
+                name: list(points)
+                for name, points in sorted(self.machine_series.items())
             },
             "updaters": {
-                name: list(points) for name, points in self.updater_series.items()
+                name: list(points)
+                for name, points in sorted(self.updater_series.items())
             },
         }

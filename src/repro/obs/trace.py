@@ -29,8 +29,8 @@ Station kinds and their fields:
   two-choice (or single-choice) dispatcher picked a worker queue.
 * ``enqueue``  — ``machine, fn, key, worker, depth, origin, oseq``: the
   event entered that worker's bounded queue.
-* ``execute``  — ``machine, op, op_kind, key, origin, oseq`` (+``updater,
-  row, column`` for updates): one map/update invocation ran.
+* ``execute``  — ``machine, op, op_kind, key, worker, origin, oseq``
+  (+``updater, row, column`` for updates): one map/update invocation ran.
 * ``publish``  — ``sid, op, ordinal, parent_origin, parent_oseq, origin,
   oseq``: an operator emitted its ``ordinal``-th output event. The
   explicit parent→child provenance edge is what lets
@@ -47,6 +47,14 @@ Station kinds and their fields:
   slate persisted.
 * ``kv_write`` — ``row, column, replicas, acks``: one replicated cell
   write (batch writes emit one span per cell).
+* ``ring_change`` — ``change, machine``: cluster membership changed
+  (``exclude`` on failure broadcast, ``restore`` on recovery, ``join``
+  on elastic add). The trace invariant checker scopes its two-choice
+  and ring-ownership windows between these spans.
+
+``slate_read``/``slate_flush`` spans additionally carry ``machine``
+when the emitting slate manager was constructed with an owner (the
+simulator always sets one; the threaded engines have no machine name).
 """
 
 from __future__ import annotations

@@ -504,7 +504,8 @@ class SimRuntime:
         return self._trace
 
     # -- construction ------------------------------------------------------
-    def _new_manager(self, capacity: int) -> SlateManager:
+    def _new_manager(self, capacity: int,
+                     owner: Optional[str] = None) -> SlateManager:
         return SlateManager(
             store=self.store,
             cache_capacity=max(1, capacity),
@@ -515,6 +516,7 @@ class SimRuntime:
             retry=self.config.kv_retry,
             coalesce_flushes=self.config.coalesce_slate_flushes,
             tracer=self._trace,
+            owner=owner,
         )
 
     def _build_machines(self) -> None:
@@ -524,7 +526,7 @@ class SimRuntime:
             if cfg.engine == ENGINE_MUPPET2:
                 threads = cfg.threads_per_machine or spec.cores
                 machine.central_mgr = self._new_manager(
-                    cfg.cache_slates_per_machine)
+                    cfg.cache_slates_per_machine, owner=spec.name)
                 if cfg.two_choice:
                     machine.dispatcher = TwoChoiceDispatcher(
                         threads, cfg.dispatch_factor,
@@ -559,7 +561,8 @@ class SimRuntime:
                             machine=machine, index=index,
                             function=op_spec.name,
                             queue_capacity=cfg.queue_capacity,
-                            mgr=self._new_manager(per_worker_cache))
+                            mgr=self._new_manager(per_worker_cache,
+                                                  owner=spec.name))
                         # Each 1.0 worker loads its own copy of the code.
                         machine.shared_instances[worker.wid] = (
                             op_spec.instantiate())
@@ -935,6 +938,9 @@ class SimRuntime:
             for ring in self._function_rings.values():
                 for worker in machine.workers:
                     ring.exclude(worker.wid)
+            if self._trace is not None:
+                self._trace.emit(sim.now(), "ring_change",
+                                 change="exclude", machine=machine.name)
             if self._detection_time is None and self._failure_time is not None:
                 self._detection_time = sim.now() - self._failure_time
             if self.replay_journal is not None:
@@ -1089,6 +1095,7 @@ class SimRuntime:
             self._trace.emit(self.sim.now(), "execute",
                              machine=machine.name, op=spec.name,
                              op_kind=spec.kind, key=event.key,
+                             worker=worker.index,
                              timer=envelope.is_timer,
                              replayed=envelope.replayed,
                              origin=origin, oseq=oseq, **extra)
@@ -1276,7 +1283,7 @@ class SimRuntime:
                 # no extra simulator events, so the step count (and with
                 # it counter_report) is identical with the timeline on.
                 self._sample_timeline(sim.now())
-            for machine in self.machines.values():
+            for machine in self.machines.values():  # noqa: MUP003 -- single-threaded DES; machine insertion order is deterministic
                 if not machine.alive:
                     continue
                 managers = ({machine.central_mgr}
@@ -1397,7 +1404,7 @@ class SimRuntime:
             if cfg.engine == ENGINE_MUPPET2:
                 threads = cfg.threads_per_machine or spec.cores
                 machine.central_mgr = self._new_manager(
-                    cfg.cache_slates_per_machine)
+                    cfg.cache_slates_per_machine, owner=spec.name)
                 if cfg.two_choice:
                     machine.dispatcher = TwoChoiceDispatcher(
                         threads, cfg.dispatch_factor,
@@ -1434,7 +1441,8 @@ class SimRuntime:
                             machine=machine, index=index,
                             function=op_spec.name,
                             queue_capacity=cfg.queue_capacity,
-                            mgr=self._new_manager(per_worker_cache))
+                            mgr=self._new_manager(per_worker_cache,
+                                                  owner=spec.name))
                         machine.shared_instances[worker.wid] = (
                             op_spec.instantiate())
                         machine.workers.append(worker)
@@ -1442,6 +1450,9 @@ class SimRuntime:
                         self._worker_by_id[worker.wid] = worker
                         index += 1
             self.machines[spec.name] = machine
+            if self._trace is not None:
+                self._trace.emit(sim.now(), "ring_change",
+                                 change="join", machine=spec.name)
             self._reroute_queued_after_ring_change()
 
         self.sim.schedule(at, join, priority=-1)
@@ -1479,7 +1490,7 @@ class SimRuntime:
     def _rebalance_flush(self) -> None:
         """Flush every dirty slate cluster-wide before a ring change, so
         no key moves while its freshest state is only in a cache."""
-        for machine in self.machines.values():
+        for machine in self.machines.values():  # noqa: MUP003 -- single-threaded DES; machine insertion order is deterministic
             if not machine.alive:
                 continue
             managers = ({machine.central_mgr}
@@ -1574,6 +1585,9 @@ class SimRuntime:
                 for ring in self._function_rings.values():
                     for worker in machine.workers:
                         ring.restore(worker.wid)
+                if self._trace is not None:
+                    self._trace.emit(sim2.now(), "ring_change",
+                                     change="restore", machine=machine_name)
                 self._reroute_queued_after_ring_change()
 
             # Report to master (one hop) + broadcast to workers (one
@@ -1715,7 +1729,7 @@ class SimRuntime:
     def _report(self, duration_s: float) -> SimReport:
         all_latencies = LatencyRecorder()
         by_updater: Dict[str, LatencySummary] = {}
-        for name, recorder in self.latency.items():
+        for name, recorder in self.latency.items():  # noqa: MUP003 -- single-threaded DES; operator insertion order is deterministic
             if len(recorder):
                 by_updater[name] = recorder.summary()
                 all_latencies.extend(recorder.samples)
@@ -1724,7 +1738,7 @@ class SimRuntime:
                     recorder.fill_histogram(histogram)
         dispatch = self._dispatch_stats()
         queue_peak = 0
-        for machine in self.machines.values():
+        for machine in self.machines.values():  # noqa: MUP003 -- max() is order-independent
             for worker in machine.workers:
                 queue_peak = max(queue_peak, worker.queue.stats.peak_depth)
         return SimReport(
@@ -1745,7 +1759,7 @@ class SimRuntime:
             memory_mb_per_machine=self.memory_mb_per_machine(),
             kv_stats=self.store.stats_by_node(),
             device_stats={name: node.device.stats.as_dict()
-                          for name, node in self.store.nodes.items()},
+                          for name, node in sorted(self.store.nodes.items())},
             steps=self.sim.steps,
             robustness=self._robustness_counters(),
             dataplane=self.dataplane,

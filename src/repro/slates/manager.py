@@ -16,7 +16,7 @@ evicted from cache'."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.core.operators import Updater
 from repro.core.slate import Slate, SlateKey
@@ -169,6 +169,10 @@ class SlateManager:
         tracer: Optional :class:`repro.obs.Tracer`; when set the manager
             emits ``slate_read``/``slate_flush`` spans. Strictly
             passive — never consulted except behind ``is not None``.
+        owner: Name of the machine this manager belongs to. Purely
+            observational: when set, slate spans carry ``machine=owner``
+            so the trace invariant checker can verify ring ownership of
+            slate traffic.
     """
 
     def __init__(
@@ -183,6 +187,7 @@ class SlateManager:
         retry: Optional[RetryPolicy] = None,
         coalesce_flushes: bool = True,
         tracer: Optional["Tracer"] = None,
+        owner: Optional[str] = None,
     ) -> None:
         self.store = store
         self.codec = codec
@@ -193,6 +198,10 @@ class SlateManager:
         self.retry = retry or RetryPolicy()
         self.coalesce_flushes = coalesce_flushes
         self.tracer = tracer
+        self.owner = owner
+        #: Extra kwargs stamped onto every slate span (empty when the
+        #: manager has no owning machine, e.g. the threaded engines).
+        self._span_tags = {} if owner is None else {"machine": owner}
         self.cache = SlateCache(cache_capacity, on_evict=self._evicted)
         self.stats = SlateManagerStats()
         self._last_interval_flush = 0.0
@@ -248,7 +257,8 @@ class SlateManager:
             self.tracer.emit(self.clock(), "slate_read",
                              updater=slate_key.updater, key=slate_key.key,
                              row=row, column=column,
-                             hit=result.value is not None)
+                             hit=result.value is not None,
+                             **self._span_tags)
         if result.value is None:
             self.stats.kv_read_misses += 1
             return None
@@ -318,6 +328,42 @@ class SlateManager:
         self._last_interval_flush = now
         return self.flush_all_dirty()
 
+    def due(self) -> bool:
+        """Is an interval flush due? (Checks only; flushes nothing.)
+
+        The threaded engine's flusher uses :meth:`due` /
+        :meth:`dirty_keys` / :meth:`flush_one` instead of
+        :meth:`flush_due` so it can take each slate's lock around the
+        encode — a worker mutating slate fields mid-encode would
+        otherwise tear the blob. Call :meth:`mark_interval_flushed`
+        after acting on a True return.
+        """
+        if self.flush_policy.kind != "interval":
+            return False
+        return (self.clock() - self._last_interval_flush
+                >= self.flush_policy.interval_s)
+
+    def mark_interval_flushed(self) -> None:
+        """Restart the interval-flush clock (pairs with :meth:`due`)."""
+        self._last_interval_flush = self.clock()
+
+    def dirty_keys(self) -> List[SlateKey]:
+        """Keys of resident dirty slates, in first-dirtied order."""
+        return [slate.slate_key for slate in self.cache.dirty_slates()]
+
+    def flush_one(self, slate_key: SlateKey) -> bool:
+        """Flush one slate by key if it is resident and dirty.
+
+        Returns True if the slate was written clean. Safe to call with
+        keys that were flushed/evicted since :meth:`dirty_keys` listed
+        them — those return False.
+        """
+        slate = self.cache.peek(slate_key)
+        if slate is None or not slate.dirty:
+            return False
+        self._flush_slate(slate)
+        return not slate.dirty
+
     def flush_all_dirty(self) -> int:
         """Flush every dirty resident slate; returns the flushed count.
 
@@ -370,7 +416,8 @@ class SlateManager:
                 self.tracer.emit(now, "slate_flush",
                                  updater=slate.slate_key.updater,
                                  key=slate.slate_key.key,
-                                 row=row, column=column, batched=True)
+                                 row=row, column=column, batched=True,
+                                 **self._span_tags)
         for slate in dirty:
             slate.mark_clean()
         return len(dirty)
@@ -400,7 +447,8 @@ class SlateManager:
             self.tracer.emit(self.clock(), "slate_flush",
                              updater=slate.slate_key.updater,
                              key=slate.slate_key.key,
-                             row=row, column=column, batched=False)
+                             row=row, column=column, batched=False,
+                             **self._span_tags)
         slate.mark_clean()
 
     def _evicted(self, slate: Slate) -> None:

@@ -1,0 +1,105 @@
+"""``python -m repro analyze lint|races|invariants`` end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "import time\n\n\ndef tick():\n    return time.time()\n")
+    return tmp_path
+
+
+class TestAnalyzeLint:
+    def test_findings_exit_1(self, bad_tree, capsys):
+        assert main(["analyze", "lint", str(bad_tree)]) == 1
+        captured = capsys.readouterr()
+        assert "MUP001" in captured.out
+        assert "1 findings" in captured.err
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("VALUE = 1\n")
+        assert main(["analyze", "lint", str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().err
+
+    def test_select_restricts_rules(self, bad_tree, capsys):
+        assert main(["analyze", "lint", str(bad_tree),
+                     "--select", "MUP002"]) == 0
+        assert "1 rules" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["analyze", "lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("MUP001", "MUP008"):
+            assert code in out
+
+    def test_missing_target_exits_2(self, capsys):
+        assert main(["analyze", "lint", "/nonexistent/nope.py"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_repo_src_is_clean(self, capsys):
+        """The shipped tree passes its own lint — the CI contract."""
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert main(["analyze", "lint", str(src)]) == 0
+
+
+class TestAnalyzeRaces:
+    def test_smoke_run_exits_0(self, capsys):
+        assert main(["analyze", "races", "--events", "200",
+                     "--threads", "2", "--keys", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "no data races, no lock-order cycles" in out
+
+
+class TestAnalyzeInvariants:
+    def _write(self, path, spans):
+        path.write_text("\n".join(json.dumps(s) for s in spans) + "\n")
+
+    def test_clean_trace_exits_0(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        self._write(trace, [
+            {"ts": 0.0, "kind": "enqueue", "machine": "m0", "worker": 0,
+             "fn": "U1", "key": "k0", "origin": "S1", "oseq": 1},
+            {"ts": 0.1, "kind": "execute", "machine": "m0", "worker": 0,
+             "op": "U1", "op_kind": "update", "key": "k0",
+             "origin": "S1", "oseq": 1},
+        ])
+        assert main(["analyze", "invariants", "--trace", str(trace)]) == 0
+        assert "0 violations" in capsys.readouterr().err
+
+    def test_violating_trace_exits_1(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        self._write(trace, [
+            {"ts": 0.0, "kind": "source", "origin": "S1", "oseq": 5},
+            {"ts": 0.1, "kind": "source", "origin": "S1", "oseq": 4},
+        ])
+        assert main(["analyze", "invariants", "--trace", str(trace)]) == 1
+        captured = capsys.readouterr()
+        assert "[watermarks]" in captured.out
+        assert "1 violations" in captured.err
+
+    def test_checks_subset(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        self._write(trace, [
+            {"ts": 0.0, "kind": "source", "origin": "S1", "oseq": 5},
+            {"ts": 0.1, "kind": "source", "origin": "S1", "oseq": 4},
+        ])
+        assert main(["analyze", "invariants", "--trace", str(trace),
+                     "--checks", "fifo,two_choice"]) == 0
+
+    def test_missing_trace_exits_2(self, capsys):
+        assert main(["analyze", "invariants",
+                     "--trace", "/nonexistent.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_and_e6d_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "invariants", "--trace", "x", "--e6d"])

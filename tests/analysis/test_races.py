@@ -1,0 +1,169 @@
+"""Lockset race detector: flags seeded races, passes the real engine."""
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.races import (LockMonitor, TrackedLock,
+                                  instrument_local_muppet, race_smoke_run)
+from repro.errors import AnalysisError
+
+
+def _run_threads(*targets):
+    threads = [threading.Thread(target=t, name=f"racer-{i}")
+               for i, t in enumerate(targets)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestLocksetAlgorithm:
+    def test_flags_write_under_disjoint_locks(self):
+        """Two threads writing one state under different locks: the
+        candidate lockset empties — the textbook eraser race."""
+        monitor = LockMonitor()
+        lock_a = TrackedLock("a", monitor)
+        lock_b = TrackedLock("b", monitor)
+
+        def writer(lock):
+            def run():
+                for _ in range(3):
+                    with lock:
+                        monitor.record_access("shared.counter", "write")
+            return run
+
+        _run_threads(writer(lock_a), writer(lock_b))
+        races = monitor.races()
+        assert [r.state for r in races] == ["shared.counter"]
+        race = races[0]
+        assert len(race.threads) == 2
+        # The report shows each side's held locks and a stack.
+        formatted = race.format()
+        assert "RACE on shared.counter" in formatted
+        assert "[a]" in formatted and "[b]" in formatted
+
+    def test_consistent_lock_is_race_free(self):
+        monitor = LockMonitor()
+        lock = TrackedLock("only", monitor)
+
+        def writer():
+            for _ in range(3):
+                with lock:
+                    monitor.record_access("shared.counter", "write")
+
+        _run_threads(writer, writer)
+        assert monitor.races() == []
+
+    def test_read_only_sharing_is_not_a_race(self):
+        """Unlocked reads from many threads never constitute a race."""
+        monitor = LockMonitor()
+
+        def reader():
+            monitor.record_access("config.value", "read")
+
+        _run_threads(reader, reader)
+        assert monitor.races() == []
+
+    def test_single_thread_is_not_a_race(self):
+        monitor = LockMonitor()
+        monitor.record_access("local.value", "write")
+        monitor.record_access("local.value", "write")
+        assert monitor.races() == []
+
+    def test_stop_recording_freezes_the_log(self):
+        monitor = LockMonitor()
+        lock = TrackedLock("a", monitor)
+
+        def locked_writer():
+            with lock:
+                monitor.record_access("shared", "write")
+
+        _run_threads(locked_writer)
+        monitor.stop_recording()
+
+        # A post-teardown unlocked write would empty the lockset, but
+        # recording is frozen.
+        def bare_writer():
+            monitor.record_access("shared", "write")
+
+        _run_threads(bare_writer)
+        assert monitor.races() == []
+
+
+class TestLockOrderGraph:
+    def test_detects_ab_ba_cycle(self):
+        monitor = LockMonitor()
+        lock_a = TrackedLock("a", monitor)
+        lock_b = TrackedLock("b", monitor)
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_a:
+                pass
+        cycles = monitor.ordering_cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"a", "b"}
+
+    def test_consistent_order_has_no_cycle(self):
+        monitor = LockMonitor()
+        lock_a = TrackedLock("a", monitor)
+        lock_b = TrackedLock("b", monitor)
+        for _ in range(2):
+            with lock_a:
+                with lock_b:
+                    pass
+        assert monitor.ordering_cycles() == []
+
+    def test_slate_locks_share_one_graph_group(self):
+        """Distinct per-key slate locks are one node in the order graph:
+        k1->k2 and k2->k1 across *different* keys is not a cycle."""
+        monitor = LockMonitor()
+        k1 = TrackedLock("slate[U1/k1]", monitor, group="slate")
+        k2 = TrackedLock("slate[U1/k2]", monitor, group="slate")
+        with k1:
+            with k2:
+                pass
+        with k2:
+            with k1:
+                pass
+        assert monitor.ordering_cycles() == []
+
+    def test_report_mentions_cycle(self):
+        monitor = LockMonitor()
+        lock_a = TrackedLock("a", monitor)
+        lock_b = TrackedLock("b", monitor)
+        with lock_a:
+            with lock_b:
+                monitor.record_access("s", "write")
+        with lock_b:
+            with lock_a:
+                pass
+        assert "LOCK-ORDER CYCLE" in monitor.report()
+
+
+class TestInstrumentation:
+    def test_refuses_running_engine(self):
+        fake = SimpleNamespace(_running=True)
+        with pytest.raises(AnalysisError, match="before runtime.start"):
+            instrument_local_muppet(fake)
+
+    def test_smoke_run_is_race_and_cycle_free(self):
+        """The acceptance gate: LocalMuppet under churn shows no empty
+        locksets and no lock-order cycles."""
+        monitor = race_smoke_run(events=600, threads=4, keys=8)
+        assert monitor.acquisitions > 0
+        assert monitor.accesses > 0
+        races = monitor.races()
+        assert races == [], "\n".join(r.format() for r in races)
+        assert monitor.ordering_cycles() == []
+        assert "no data races, no lock-order cycles" in monitor.report()
+
+    def test_smoke_run_observes_slate_and_counter_state(self):
+        monitor = race_smoke_run(events=200, threads=2, keys=4)
+        states = set(monitor._lockset)
+        assert any(s.startswith("slate:U1/") for s in states)
+        assert any(s.startswith("counters.") for s in states)
+        assert "latency" in states

@@ -158,3 +158,42 @@ class TestSimulate:
         payload = json.loads(capsys.readouterr().out)
         assert payload["delivery"] == "at-least-once"
         assert payload["replay"]["recorded"] > 0
+
+
+class TestErrorPaths:
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_no_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_bad_delivery_value_exits_2(self, app_path, trace_path,
+                                        capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--app", str(app_path),
+                  "--trace", str(trace_path),
+                  "--delivery", "exactly-twice"])
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'exactly-twice'" in capsys.readouterr().err
+
+    def test_missing_config_file_exits_2(self, capsys):
+        assert main(["validate", "--app", "/nonexistent/app.json"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "cannot read" in err
+
+    def test_config_file_with_bad_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "mangled.json"
+        path.write_text("{not json")
+        assert main(["validate", "--app", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_run_with_missing_trace_file_exits_2(self, app_path, capsys):
+        assert main(["run", "--app", str(app_path),
+                     "--trace", "/nonexistent/trace.jsonl"]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
