@@ -25,6 +25,15 @@ checks the structural guarantees the engine claims, so a chaos run can
   Effectively-once traces must satisfy this strictly (late in-flight
   events re-route to the owner); at-most-once traces may legitimately
   report the bounded in-flight residual documented in DESIGN.md.
+* **shed_accounting** (opt-in, not part of ``check_all``) — every
+  delivery terminates as exactly one of applied / thinned / dropped /
+  diverted, or is throttle-deferred (at least one ``throttle_retry``
+  and no hard terminal yet). Valid only for *fault-free, drained*
+  traces: a crash legitimately vanishes queued events, and an
+  undrained trace legitimately leaves deliveries pending — both would
+  read as losses here. Overload runs (bench E22) use it to prove that
+  shedding never silently loses an event: whatever the pressure tier
+  did to an event, it is visible and counted in the trace.
 
 A checker needs a complete window: ring-buffer traces that *dropped*
 early spans can report spurious executes-without-enqueue or uncovered
@@ -236,6 +245,87 @@ class InvariantChecker:
                     "the owner", span))
         return self._attach_chain(violations)
 
+    def check_shed_accounting(self) -> List[InvariantViolation]:
+        """Each delivery ends as exactly one shed/apply outcome.
+
+        Groups spans by ``(origin, oseq, fn)`` — one group per delivery
+        of one event to one function. A group's hard terminals are:
+        applied executes (``execute`` spans minus paired ``thin`` shed
+        spans), thins, drops, and diverts (the diverted copy continues
+        under the overflow stream's subscriber functions, forming its
+        own groups with the same provenance — that is what the
+        provenance pinning in the engines' divert paths guarantees).
+        ``throttle_retry`` spans are soft: a group with retries and no
+        hard terminal is throttle-deferred, which only a drained trace
+        may not contain. Timer deliveries are exempt (their provenance
+        is engine-internal).
+        """
+        violations: List[InvariantViolation] = []
+        groups: Dict[Tuple[Any, Any, Any], Dict[str, Any]] = {}
+        for span in self.spans:
+            kind = span["kind"]
+            if kind == "execute":
+                if span.get("timer", False):
+                    continue
+                fn = span.get("op")
+            elif kind == "shed":
+                fn = span.get("op", span.get("fn"))
+            else:
+                continue
+            origin = span.get("origin")
+            if isinstance(origin, str) and origin.startswith("!timer:"):
+                continue
+            key = (origin, span.get("oseq"), fn)
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = {
+                    "executes": 0, "thins": 0, "drops": 0, "diverts": 0,
+                    "retries": 0, "span": span}
+            if kind == "execute":
+                group["executes"] += 1
+            else:
+                outcome = span.get("outcome")
+                if outcome == "thin":
+                    group["thins"] += 1
+                elif outcome == "drop":
+                    group["drops"] += 1
+                elif outcome == "divert":
+                    group["diverts"] += 1
+                elif outcome == "throttle_retry":
+                    group["retries"] += 1
+        for key in sorted(groups, key=repr):
+            origin, oseq, fn = key
+            group = groups[key]
+            applied = group["executes"] - group["thins"]
+            if applied < 0:
+                violations.append(InvariantViolation(
+                    "shed_accounting",
+                    f"delivery ({origin!r}, {oseq}) -> {fn} has "
+                    f"{group['thins']} thin decisions but only "
+                    f"{group['executes']} executes; every thin pairs "
+                    "with the execute it truncated", group["span"]))
+                continue
+            terminals = (applied + group["thins"] + group["drops"]
+                         + group["diverts"])
+            if terminals == 0 and group["retries"] == 0:
+                violations.append(InvariantViolation(
+                    "shed_accounting",
+                    f"delivery ({origin!r}, {oseq}) -> {fn} reached a "
+                    "queue but terminated as nothing — not applied, "
+                    "thinned, dropped, diverted, or throttle-deferred; "
+                    "an event silently vanished (or the trace is "
+                    "truncated/undrained)", group["span"]))
+            elif terminals > 1:
+                violations.append(InvariantViolation(
+                    "shed_accounting",
+                    f"delivery ({origin!r}, {oseq}) -> {fn} terminated "
+                    f"{terminals} times (applied={applied}, "
+                    f"thinned={group['thins']}, dropped={group['drops']},"
+                    f" diverted={group['diverts']}); an event must "
+                    "terminate exactly once — a duplicate application "
+                    "or double-count", group["span"]))
+        return self._attach_chain(violations)
+
     def check_all(self) -> List[InvariantViolation]:
         """Run every invariant; violations in check order."""
         violations: List[InvariantViolation] = []
@@ -290,6 +380,8 @@ def check_trace(trace: Union[str, Tracer, Iterable[Span]],
         "watermarks": checker.check_watermarks,
         "two_choice": checker.check_two_choice,
         "ring_ownership": checker.check_ring_ownership,
+        # Opt-in (not in check_all): needs a fault-free, drained trace.
+        "shed_accounting": checker.check_shed_accounting,
     }
     if checks is None:
         return checker.check_all()

@@ -135,17 +135,25 @@ def _build_parser() -> argparse.ArgumentParser:
     invariants = tool.add_parser(
         "invariants",
         help="replay a span trace and check FIFO/watermark/two-choice/"
-             "ring-ownership invariants")
+             "ring-ownership (and, opt-in, shed-accounting) invariants")
     source = invariants.add_mutually_exclusive_group(required=True)
     source.add_argument("--trace", metavar="PATH",
                         help="JSONL span trace to check")
     source.add_argument("--e6d", action="store_true",
                         help="run the traced E6d chaos scenario and "
                              "check its trace")
+    source.add_argument("--e22", action="store_true",
+                        help="run the traced E22 overload scenario "
+                             "(adaptive thinning at 5x) and check its "
+                             "trace, including shed accounting")
     invariants.add_argument("--checks", metavar="NAMES", default=None,
                             help="comma-separated subset (fifo, "
                                  "watermarks, two_choice, "
-                                 "ring_ownership); all by default")
+                                 "ring_ownership, shed_accounting); "
+                                 "default: all structural checks, plus "
+                                 "shed_accounting for --e22 traces")
+    invariants.add_argument("--overload", type=float, default=5.0,
+                            help="E22 overload multiple (default: 5.0)")
     return parser
 
 
@@ -319,6 +327,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
         trace: object = e6d_chaos_trace()
         label = "E6d chaos trace"
+    elif args.e22:
+        from repro.analysis.scenarios import e22_shedding_trace
+
+        trace = e22_shedding_trace(overload=args.overload)
+        label = f"E22 overload trace ({args.overload}x)"
+        if checks is None:
+            # Fault-free and drained, so the opt-in shed-accounting
+            # check is sound here on top of the structural four.
+            checks = ["fifo", "watermarks", "two_choice",
+                      "ring_ownership", "shed_accounting"]
     else:
         trace = args.trace
         label = args.trace

@@ -74,6 +74,23 @@ class OperatorSpec:
             )
         return operator
 
+    def declares_thinnable(self) -> bool:
+        """True when this updater opts into probabilistic thinning.
+
+        Resolved without instantiating (engines consult this while
+        building routing tables): per-spec config wins, then a prebuilt
+        instance's attribute, then the factory class attribute. Mappers
+        are never thinnable — they hold no state to reconstruct.
+        """
+        if self.kind != "update":
+            return False
+        if "thinnable" in self.config:
+            return bool(self.config["thinnable"])
+        instance = getattr(self.factory, "instance", None)
+        if instance is not None:  # _PrebuiltFactory
+            return bool(getattr(instance, "thinnable", False))
+        return bool(getattr(self.factory, "thinnable", False))
+
 
 class Application:
     """A complete MapUpdate application: streams + operator workflow graph.
@@ -185,6 +202,10 @@ class Application:
     def updaters(self) -> List[OperatorSpec]:
         """All update-function specs, sorted by name."""
         return [s for s in self.operators() if s.kind == "update"]
+
+    def thinnable_updaters(self) -> List[OperatorSpec]:
+        """Updaters that opted into probabilistic thinning, sorted."""
+        return [s for s in self.updaters() if s.declares_thinnable()]
 
     def subscribers_of(self, sid: str) -> List[OperatorSpec]:
         """Operators subscribed to stream ``sid``, sorted by name."""

@@ -153,6 +153,10 @@ class EventCounter:
     lost_failure: int = 0
     diverted_overflow_stream: int = 0
     throttled: int = 0
+    #: Update applications skipped by probabilistic thinning (IPW
+    #: reconstruction keeps the counters unbiased, so these are a
+    #: precision cost, not data loss — excluded from :meth:`lost_total`).
+    thinned: int = 0
 
     def lost_total(self) -> int:
         """Events that permanently left the system without being processed."""
@@ -167,4 +171,5 @@ class EventCounter:
             "lost_failure": self.lost_failure,
             "diverted_overflow_stream": self.diverted_overflow_stream,
             "throttled": self.throttled,
+            "thinned": self.thinned,
         }

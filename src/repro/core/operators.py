@@ -176,16 +176,31 @@ class Updater(Operator):
     Subclasses implement :meth:`update` and usually :meth:`init_slate`.
     Slate TTL is configured per update function (Section 4.2) via the
     ``slate_ttl`` attribute or constructor config key of the same name.
+
+    **Thinnability** (the overload-control extension, see
+    :mod:`repro.shedding`): an updater whose state is an associative
+    accumulator may set ``thinnable = True`` (or pass
+    ``{"thinnable": True}`` config) and implement
+    :meth:`update_weighted`. Under overload the engine then skips a
+    fraction of its update applications and applies the kept ones with
+    inverse-probability weight ``1/p_keep``, keeping the expected
+    slate values equal to the exact ones. Non-thinnable updaters are
+    never thinned.
     """
 
     #: Per-updater slate time-to-live in seconds (None = forever, default).
     slate_ttl: Optional[float] = None
+    #: Declares that this updater's state tolerates probabilistic
+    #: thinning with IPW reconstruction (see module docstring).
+    thinnable: bool = False
 
     def __init__(self, config: Optional[Dict[str, Any]] = None,
                  name: str = "") -> None:
         super().__init__(config, name)
         if "slate_ttl" in self.config:
             self.slate_ttl = self.config["slate_ttl"]
+        if "thinnable" in self.config:
+            self.thinnable = bool(self.config["thinnable"])
 
     def init_slate(self, key: Key) -> Dict[str, Any]:
         """Initial field values for a fresh slate for ``key``.
@@ -199,6 +214,24 @@ class Updater(Operator):
     @abc.abstractmethod
     def update(self, ctx: Context, event: Event, slate: Slate) -> None:
         """Fold one event into the slate; optionally publish events."""
+
+    def update_weighted(self, ctx: Context, event: Event, slate: Slate,
+                        weight: float) -> None:
+        """Fold one event with an inverse-probability weight.
+
+        Called instead of :meth:`update` when the overload controller
+        thins this updater: a kept event with keep-probability ``p``
+        arrives with ``weight = 1/p`` so additive state stays unbiased.
+        Weight 1.0 delegates to :meth:`update`; a thinnable updater
+        must override this for weights above 1.0.
+        """
+        if weight == 1.0:
+            self.update(ctx, event, slate)
+            return
+        raise WorkflowError(
+            f"updater {self.name!r} declares thinnable={self.thinnable} "
+            "but does not implement update_weighted(); thinning needs "
+            "the weighted fold to keep its estimates unbiased")
 
     def on_timer(self, ctx: Context, key: Key, slate: Slate,
                  payload: Any = None) -> None:

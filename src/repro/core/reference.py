@@ -69,6 +69,25 @@ class ReferenceResult:
         """Events published to stream ``sid`` (empty list if none)."""
         return self.streams.get(sid, [])
 
+    def numeric_slates(self, updater: str, fld: str) -> Dict[str, float]:
+        """One updater's final ``{key: float(slate[fld])}`` ground truth.
+
+        The shedding error measurement compares an overloaded engine run
+        against this exact mapping (the reference never sheds). Slates
+        missing the field are skipped; non-numeric values raise.
+        """
+        exact: Dict[str, float] = {}
+        for key, slate in self.slates_of(updater).items():
+            if fld not in slate:
+                continue
+            value = slate[fld]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise WorkflowError(
+                    f"slate ({updater}, {key!r}).{fld} holds non-numeric "
+                    f"{value!r}; numeric_slates needs a numeric field")
+            exact[key] = float(value)
+        return exact
+
 
 class ReferenceExecutor:
     """Single-threaded, exactly-ordered MapUpdate executor.

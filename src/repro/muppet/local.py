@@ -26,7 +26,7 @@ import heapq
 import itertools
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.application import Application
@@ -41,6 +41,7 @@ from repro.metrics import LatencyRecorder
 from repro.muppet.dispatch import TwoChoiceDispatcher
 from repro.muppet.queues import BoundedQueue, OverflowPolicy
 from repro.obs import MetricsRegistry
+from repro.shedding.thinning import Thinner, ThinningPolicy
 from repro.slates.manager import FlushPolicy, SlateManager
 
 
@@ -64,12 +65,24 @@ class LocalConfig:
     #: How long a throttled source sleeps between retries when its
     #: target queue is full (the block-the-source overflow policy).
     throttle_poll_s: float = 0.001
+    #: Probabilistic thinning of thinnable updaters under queue
+    #: pressure (see :mod:`repro.shedding`); ``None`` disables.
+    thinning: Optional[ThinningPolicy] = None
+    #: Seed for the thinning RNG.
+    thin_seed: int = 0
+    #: Thinning engages while the worst queue's depth fraction is at or
+    #: above this threshold.
+    thin_queue_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.num_threads < 1:
             raise ConfigurationError("num_threads must be >= 1")
         if self.throttle_poll_s <= 0:
             raise ConfigurationError("throttle_poll_s must be positive")
+        if not 0.0 < self.thin_queue_fraction <= 1.0:
+            raise ConfigurationError(
+                "thin_queue_fraction must be in (0, 1], got "
+                f"{self.thin_queue_fraction!r}")
 
 
 class _WorkItem:
@@ -144,6 +157,13 @@ class LocalMuppet:
         self._slate_locks_guard = threading.Lock()
         self._latency_lock = threading.Lock()
         self._counter_lock = threading.Lock()
+        #: Thinning state (None when disabled). The thinner's RNG and
+        #: decision counters are not atomic, so draws serialize on a
+        #: dedicated lock (leaf: taken with no other lock held).
+        self._thinner = (Thinner(cfg.thinning, seed=cfg.thin_seed)
+                         if cfg.thinning is not None else None)
+        self._thinnable = {s.name for s in app.thinnable_updaters()}
+        self._thin_lock = threading.Lock()
         self._inflight = 0
         self._idle = threading.Condition(threading.Lock())
         self._timers: List[Tuple[float, int, TimerRequest, float]] = []
@@ -316,7 +336,13 @@ class LocalMuppet:
         assert sid is not None
         with self._counter_lock:
             self.counters.diverted_overflow_stream += 1
+        # Pin the original replay-stable (origin, oseq) across the
+        # re-stamp: for a source event, provenance falls back to
+        # (sid, seq), which stamping onto the overflow stream would
+        # otherwise rewrite — the diverted copy must keep one identity.
+        origin, oseq = item.event.provenance()
         diverted = self.app.streams.stamp(item.event.with_stream(sid))
+        diverted = replace(diverted, origin=origin, oseq=oseq)
         delivered = False
         for sub in self.app.subscribers_of(sid):
             # A diverted event that overflows again is dropped — degraded
@@ -397,6 +423,21 @@ class LocalMuppet:
             instance.map(ctx, event)
         else:
             assert isinstance(instance, Updater)
+            weight = 1.0
+            if (self._thinner is not None and not item.is_timer
+                    and spec.name in self._thinnable
+                    and self._queue_pressure()
+                    >= self.config.thin_queue_fraction):
+                with self._thin_lock:
+                    keep, weight = self._thinner.decide(event.key)
+                if not keep:
+                    # Thinned: the slate read and update are skipped;
+                    # kept siblings apply with weight 1/p, keeping the
+                    # counters unbiased (see repro.shedding.thinning).
+                    with self._counter_lock:
+                        self.counters.thinned += 1
+                        self.counters.processed += 1
+                    return
             slate_lock = self._slate_lock(SlateKey(spec.name, event.key))
             with slate_lock:
                 with self._manager_lock:
@@ -404,6 +445,8 @@ class LocalMuppet:
                 if item.is_timer:
                     instance.on_timer(ctx, event.key, slate,
                                       item.timer_payload)
+                elif weight != 1.0:
+                    instance.update_weighted(ctx, event, slate, weight)
                 else:
                     instance.update(ctx, event, slate)
                 slate.touch(event.ts)
@@ -422,6 +465,13 @@ class LocalMuppet:
                 self._dispatch(_WorkItem(stamped, sub.name, item.birth))
         for timer in ctx.timers:
             self._schedule_timer(timer, item.birth)
+
+    def _queue_pressure(self) -> float:
+        """Worst queue depth fraction right now (thinning signal)."""
+        cap = self.config.queue_capacity or 1
+        with self._dispatch_lock:
+            worst = max((len(q) for q in self._queues), default=0)
+        return worst / cap
 
     def _slate_lock(self, slate_key: SlateKey) -> threading.Lock:
         with self._slate_locks_guard:

@@ -184,15 +184,42 @@ class SourceThrottle:
         """Update state from the worst queue-depth fraction; returns
         True while sources should hold off."""
         if not self.paused and depth_fraction >= self.high_watermark:
+            self.pause(now)
+        elif self.paused and depth_fraction <= self.low_watermark:
+            self.resume(now)
+        return self.paused
+
+    def pause(self, now: float) -> None:
+        """Pause the sources now (idempotent).
+
+        The watermark path goes through :meth:`observe`; the adaptive
+        backpressure controller drives the throttle tier through
+        ``pause``/``resume`` directly, sharing the same accounting.
+        """
+        if not self.paused:
             self.paused = True
             self.pause_count += 1
             self._paused_since = now
-        elif self.paused and depth_fraction <= self.low_watermark:
+
+    def resume(self, now: float) -> None:
+        """Resume the sources now (idempotent)."""
+        if self.paused:
             self.paused = False
             if self._paused_since is not None:
                 self.paused_time_s += now - self._paused_since
                 self._paused_since = None
-        return self.paused
+
+    def duty_cycle(self, now: float) -> float:
+        """Fraction of ``[0, now]`` the sources spent paused.
+
+        Includes any still-open pause interval; 0.0 before time starts.
+        """
+        if now <= 0.0:
+            return 0.0
+        paused = self.paused_time_s
+        if self.paused and self._paused_since is not None:
+            paused += now - self._paused_since
+        return min(1.0, paused / now)
 
     def finish(self, now: float) -> None:
         """Close any open pause interval at end of run (accounting)."""

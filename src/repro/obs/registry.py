@@ -149,6 +149,37 @@ class Histogram:
         }
 
 
+class Ewma:
+    """Exponentially weighted moving average of a scalar signal.
+
+    The overload controller smooths its queue-depth signal with one of
+    these per machine so a single deep-queue sample cannot flap a
+    pressure tier. The first observation seeds the average directly
+    (no warm-up bias toward zero); afterwards
+    ``value = alpha * sample + (1 - alpha) * value``.
+    """
+
+    __slots__ = ("name", "alpha", "value", "count")
+
+    def __init__(self, name: str, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(
+                f"ewma alpha must be in (0, 1], got {alpha!r}")
+        self.name = name
+        self.alpha = alpha
+        self.value = 0.0
+        self.count = 0
+
+    def observe(self, sample: float) -> float:
+        """Fold one sample; returns the updated average."""
+        if self.count == 0:
+            self.value = sample
+        else:
+            self.value = self.alpha * sample + (1.0 - self.alpha) * self.value
+        self.count += 1
+        return self.value
+
+
 def _numeric_fields(obj: Any) -> Dict[str, Any]:
     """The int/float attributes of a stats object, insertion-ordered."""
     return {

@@ -39,6 +39,15 @@ Station kinds and their fields:
   origin of their own).
 * ``dedup``    — ``machine, op, key, origin, oseq, decision``: a
   replayed event hit the slate watermark check (``skip``/``reapply``).
+* ``shed``     — ``machine, key, origin, oseq, outcome`` plus ``op``
+  (outcome ``thin``) or ``fn`` (other outcomes): the overload machinery
+  resolved one delivery. ``thin`` = probabilistically skipped inside
+  the updater (kept siblings carry inverse-probability weight);
+  ``drop`` = discarded at a full queue; ``divert`` = re-addressed to
+  the overflow stream (``proactive`` True when backpressure diverted
+  it before the queue filled); ``throttle_retry`` = held for a later
+  redelivery while sources pause. The shed-accounting invariant
+  (``repro.analysis.invariants``) audits these against executes.
 * ``batch_flush`` — ``src, dst, events, trigger``: a coalesced
   data-plane envelope shipped.
 * ``slate_read``  — ``updater, key, row, column, hit``: a slate-manager

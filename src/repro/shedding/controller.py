@@ -1,0 +1,276 @@
+"""Adaptive backpressure: per-machine pressure tiers with hysteresis.
+
+The controller reads the same signals the observability layer already
+exposes — worst worker-queue depth fraction, dirty-slate backlog, and
+the recent updater p99 — smooths the queue signal with an EWMA, and
+walks each machine through four pressure tiers:
+
+====  ==========  ==================================================
+tier  name        engine behaviour
+====  ==========  ==================================================
+0     normal      nothing shed; the configured overflow policy only
+1     thin        thinnable updaters probabilistically thin (IPW)
+2     overflow    + arrivals above ``divert_fraction`` divert to the
+                  degraded overflow stream (provenance preserved)
+3     throttle    + sources pause (Section 5 source throttling)
+====  ==========  ==================================================
+
+Escalation is immediate (overload is urgent: a machine may jump
+several tiers in one observation); de-escalation steps down one tier
+at a time and only after ``hold_s`` seconds in the current tier with
+the smoothed signal below the tier's exit threshold — the hysteresis
+that keeps the controller from flapping around a threshold. Per-tier
+transition counts and residence times are accounted in
+:class:`SheddingCounters` and surfaced as the ``overload.*`` metrics
+family in ``SimReport.counter_report()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import Ewma
+from repro.shedding.thinning import ThinningPolicy
+
+TIER_NORMAL = 0
+TIER_THIN = 1
+TIER_OVERFLOW = 2
+TIER_THROTTLE = 3
+
+#: Tier names in tier order (index == tier number).
+TIER_NAMES = ("normal", "thin", "overflow", "throttle")
+
+
+@dataclass
+class SheddingConfig:
+    """Knobs of the overload-control subsystem.
+
+    Thresholds are worst worker-queue depth fractions (0..1) on the
+    EWMA-smoothed signal; each tier has an *enter* threshold (escalate
+    at or above) and an *exit* threshold (de-escalate at or below,
+    after ``hold_s`` in tier). ``None`` for the optional signals
+    disables them.
+    """
+
+    #: Per-key-class keep rates applied at tier >= thin.
+    thinning: ThinningPolicy = field(default_factory=ThinningPolicy)
+    #: Seed for the thinning RNG (replay-exactness contract).
+    seed: int = 0
+    #: Controller sampling period (simulated seconds).
+    check_period_s: float = 0.02
+    #: Minimum residence time in a tier before de-escalating.
+    hold_s: float = 0.25
+    #: EWMA smoothing factor for the queue-fraction signal.
+    ewma_alpha: float = 0.4
+    thin_enter: float = 0.35
+    thin_exit: float = 0.15
+    overflow_enter: float = 0.70
+    overflow_exit: float = 0.40
+    throttle_enter: float = 0.92
+    throttle_exit: float = 0.60
+    #: Degraded overflow stream for tier-2 proactive diversion; None
+    #: disables the overflow tier's divert action (the tier can still
+    #: be entered, acting only as a stepping stone to throttle).
+    overflow_sid: Optional[str] = None
+    #: At tier >= overflow, arrivals while the instantaneous queue
+    #: fraction is at or above this divert instead of enqueueing.
+    divert_fraction: float = 0.70
+    #: Escalate to at least ``thin`` while the recent updater p99
+    #: exceeds this budget (None disables the latency signal).
+    p99_budget_s: Optional[float] = None
+    #: Trailing latency samples per updater used for the p99 signal.
+    p99_window: int = 256
+    #: Escalate to at least ``thin`` while a machine's dirty-slate
+    #: backlog exceeds this count (None disables the signal).
+    dirty_slates_high: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.check_period_s <= 0:
+            raise ConfigurationError(
+                f"check_period_s must be > 0, got {self.check_period_s!r}")
+        if self.hold_s < 0:
+            raise ConfigurationError(
+                f"hold_s must be >= 0, got {self.hold_s!r}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha!r}")
+        pairs = (("thin", self.thin_enter, self.thin_exit),
+                 ("overflow", self.overflow_enter, self.overflow_exit),
+                 ("throttle", self.throttle_enter, self.throttle_exit))
+        for name, enter, exit_ in pairs:
+            if not 0.0 < exit_ < enter <= 1.0:
+                raise ConfigurationError(
+                    f"{name} tier needs 0 < exit ({exit_!r}) < enter "
+                    f"({enter!r}) <= 1 (hysteresis band)")
+        if self.thin_enter >= self.overflow_enter or \
+                self.overflow_enter >= self.throttle_enter:
+            raise ConfigurationError(
+                "tier enter thresholds must ascend: thin < overflow "
+                f"< throttle, got {self.thin_enter!r} / "
+                f"{self.overflow_enter!r} / {self.throttle_enter!r}")
+        if not 0.0 < self.divert_fraction <= 1.0:
+            raise ConfigurationError(
+                f"divert_fraction must be in (0, 1], got "
+                f"{self.divert_fraction!r}")
+        if self.p99_window < 1:
+            raise ConfigurationError(
+                f"p99_window must be >= 1, got {self.p99_window}")
+
+
+@dataclass(frozen=True)
+class PressureSignals:
+    """One machine's load signals at one controller observation."""
+
+    #: Worst worker-queue depth fraction on the machine (0..1).
+    queue_fraction: float
+    #: Dirty slates awaiting flush on the machine's managers.
+    dirty_slates: int = 0
+    #: Recent cluster-wide worst updater p99 (seconds).
+    p99_s: float = 0.0
+
+
+@dataclass
+class SheddingCounters:
+    """Overload-control accounting for one run (all zero when off).
+
+    Printed under ``overload.*`` in ``SimReport.counter_report()``
+    alongside the throttle duty cycle and per-queue overflow outcome
+    counts the runtime adds.
+    """
+
+    #: Update applications skipped by thinning.
+    thinned: int = 0
+    #: Update applications that applied with an IPW weight > 1.
+    kept_weighted: int = 0
+    #: Total IPW weight applied by those (audit: thinned + weight sum
+    #: tracks the raw event count in expectation).
+    weight_applied: float = 0.0
+    #: Events proactively diverted by the overflow tier (distinct from
+    #: queue-full diversion under the ``divert`` overflow policy).
+    diverted_proactive: int = 0
+    #: Tier transitions, split by direction.
+    escalations: int = 0
+    deescalations: int = 0
+    #: Machine-seconds of residence per tier (closed by ``finish``).
+    time_normal_s: float = 0.0
+    time_thin_s: float = 0.0
+    time_overflow_s: float = 0.0
+    time_throttle_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot (insertion-ordered, deterministic)."""
+        return dict(self.__dict__)
+
+    def add_residence(self, tier: int, seconds: float) -> None:
+        """Charge ``seconds`` of machine time to one tier."""
+        name = f"time_{TIER_NAMES[tier]}_s"
+        setattr(self, name, getattr(self, name) + seconds)
+
+
+class _MachinePressure:
+    """Per-machine controller state: tier, dwell, smoothed signal."""
+
+    __slots__ = ("tier", "entered_at", "ewma")
+
+    def __init__(self, alpha: float, name: str) -> None:
+        self.tier = TIER_NORMAL
+        self.entered_at = 0.0
+        self.ewma = Ewma(f"overload.{name}.queue_ewma", alpha)
+
+
+class BackpressureController:
+    """Walks machines through pressure tiers from observed signals.
+
+    One instance per runtime; the engine calls :meth:`observe` for each
+    live machine on its monitor tick and acts on the returned tier.
+    The controller is engine-agnostic (pure state machine over floats),
+    which is what the unit tests exercise directly.
+    """
+
+    def __init__(self, config: SheddingConfig) -> None:
+        self.config = config
+        self.counters = SheddingCounters()
+        self._machines: Dict[str, _MachinePressure] = {}
+
+    def tier_of(self, machine: str) -> int:
+        """The machine's current tier (normal if never observed)."""
+        state = self._machines.get(machine)
+        return state.tier if state is not None else TIER_NORMAL
+
+    def smoothed(self, machine: str) -> float:
+        """The machine's EWMA-smoothed queue fraction (diagnostics)."""
+        state = self._machines.get(machine)
+        return state.ewma.value if state is not None else 0.0
+
+    def observe(self, machine: str, signals: PressureSignals,
+                now: float) -> int:
+        """Fold one observation; returns the machine's (new) tier."""
+        cfg = self.config
+        state = self._machines.get(machine)
+        if state is None:
+            state = self._machines[machine] = _MachinePressure(
+                cfg.ewma_alpha, machine)
+            state.entered_at = now
+        state.ewma.observe(signals.queue_fraction)
+        smoothed = state.ewma.value
+
+        target = self._target_tier(smoothed, signals)
+        tier = state.tier
+        if target > tier:
+            # Escalation is immediate — overload is urgent.
+            self._transition(state, target, now)
+        elif target < tier and now - state.entered_at >= cfg.hold_s \
+                and smoothed <= self._exit_threshold(tier):
+            # De-escalate one tier at a time, after the dwell, and only
+            # once the smoothed signal cleared the tier's exit band.
+            self._transition(state, tier - 1, now)
+        return state.tier
+
+    def finish(self, now: float) -> None:
+        """Close every open tier-residence interval (end of run)."""
+        for state in self._machines.values():  # noqa: MUP003 -- residence sums are order-independent
+            self.counters.add_residence(state.tier,
+                                        max(0.0, now - state.entered_at))
+            state.entered_at = now
+
+    # -- internals ---------------------------------------------------------
+    def _target_tier(self, smoothed: float,
+                     signals: PressureSignals) -> int:
+        cfg = self.config
+        if smoothed >= cfg.throttle_enter:
+            return TIER_THROTTLE
+        if smoothed >= cfg.overflow_enter:
+            return TIER_OVERFLOW
+        if smoothed >= cfg.thin_enter:
+            return TIER_THIN
+        # Secondary signals can force the first (cheap, reversible)
+        # tier even while queues still look shallow: a slow updater
+        # (p99 over budget) or a flush backlog both predict queue
+        # growth before the queues themselves show it.
+        if cfg.p99_budget_s is not None and signals.p99_s > cfg.p99_budget_s:
+            return TIER_THIN
+        if cfg.dirty_slates_high is not None and \
+                signals.dirty_slates > cfg.dirty_slates_high:
+            return TIER_THIN
+        return TIER_NORMAL
+
+    def _exit_threshold(self, tier: int) -> float:
+        cfg = self.config
+        if tier >= TIER_THROTTLE:
+            return cfg.throttle_exit
+        if tier == TIER_OVERFLOW:
+            return cfg.overflow_exit
+        return cfg.thin_exit
+
+    def _transition(self, state: _MachinePressure, tier: int,
+                    now: float) -> None:
+        self.counters.add_residence(state.tier,
+                                    max(0.0, now - state.entered_at))
+        if tier > state.tier:
+            self.counters.escalations += 1
+        else:
+            self.counters.deescalations += 1
+        state.tier = tier
+        state.entered_at = now

@@ -57,12 +57,17 @@ from repro.kvstore.api import ConsistencyLevel
 from repro.kvstore.cluster import ReplicatedKVStore
 from repro.metrics import (DataPlaneCounters, LatencyRecorder,
                            LatencySummary, RobustnessCounters,
-                           ThroughputReport)
+                           ThroughputReport, percentile)
 from repro.muppet.dispatch import SingleChoiceDispatcher, TwoChoiceDispatcher
 from repro.muppet.master import Master
 from repro.obs import MetricsRegistry, RingTracer, TimelineRecorder, Tracer
 from repro.muppet.queues import BoundedQueue, OverflowPolicy, SourceThrottle
 from repro.muppet.replay import ReplayStats
+from repro.shedding.controller import (TIER_OVERFLOW, TIER_THIN,
+                                       TIER_THROTTLE, BackpressureController,
+                                       PressureSignals, SheddingConfig,
+                                       SheddingCounters)
+from repro.shedding.thinning import Thinner
 from repro.sim.costs import CostModel
 from repro.sim.des import ScheduledEvent, Simulator
 from repro.sim.sources import Source
@@ -182,6 +187,11 @@ class SimConfig:
     #: timeseries, sampled on the existing flusher tick (no extra
     #: simulator events — ``counter_report`` stays byte-identical).
     timeline: bool = False
+    #: Overload-control subsystem (see :mod:`repro.shedding`): adaptive
+    #: backpressure tiers plus probabilistic thinning of thinnable
+    #: updaters. ``None`` (the default) disables the whole subsystem —
+    #: the engine then behaves byte-identically to pre-shedding builds.
+    shedding: Optional[SheddingConfig] = None
 
     def __post_init__(self) -> None:
         if self.engine not in (ENGINE_MUPPET1, ENGINE_MUPPET2):
@@ -200,6 +210,11 @@ class SimConfig:
             raise ConfigurationError(
                 f"trace_capacity must be >= 1, got {self.trace_capacity}")
         if self.overflow.kind == "throttle" and self.throttle is None:
+            self.throttle = SourceThrottle()
+        if self.shedding is not None and self.throttle is None:
+            # The shedding controller's throttle tier drives a
+            # SourceThrottle directly via pause()/resume() (no watermark
+            # monitor); it still needs one to exist.
             self.throttle = SourceThrottle()
         if self.delivery_semantics not in (
                 "at-most-once", "at-least-once", "effectively-once"):
@@ -278,6 +293,9 @@ class _Machine:
         self.shared_instances: Dict[str, Operator] = {}
         self.central_mgr: Optional[SlateManager] = None
         self.device_busy_until = 0.0
+        #: Current overload-control pressure tier (0 = normal); written
+        #: by the shedding monitor, read on the per-event hot paths.
+        self.pressure_tier = 0
 
     def queue_depth_fraction(self) -> float:
         """Worst queue fullness across this machine's workers."""
@@ -315,6 +333,12 @@ class SimReport:
         default_factory=DataPlaneCounters)
     #: Replay-journal accounting (all zero when replay is off).
     replay: ReplayStats = field(default_factory=ReplayStats)
+    #: Overload-control accounting (all zero when shedding is off).
+    shedding: SheddingCounters = field(default_factory=SheddingCounters)
+    #: Ground-truth counter-error summary versus the reference executor
+    #: (filled via :func:`repro.shedding.measure.attach_error_report`;
+    #: None when no error measurement was taken).
+    shedding_error: Optional[Dict[str, Any]] = None
     #: Full :class:`repro.obs.MetricsRegistry` family snapshot taken at
     #: report time: the six counter_report families plus the new
     #: observability families (queues, slates, kv, latency histograms).
@@ -324,7 +348,7 @@ class SimReport:
 
     #: counter_report's families, in their historical print order.
     REPORT_FAMILIES = ("counters", "robustness", "master", "dispatch",
-                       "dataplane", "replay")
+                       "dataplane", "replay", "overload")
 
     def events_per_second(self) -> float:
         """Processed updater/mapper deliveries per simulated second."""
@@ -382,6 +406,8 @@ class SimReport:
             lines.append(f"dataplane.{name}={value!r}")
         for name, value in sorted(vars(self.replay).items()):
             lines.append(f"replay.{name}={value!r}")
+        for name, value in sorted(self.shedding.as_dict().items()):
+            lines.append(f"overload.{name}={value!r}")
         return "\n".join(lines)
 
 
@@ -493,6 +519,33 @@ class SimRuntime:
         #: effects still in flight or queued at the barrier).
         self._epoch_ticks: Deque[float] = deque(maxlen=3)
         self.counters_replayed = 0
+        #: Overload-control state: controller + thinner exist only when
+        #: ``SimConfig.shedding`` is set, so the disabled hot paths cost
+        #: one ``is not None`` test each (same discipline as tracing).
+        shed_cfg = self.config.shedding
+        if shed_cfg is not None:
+            if shed_cfg.overflow_sid is not None:
+                # Validate eagerly: a typo'd overflow stream should fail
+                # at construction, not mid-overload.
+                app.streams.spec(shed_cfg.overflow_sid)
+            self._shed: Optional[BackpressureController] = (
+                BackpressureController(shed_cfg))
+            self._thinner: Optional[Thinner] = Thinner(
+                shed_cfg.thinning, seed=shed_cfg.seed)
+            self._thinnable: Set[str] = {
+                s.name for s in app.thinnable_updaters()}
+        else:
+            self._shed = None
+            self._thinner = None
+            self._thinnable = set()
+        #: Shedding accounting; an all-zero stand-in when shedding is
+        #: off so the ``overload`` metrics family stays present (and
+        #: deterministic) in every report.
+        self.shedding = (self._shed.counters if self._shed is not None
+                         else SheddingCounters())
+        #: Per-machine overflow outcome counts (satellite of the
+        #: ``overload`` family): ``{machine: {outcome: count}}``.
+        self._overflow_outcomes: Dict[str, Dict[str, int]] = {}
         self.machines: Dict[str, _Machine] = {}
         self._build_machines()
         self._build_rings()
@@ -619,12 +672,42 @@ class SimRuntime:
             lambda: dict(vars(self.replay_journal.stats
                               if self.replay_journal is not None
                               else ReplayStats())))
+        reg.register_group("overload", self._overload_stats)
         for name, machine in self.machines.items():
             reg.register_group(f"queues.{name}",
                                self._make_queue_probe(machine))
             reg.register_group(f"slates.{name}",
                                self._make_slate_probe(machine))
         reg.register_group("kv", self._kv_probe)
+
+    #: Overflow outcomes reported per machine under ``overload.queue.*``
+    #: (zero-filled so the key set is load-independent).
+    _OVERFLOW_OUTCOMES = ("dropped", "diverted", "diverted_proactive",
+                          "throttle_retries")
+
+    def _overload_stats(self) -> Dict[str, Any]:
+        """The ``overload`` metrics family: shedding counters, source-
+        throttle duty cycle, per-machine tier and overflow outcomes."""
+        stats: Dict[str, Any] = self.shedding.as_dict()
+        throttle = self.config.throttle
+        now = self.sim.now()
+        stats["throttle_pauses"] = (throttle.pause_count
+                                    if throttle is not None else 0)
+        stats["throttle_duty"] = (throttle.duty_cycle(now)
+                                  if throttle is not None else 0.0)
+        for name in sorted(self.machines):
+            outcomes = self._overflow_outcomes.get(name, {})
+            for outcome in self._OVERFLOW_OUTCOMES:
+                stats[f"queue.{name}.{outcome}"] = outcomes.get(outcome, 0)
+            stats[f"tier.{name}"] = (self._shed.tier_of(name)
+                                     if self._shed is not None else 0)
+        return stats
+
+    def _note_overflow(self, machine_name: str, outcome: str) -> None:
+        outcomes = self._overflow_outcomes.get(machine_name)
+        if outcomes is None:
+            outcomes = self._overflow_outcomes[machine_name] = {}
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
 
     def _make_queue_probe(self, machine: "_Machine"):
         def probe() -> Dict[str, int]:
@@ -701,9 +784,16 @@ class SimRuntime:
         self._schedule_flusher()
         if self._dedup:
             self._schedule_epochs()
-        if self.config.throttle is not None:
+        if self._shed is not None:
+            # The backpressure controller owns the throttle (tier 3
+            # pauses sources); the classic watermark monitor would fight
+            # it, so only one of the two runs.
+            self._schedule_shedding_monitor()
+        elif self.config.throttle is not None:
             self._schedule_throttle_monitor()
         self.sim.run_until(duration_s)
+        if self._shed is not None:
+            self._shed.finish(self.sim.now())
         if self.config.throttle is not None:
             self.config.throttle.finish(self.sim.now())
         return self._report(duration_s)
@@ -976,6 +1066,21 @@ class SimRuntime:
             if target is not None and target is not machine:
                 self._send(envelope, from_machine=machine.name)
                 return
+        shed = self._shed
+        if (shed is not None and not envelope.is_timer
+                and not envelope.diverted
+                and machine.pressure_tier >= TIER_OVERFLOW
+                and shed.config.overflow_sid is not None
+                and machine.queue_depth_fraction()
+                >= shed.config.divert_fraction):
+            # Overflow tier: shed arrivals to the degraded stream
+            # *before* the queues fill, instead of waiting for hard
+            # queue-full rejections.
+            self.shedding.diverted_proactive += 1
+            self._note_overflow(machine.name, "diverted_proactive")
+            self._divert(machine, envelope, shed.config.overflow_sid,
+                         proactive=True)
+            return
         worker = self._choose_worker(machine, envelope)
         if worker is None:
             # The ring moved this key (failure broadcast raced the send);
@@ -1024,22 +1129,60 @@ class SimRuntime:
         policy = self.config.overflow
         if policy.kind == "drop" or envelope.diverted:
             self.counters.dropped_overflow += 1
+            self._note_overflow(machine.name, "dropped")
+            if self._trace is not None:
+                origin, oseq = envelope.event.provenance()
+                self._trace.emit(self.sim.now(), "shed",
+                                 machine=machine.name, fn=envelope.dest_fn,
+                                 key=envelope.event.key, outcome="drop",
+                                 origin=origin, oseq=oseq)
             return
         if policy.kind == "divert":
             assert policy.overflow_sid is not None
-            self.counters.diverted_overflow_stream += 1
-            diverted = envelope.event.with_stream(policy.overflow_sid)
-            stamped = self.app.streams.stamp(diverted)
-            for spec in self._subscribers_of(policy.overflow_sid):
-                self._send(_Envelope(stamped, envelope.birth_ts, spec.name,
-                                     diverted=True),
-                           from_machine=machine.name)
+            self._note_overflow(machine.name, "diverted")
+            self._divert(machine, envelope, policy.overflow_sid)
             return
         # throttle: hold the event and retry; the throttle monitor pauses
         # the sources meanwhile, so the queue drains.
         self.counters.throttled += 1
+        self._note_overflow(machine.name, "throttle_retries")
+        if self._trace is not None:
+            origin, oseq = envelope.event.provenance()
+            self._trace.emit(self.sim.now(), "shed", machine=machine.name,
+                             fn=envelope.dest_fn, key=envelope.event.key,
+                             outcome="throttle_retry",
+                             origin=origin, oseq=oseq)
         self.sim.schedule_in(self.config.retry_delay_s,
                              lambda sim: self._deliver(machine, envelope))
+
+    def _divert(self, machine: _Machine, envelope: _Envelope,
+                overflow_sid: str, proactive: bool = False) -> None:
+        """Re-address one envelope to the degraded overflow stream.
+
+        The diverted copy pins the original's replay-stable
+        ``(origin, oseq)`` across the re-stamp — for a source event the
+        provenance fallback is ``(sid, seq)``, which re-stamping onto a
+        new stream would otherwise rewrite. One event therefore carries
+        one identity whether it travels the normal or the degraded path,
+        so the effectively-once audit, dedup watermarks, and
+        ``ReplayStats`` account for diverted-then-reingested events
+        instead of double-counting them. The ``replayed`` flag survives
+        diversion for the same reason.
+        """
+        self.counters.diverted_overflow_stream += 1
+        origin, oseq = envelope.event.provenance()
+        stamped = self.app.streams.stamp(
+            envelope.event.with_stream(overflow_sid))
+        stamped = replace(stamped, origin=origin, oseq=oseq)
+        if self._trace is not None:
+            self._trace.emit(self.sim.now(), "shed", machine=machine.name,
+                             fn=envelope.dest_fn, key=stamped.key,
+                             outcome="divert", proactive=proactive,
+                             origin=origin, oseq=oseq)
+        for spec in self._subscribers_of(overflow_sid):
+            self._send(_Envelope(stamped, envelope.birth_ts, spec.name,
+                                 diverted=True, replayed=envelope.replayed),
+                       from_machine=machine.name)
 
     # -- execution -------------------------------------------------------------
     def _try_start(self, worker: _Worker) -> None:
@@ -1125,6 +1268,29 @@ class SimRuntime:
                                     output_bytes=out_bytes)
         else:
             assert isinstance(instance, Updater)
+            weight = 1.0
+            if (self._thinner is not None and not envelope.is_timer
+                    and machine.pressure_tier >= TIER_THIN
+                    and spec.name in self._thinnable):
+                keep, weight = self._thinner.decide(event.key)
+                if not keep:
+                    # Thinned: skip the slate read and the update
+                    # entirely — that saved work is the whole point.
+                    # Kept siblings carry weight 1/p, so the counter
+                    # stays unbiased (see repro.shedding.thinning).
+                    self.counters.thinned += 1
+                    self.shedding.thinned += 1
+                    if self._trace is not None:
+                        origin, oseq = event.provenance()
+                        self._trace.emit(self.sim.now(), "shed",
+                                         machine=machine.name,
+                                         op=spec.name, key=event.key,
+                                         outcome="thin",
+                                         origin=origin, oseq=oseq)
+                    return service, [], []
+                if weight > 1.0:
+                    self.shedding.kept_weighted += 1
+                    self.shedding.weight_applied += weight
             mgr = worker.mgr
             slate = mgr.get(instance, event.key)
             read_io = mgr.take_pending_io()
@@ -1155,7 +1321,10 @@ class SimRuntime:
                 instance.on_timer(ctx, event.key, slate,
                                   envelope.timer_payload)
             else:
-                instance.update(ctx, event, slate)
+                if weight != 1.0:
+                    instance.update_weighted(ctx, event, slate, weight)
+                else:
+                    instance.update(ctx, event, slate)
                 if self._dedup:
                     origin, oseq = event.provenance()
                     slate.advance_watermark(origin, oseq)
@@ -1365,6 +1534,60 @@ class SimRuntime:
                          for m in self.machines.values() if m.alive),
                         default=0.0)
             throttle.observe(worst, sim.now())
+            sim.schedule_in(period, tick)
+
+        self.sim.schedule_in(period, tick)
+
+    def _updater_p99(self, window: int) -> float:
+        """Worst per-updater p99 over each updater's trailing samples."""
+        worst = 0.0
+        for recorder in self.latency.values():  # noqa: MUP003 -- max() is order-independent
+            samples = recorder.samples
+            if samples:
+                worst = max(worst, percentile(samples[-window:], 0.99))
+        return worst
+
+    def _schedule_shedding_monitor(self) -> None:
+        """The backpressure controller's observation tick.
+
+        Each period, every live machine's pressure signals feed the
+        controller; the resulting tier lands on ``machine.pressure_tier``
+        for the per-event hot paths to read. Any machine at the throttle
+        tier pauses the sources (Section 5 source throttling — never
+        mid-workflow, which can deadlock).
+        """
+        shed = self._shed
+        assert shed is not None
+        cfg = shed.config
+        period = cfg.check_period_s
+
+        def tick(sim: Simulator) -> None:
+            p99 = (self._updater_p99(cfg.p99_window)
+                   if cfg.p99_budget_s is not None else 0.0)
+            throttle_wanted = False
+            for name in sorted(self.machines):
+                machine = self.machines[name]
+                if not machine.alive:
+                    continue
+                dirty = 0
+                if cfg.dirty_slates_high is not None:
+                    dirty = sum(m.cache.dirty_count()
+                                for m in self._managers_of(machine))
+                tier = shed.observe(
+                    name,
+                    PressureSignals(
+                        queue_fraction=machine.queue_depth_fraction(),
+                        dirty_slates=dirty, p99_s=p99),
+                    sim.now())
+                machine.pressure_tier = tier
+                if tier >= TIER_THROTTLE:
+                    throttle_wanted = True
+            throttle = self.config.throttle
+            if throttle is not None:
+                if throttle_wanted:
+                    throttle.pause(sim.now())
+                else:
+                    throttle.resume(sim.now())
             sim.schedule_in(period, tick)
 
         self.sim.schedule_in(period, tick)
@@ -1765,6 +1988,7 @@ class SimRuntime:
             dataplane=self.dataplane,
             replay=(ReplayStats(**vars(self.replay_journal.stats))
                     if self.replay_journal is not None else ReplayStats()),
+            shedding=self.shedding,
             metrics=self.metrics.family_snapshot(),
             timeline_data=(self._timeline.as_dict()
                            if self._timeline is not None else None),

@@ -106,7 +106,11 @@ class TestEventCounter:
         assert snap["throttled"] == 9
         assert set(snap) == {"published", "processed", "dropped_overflow",
                              "lost_failure", "diverted_overflow_stream",
-                             "throttled"}
+                             "throttled", "thinned"}
+
+    def test_thinned_not_counted_as_lost(self):
+        counter = EventCounter(thinned=11)
+        assert counter.lost_total() == 0
 
 
 class TestProvenance:
