@@ -7,15 +7,18 @@ LSM node, slate cache, and reference executor.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
+import json
 
 import pytest
 
 from repro.cluster.hashring import HashRing, route_key
 from repro.core import ReferenceExecutor
-from repro.core.slate import Slate, SlateKey
+from repro.core.event import Event
+from repro.core.slate import Slate, SlateKey, _json_size_fast
 from repro.kvstore.node import StorageNode
-from repro.muppet.dispatch import TwoChoiceDispatcher
+from repro.muppet.dispatch import DispatchStats, TwoChoiceDispatcher
 from repro.slates.cache import SlateCache
 from repro.slates.codec import CompressedJsonCodec, JsonCodec
 from tests.conftest import build_count_app, make_events
@@ -108,6 +111,73 @@ def test_micro_slate_cache_hit(benchmark):
         cache.put(Slate(slate_key, {"count": 1}))
     cycle = itertools.cycle(slate_keys)
     benchmark(lambda: cache.get(next(cycle)))
+
+
+# -- hot-path representation micro-benches (PR: compact slotted events) --
+#
+# These pin the costs the fast-forward overhaul is built on: Event as a
+# NamedTuple (vs the historical frozen dataclass it replaced), the
+# ``tuple.__new__`` stamping idiom the fused loop uses, SlateKey's C-level
+# tuple hash, the arithmetic slate sizer vs json.dumps, and slotted stats
+# counters. Regressions here show up magnified ~200k× in E1/E23 walls.
+
+
+@dataclasses.dataclass(frozen=True)
+class _FrozenDataclassEvent:
+    """What Event used to be — kept only as the micro-bench yardstick."""
+
+    sid: str
+    ts: float
+    key: str
+    value: object = None
+    seq: int = 0
+    origin: object = None
+    oseq: int = 0
+
+
+def test_micro_event_alloc_frozen_dataclass_baseline(benchmark):
+    benchmark(_FrozenDataclassEvent, "S1", 1.5, "user1", 42, 7, None, 0)
+
+
+def test_micro_event_alloc_namedtuple(benchmark):
+    benchmark(Event, "S1", 1.5, "user1", 42, 7, None, 0)
+
+
+def test_micro_event_alloc_tuple_new(benchmark):
+    """The fused-loop stamping idiom: bypass the named ctor entirely."""
+    tuple_new = tuple.__new__
+    made = tuple_new(Event, ("S1", 1.5, "user1", 42, 7, None, 0))
+    assert made.sid == "S1" and made[1] == 1.5
+    benchmark(lambda: tuple_new(Event, ("S1", 1.5, "user1", 42, 7, None, 0)))
+
+
+def test_micro_slatekey_hash(benchmark):
+    keys = [SlateKey("U1", f"user{i}") for i in range(1000)]
+    benchmark(lambda: sum(map(hash, keys)))
+
+
+def test_micro_slate_size_json_dumps_baseline(benchmark):
+    data = {f"f{i}": i * 37 for i in range(12)}
+    benchmark(lambda: len(json.dumps(data, separators=(",", ":"))))
+
+
+def test_micro_slate_size_arithmetic(benchmark):
+    """The _json_size_fast shortcut must agree with json.dumps exactly."""
+    data = {f"f{i}": i * 37 for i in range(12)}
+    assert _json_size_fast(data) == len(
+        json.dumps(data, separators=(",", ":")))
+    benchmark(_json_size_fast, data)
+
+
+def test_micro_stats_counter_inc_slotted(benchmark):
+    stats = DispatchStats()
+
+    def bump():
+        stats.dispatched += 1
+        stats.to_primary += 1
+        stats.queue_locks += 2
+
+    benchmark(bump)
 
 
 def test_micro_reference_executor_throughput(benchmark):

@@ -1,12 +1,16 @@
 """Perf gate — wall-clock and simulated-throughput regression guard.
 
-Runs three canonical scenarios (E1-style scaling, E2-style latency,
-E9-style flush) and measures, for each, the *simulated* events/second
-(deterministic — identical on every machine) and the *real* wall-clock
-and CPU seconds the simulation itself took (machine-dependent). The E1
-scenario runs twice, with data-plane batching off and on, and reports
-the batching speedup plus a byte-identity check of the final slate
-state — the two headline claims of the batched data plane.
+Runs four canonical scenarios (E1-style scaling, E2-style latency,
+E9-style flush, E23 fast-forwarding) and measures, for each, the
+*simulated* events/second (deterministic — identical on every machine)
+and the *real* wall-clock and CPU seconds the simulation itself took
+(machine-dependent). The E1 scenario runs twice, with data-plane
+batching off and on, and reports the batching speedup plus a
+byte-identity check of the final slate state — the two headline claims
+of the batched data plane. The E23 scenario runs the E1 workload exact
+and hybrid (``fastforward=True``) with *identical* configuration,
+asserts report- and slate-identity, and reports the hybrid speedup
+against the pinned exact baseline wall.
 
 Usage::
 
@@ -14,13 +18,16 @@ Usage::
     python benchmarks/bench_perf_gate.py --update   # write BENCH_PERF.json
     python benchmarks/bench_perf_gate.py --check    # compare vs committed
                                                     # baseline (CI gate)
+    python benchmarks/bench_perf_gate.py --profile  # + cProfile top-25
 
 ``--check`` fails (exit 1) when a scenario's simulated throughput drops
 more than 10% below the committed baseline, or its wall-clock exceeds it
-by more than 25%, or E1's batching CPU speedup falls under 1.1x. The
-simulated-throughput check is effectively exact (the simulator is
-deterministic); the wall checks assume comparable hardware — refresh the
-baseline with ``--update`` when the reference machine changes.
+by more than 25%, or E1's batching CPU speedup falls under 1.1x, or
+E23's hybrid run is not fused / not identical to exact / slower than
+the 3.0x floor over the pinned exact baseline. The simulated-throughput
+check is effectively exact (the simulator is deterministic); the wall
+checks assume comparable hardware — refresh the baseline with
+``--update`` when the reference machine changes.
 """
 
 from __future__ import annotations
@@ -41,7 +48,7 @@ from repro.core.application import Application
 from repro.core.event import Event
 from repro.core.operators import Mapper, Updater
 from repro.kvstore.cluster import ReplicatedKVStore
-from repro.sim import SimConfig, SimRuntime
+from repro.sim import SimConfig, SimRuntime, create_runtime
 from repro.sim.sources import Source
 from repro.slates.manager import FlushPolicy, SlateManager
 
@@ -51,6 +58,16 @@ BASELINE_PATH = REPO_ROOT / "BENCH_PERF.json"
 SIM_THROUGHPUT_TOLERANCE = 0.10   # simulated ev/s may drop at most 10%
 WALL_TOLERANCE = 0.25             # wall-clock may grow at most 25%
 MIN_E1_CPU_SPEEDUP = 1.1          # batching must stay a CPU win
+
+#: E23 exact-mode baseline: the committed wall of the E1 workload on the
+#: exact stepper (BENCH_PERF.json e1_scaling.wall_s_unbatched) on the
+#: reference machine, pinned so the hybrid speedup claim is measured
+#: against a fixed yardstick rather than a same-run remeasurement. The
+#: issue targeted 5x; the honest measured speedup on this workload is
+#: ~4x (see EXPERIMENTS.md E23 for the CPython floor analysis), so the
+#: CI floor is set at 3.0x to stay robust to scheduler noise.
+E23_BASELINE_EXACT_WALL_S = 3.6863
+MIN_E23_SPEEDUP = 3.0
 
 #: Timing repeats per measured run; min is reported (least-noise).
 REPEATS = 3
@@ -220,10 +237,54 @@ def scenario_e9_flush() -> Dict[str, Any]:
     }
 
 
+def scenario_e23_fastforward() -> Dict[str, Any]:
+    """The E1 chain workload, exact vs hybrid fast-forwarding, with
+    *identical* default configuration for both runs — the only delta is
+    ``fastforward=True`` — so report and final-slate identity is a
+    like-for-like claim. The speedup figure is the hybrid wall against
+    the pinned committed exact baseline (the same number E1 reports as
+    ``wall_s_unbatched``); a fresh same-config exact wall is recorded
+    alongside for transparency about machine drift."""
+    n, spacing, keys, machines = 30_000, 0.00002, 200, 4
+    horizon = n * spacing + 5.0
+
+    def run(fastforward: bool):
+        cfg = SimConfig(fastforward=fastforward)
+        runtime = create_runtime(
+            _chain_app(), ClusterSpec.uniform(machines, cores=4), cfg,
+            [Source("S1", iter(_events(n, spacing, keys)))])
+        report = runtime.run(horizon)
+        ff = runtime.ff_summary() if fastforward else None
+        return report, runtime.slates_of("U1"), ff
+
+    (rep_x, slates_x, _), wall_x, cpu_x = _timed(lambda: run(False))
+    (rep_h, slates_h, ff), wall_h, cpu_h = _timed(lambda: run(True))
+    identical = (
+        rep_x.counter_report() == rep_h.counter_report()
+        and json.dumps(slates_x, sort_keys=True)
+        == json.dumps(slates_h, sort_keys=True))
+    return {
+        "events": n,
+        "machines": machines,
+        "sim_events_per_s": round(rep_h.events_per_second(), 3),
+        "steps": rep_h.steps,
+        "ff_mode": ff["mode"],
+        "inlined_steps": ff["inlined_steps"],
+        "baseline_exact_wall_s": E23_BASELINE_EXACT_WALL_S,
+        "exact_wall_s_fresh": round(wall_x, 4),
+        "wall_s": round(wall_h, 4),
+        "cpu_s": round(cpu_h, 4),
+        "speedup_vs_baseline": round(E23_BASELINE_EXACT_WALL_S / wall_h, 3),
+        "speedup_vs_fresh_exact": round(wall_x / wall_h, 3),
+        "identical": identical,
+    }
+
+
 SCENARIOS = {
     "e1_scaling": scenario_e1_scaling,
     "e2_latency": scenario_e2_latency,
     "e9_flush": scenario_e9_flush,
+    "e23_fastforward": scenario_e23_fastforward,
 }
 
 
@@ -272,7 +333,53 @@ def check(current: Dict[str, Any], baseline: Dict[str, Any]) -> int:
         print("  FAIL e1_scaling: batching CPU speedup "
               f"{e1['speedup_cpu']:.2f}x < {MIN_E1_CPU_SPEEDUP}x")
         failures += 1
+    e23 = current["scenarios"]["e23_fastforward"]
+    if e23["ff_mode"] != "fused":
+        print("  FAIL e23_fastforward: hybrid run fell back to exact "
+              f"mode ({e23['ff_mode']}) on a fusion-eligible config")
+        failures += 1
+    if not e23["identical"]:
+        print("  FAIL e23_fastforward: hybrid report/slates differ from "
+              "exact — identity contract broken")
+        failures += 1
+    if e23["speedup_vs_baseline"] < MIN_E23_SPEEDUP:
+        print("  FAIL e23_fastforward: hybrid speedup "
+              f"{e23['speedup_vs_baseline']:.2f}x < {MIN_E23_SPEEDUP}x "
+              f"over the pinned {E23_BASELINE_EXACT_WALL_S}s exact wall")
+        failures += 1
     return failures
+
+
+def profile_hot_path(results_dir: Path) -> None:
+    """cProfile one hybrid E23 pass; write the top-25 cumulative table.
+
+    The artifact (``DIR/profile_top25.txt``) is what the fast-forward
+    work was steered by: it shows where the remaining wall goes once
+    the handlers are fused (heap ops, dict lookups, the fused closures
+    themselves).
+    """
+    import cProfile
+    import io
+    import pstats
+
+    n, spacing, keys, machines = 30_000, 0.00002, 200, 4
+    horizon = n * spacing + 5.0
+    runtime = create_runtime(
+        _chain_app(), ClusterSpec.uniform(machines, cores=4),
+        SimConfig(fastforward=True),
+        [Source("S1", iter(_events(n, spacing, keys)))])
+    profiler = cProfile.Profile()
+    profiler.enable()
+    runtime.run(horizon)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    out = results_dir / "profile_top25.txt"
+    out.write_text(buffer.getvalue())
+    print(buffer.getvalue())
+    print(f"wrote {out}")
 
 
 def main(argv=None) -> int:
@@ -286,7 +393,17 @@ def main(argv=None) -> int:
     parser.add_argument("--results-dir", default=None, metavar="DIR",
                         help="also write the measured numbers to "
                              "DIR/perf_gate.json (CI artifact)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile one hybrid E23 pass and write the "
+                             "top-25 cumulative table to the results dir "
+                             "(default benchmarks/results/)")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        profile_hot_path(Path(args.results_dir)
+                         if args.results_dir is not None
+                         else REPO_ROOT / "benchmarks" / "results")
+        return 0
 
     current = run_all()
     print(json.dumps(current, indent=2))

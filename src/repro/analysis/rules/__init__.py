@@ -6,7 +6,7 @@ Importing this package imports every rule module; each module's
 import list below (codes must be unique ``MUP###``).
 """
 
-from repro.analysis.rules import (determinism, events, locks, slates,
-                                  tracing)
+from repro.analysis.rules import (determinism, events, hotpath, locks,
+                                  slates, tracing)
 
-__all__ = ["determinism", "events", "locks", "slates", "tracing"]
+__all__ = ["determinism", "events", "hotpath", "locks", "slates", "tracing"]

@@ -75,10 +75,17 @@ class HashRing(Generic[M]):
         self.memo_hits = 0
         self.memo_misses = 0
         self.memo_invalidations = 0
+        #: Monotone membership/liveness revision. Bumps on every add,
+        #: remove, exclude and restore — independent of ``memoize`` —
+        #: so callers layering their own routing caches on top (the
+        #: fast-forward runtime's destination memo) can detect ring
+        #: changes with one integer compare per event.
+        self.generation = 0
         for member in members:
             self.add(member)
 
     def _invalidate_memo(self) -> None:
+        self.generation += 1
         if self._lookup_memo or self._pref_memo:
             self._lookup_memo.clear()
             self._pref_memo.clear()

@@ -17,8 +17,8 @@ runtime, and simulator) so all engines agree on what "timestamp order" means.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any, Optional, Tuple
+from dataclasses import FrozenInstanceError, dataclass
+from typing import Any, NamedTuple, Optional, Tuple
 
 #: Type alias: keys are atomic values; we standardize on ``str`` keys.
 Key = str
@@ -29,9 +29,16 @@ Key = str
 Timestamp = float
 
 
-@dataclass(frozen=True)
-class Event:
+class Event(NamedTuple):
     """A single immutable stream event ``<sid, ts, k, v>``.
+
+    Events are tuple-backed: construction is one C-level ``tuple.__new__``
+    rather than a per-field ``object.__setattr__`` chain, which matters
+    because the simulator allocates several events per delivered message
+    (publication, stamping, re-addressing). The record stays frozen —
+    assignment raises :class:`dataclasses.FrozenInstanceError` exactly as
+    the previous frozen-dataclass representation did — and field names,
+    defaults, equality, and ``repr`` are unchanged.
 
     Attributes:
         sid: ID of the stream this event belongs to.
@@ -64,9 +71,33 @@ class Event:
     origin: Optional[str] = None
     oseq: int = 0
 
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise FrozenInstanceError(f"cannot assign to field {name!r}")
+
     def with_stream(self, sid: str, seq: int = 0) -> "Event":
         """Return a copy of this event re-addressed to stream ``sid``."""
-        return replace(self, sid=sid, seq=seq)
+        return Event(sid, self.ts, self.key, self.value, seq,
+                     self.origin, self.oseq)
+
+    def with_seq(self, seq: int) -> "Event":
+        """Return a copy carrying publication sequence number ``seq``.
+
+        Equivalent to ``dataclasses.replace(self, seq=seq)`` but built
+        with a direct constructor call: ``replace`` rebuilds its kwargs
+        dict from the field list on every call, which dominates the
+        stamp cost on the per-event hot path.
+        """
+        return Event(self.sid, self.ts, self.key, self.value, seq,
+                     self.origin, self.oseq)
+
+    def with_provenance(self, origin: Optional[str], oseq: int) -> "Event":
+        """Return a copy carrying replay-stable identity ``(origin, oseq)``.
+
+        Direct-constructor twin of ``dataclasses.replace(self,
+        origin=..., oseq=...)`` for the effectively-once hot path.
+        """
+        return Event(self.sid, self.ts, self.key, self.value, self.seq,
+                     origin, oseq)
 
     def provenance(self) -> Tuple[str, int]:
         """Replay-stable identity ``(origin, sequence)`` of this event.
@@ -138,7 +169,7 @@ def derive_origin(parent: Event, operator: str, ordinal: int) -> Tuple[str, int]
     return f"{origin}>{operator}", oseq * ORIGIN_SEQ_STRIDE + ordinal
 
 
-@dataclass
+@dataclass(slots=True)
 class EventCounter:
     """Mutable counters for event accounting (published/processed/lost).
 

@@ -42,7 +42,7 @@ from repro.errors import TimestampError, WorkflowError
 MIN_TS_INCREMENT = 1e-6
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimerRequest:
     """A pending request for a timer callback (see module docstring)."""
 
@@ -115,7 +115,10 @@ class Context:
                 f"exceed input ts={self.input_ts}; Section 3 requires output "
                 "timestamps to be strictly greater than the input's"
             )
-        event = Event(sid=sid, ts=ts, key=key, value=value)
+        # Direct tuple construction: publish runs once per emitted event
+        # on every engine's hot path, and the named constructor's Python
+        # frame doubles the allocation cost.
+        event = tuple.__new__(Event, (sid, ts, key, value, 0, None, 0))
         self.emitted.append(event)
         return event
 

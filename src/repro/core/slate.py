@@ -26,13 +26,43 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterator, NamedTuple, Optional,
+                    Tuple)
 
 from repro.core.event import Timestamp
 from repro.errors import SlateTooLargeError
 
 #: TTL sentinel meaning "keep forever" — the paper's default.
 TTL_FOREVER: Optional[float] = None
+
+
+def _json_size_fast(data: Dict[str, Any]) -> int:  # hot-path
+    """Exact byte length of ``json.dumps(data, separators=(",", ":"))``
+    for flat ``{plain-ASCII str: int}`` dicts, or ``-1`` when ``data``
+    falls outside that shape (the caller then serializes for real).
+
+    Counter-style slates — the overwhelmingly common case on the update
+    hot path — are exactly this shape, and their JSON length is pure
+    arithmetic: ``{`` ``}`` plus per entry ``"key":value`` plus commas.
+    The guards are strict so the fast and slow paths always agree:
+    keys must be ASCII and printable with no ``"`` or ``\\`` (the only
+    printable-ASCII characters ``json.dumps`` escapes), and values must
+    be exactly ``int`` (``bool`` is an ``int`` subclass but serializes
+    as ``true``/``false``, so ``type`` identity is required, not
+    ``isinstance``).
+    """
+    n = len(data)
+    if n == 0:
+        return 2
+    # Braces (2) + per-entry quotes and colon (3n) + commas (n - 1).
+    size = 4 * n + 1
+    for k, v in data.items():
+        if (type(k) is not str or type(v) is not int
+                or not k.isascii() or not k.isprintable()
+                or '"' in k or "\\" in k):
+            return -1
+        size += len(k) + len(str(v))
+    return size
 
 #: Reserved blob key holding a slate's per-upstream dedup watermarks
 #: (``{origin: highest applied sequence}``) under effectively-once
@@ -42,13 +72,14 @@ TTL_FOREVER: Optional[float] = None
 WATERMARK_FIELD = "__slate_wm__"
 
 
-@dataclass(frozen=True)
-class SlateKey:
+class SlateKey(NamedTuple):
     """The identity of a slate: the pair ``<updater name, event key>``.
 
     Muppet stores slate ``S(U, k)`` in the key-value store "at row k and
     column U" (Section 4.2); :meth:`row_column` returns exactly that
-    addressing.
+    addressing. Tuple-backed so the per-update cache lookups hash and
+    compare at C speed (slate keys are dict keys in the cache, the dirty
+    index and the flush paths).
     """
 
     updater: str
@@ -263,11 +294,13 @@ class Slate:
         """
         if self._size_version == self._version:
             return self._size_bytes
-        try:
-            size = len(json.dumps(self._data, separators=(",", ":"),
-                                  default=str))
-        except (TypeError, ValueError):
-            size = len(repr(self._data))
+        size = _json_size_fast(self._data)
+        if size < 0:
+            try:
+                size = len(json.dumps(self._data, separators=(",", ":"),
+                                      default=str))
+            except (TypeError, ValueError):
+                size = len(repr(self._data))
         self._size_version = self._version
         self._size_bytes = size
         return size

@@ -12,7 +12,7 @@ enforces.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.event import Event
@@ -110,10 +110,9 @@ class StreamRegistry:
                 "operator attempted to publish into external stream "
                 f"{event.sid!r}; external streams are input-only"
             )
-        seq = next(self._seq[event.sid])
-        # dataclasses.replace keeps provenance (origin/oseq) intact: the
+        # with_seq keeps provenance (origin/oseq) intact: the
         # publication seq is the tie-break, not the replay identity.
-        return replace(event, seq=seq)
+        return event.with_seq(next(self._seq[event.sid]))
 
 
 def merge_by_timestamp(*event_lists: Iterable[Event]) -> List[Event]:

@@ -19,13 +19,13 @@ seeded schedule over one workload produce byte-identical counters.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Optional, Tuple
 
 from repro.faults.schedule import FaultSchedule
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultInjectorStats:
     """What the injector actually did to the run."""
 
@@ -36,7 +36,7 @@ class FaultInjectorStats:
     gray_slow_s: float = 0.0
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class FaultInjector:

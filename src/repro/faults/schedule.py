@@ -51,7 +51,7 @@ FAULT_KINDS = ("crash", "recover", "partition", "slow", "drop", "delay",
 INTERVAL_KINDS = ("partition", "slow", "drop", "delay")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultEvent:
     """One scheduled fault. Use the :class:`FaultSchedule` builder
     methods rather than constructing these directly.

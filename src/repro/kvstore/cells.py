@@ -17,7 +17,7 @@ from typing import Optional, Tuple
 CellKey = Tuple[str, str]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Cell:
     """One version of a ``(row, column)`` entry.
 

@@ -21,7 +21,7 @@ matching Muppet 2.0's dedicated background kv-store thread (Section 4.5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -33,7 +33,7 @@ from repro.kvstore.memtable import Memtable
 from repro.kvstore.sstable import SSTable, merge_sstables
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeStats:
     """Operation counters for one storage node."""
 
@@ -51,7 +51,7 @@ class NodeStats:
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict snapshot for logging/benchmarks."""
-        return dict(self.__dict__)
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class StorageNode:

@@ -9,7 +9,7 @@ those quantities so benchmarks can print paper-versus-measured tables.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
@@ -42,7 +42,7 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
     return min(max(value, ordered[low]), ordered[high])
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencySummary:
     """Summary statistics for a set of latency samples (seconds)."""
 
@@ -112,7 +112,7 @@ class LatencyRecorder:
         return self
 
 
-@dataclass
+@dataclass(slots=True)
 class RobustnessCounters:
     """Failure-injection and recovery accounting for one simulated run.
 
@@ -162,10 +162,10 @@ class RobustnessCounters:
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict snapshot (insertion-ordered, deterministic)."""
-        return dict(self.__dict__)
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
-@dataclass
+@dataclass(slots=True)
 class DataPlaneCounters:
     """Event-coalescing accounting for one simulated run.
 
@@ -192,7 +192,7 @@ class DataPlaneCounters:
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict snapshot (insertion-ordered, deterministic)."""
-        return dict(self.__dict__)
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 def format_ms(seconds: Optional[float], digits: int = 2) -> str:
@@ -207,7 +207,7 @@ def format_ms(seconds: Optional[float], digits: int = 2) -> str:
     return f"{seconds * 1e3:.{digits}f}"
 
 
-@dataclass
+@dataclass(slots=True)
 class ThroughputReport:
     """Events processed over a time window, with convenience rates."""
 

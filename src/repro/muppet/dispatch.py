@@ -15,7 +15,7 @@ threads (slate contention ≤ 2); hot primaries can spill to the secondary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cluster.hashring import MEMO_MAX_ENTRIES, stable_hash64
@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError
 KeyFn = Tuple[str, str]  # (event key, destination function)
 
 
-@dataclass
+@dataclass(slots=True)
 class DispatchStats:
     """Counters proving the Section 4.5 claims."""
 
@@ -40,7 +40,7 @@ class DispatchStats:
 
     def as_dict(self) -> Dict[str, int]:
         """Field snapshot; summed across dispatchers by the registry."""
-        return dict(vars(self))
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class TwoChoiceDispatcher:
@@ -138,6 +138,46 @@ class TwoChoiceDispatcher:
         self.stats.to_primary += 1
         return primary
 
+    def choose_workers(self, key: str, function: str, workers: Sequence):  # hot-path
+        """Pick the destination worker for one incoming event.
+
+        The fast-path twin of :meth:`choose`: instead of the caller
+        materializing full ``queue_lengths``/``processing`` lists (one
+        allocation and O(threads) attribute chases per event), only the
+        two candidate workers are inspected directly. ``workers`` must
+        expose ``queue`` (sized) and ``current``. Decisions and stats
+        updates are identical to :meth:`choose` by construction — the
+        determinism tests assert the equivalence.
+        """
+        primary, secondary = self.candidates(key, function)
+        stats = self.stats
+        stats.dispatched += 1
+        if primary == secondary:
+            stats.queue_locks += 1
+            worker = workers[primary]
+            if worker.current == (key, function):
+                stats.affinity_hits += 1
+            stats.to_primary += 1
+            return worker
+        stats.queue_locks += 2
+        item = (key, function)
+        first = workers[primary]
+        if first.current == item:
+            stats.to_primary += 1
+            stats.affinity_hits += 1
+            return first
+        second = workers[secondary]
+        if second.current == item:
+            stats.to_secondary += 1
+            stats.affinity_hits += 1
+            return second
+        if len(first.queue) >= self.significant_factor * (len(second.queue) + 1):
+            stats.to_secondary += 1
+            stats.spills += 1
+            return second
+        stats.to_primary += 1
+        return first
+
 
 class SingleChoiceDispatcher:
     """Muppet 1.0 routing on one machine: a key maps to exactly one worker.
@@ -180,3 +220,8 @@ class SingleChoiceDispatcher:
                 self._memo.clear()
             self._memo[memo_key] = thread
         return thread
+
+    def choose_workers(self, key: str, function: str, workers: Sequence):  # hot-path
+        """Fast-path twin of :meth:`choose` (see TwoChoiceDispatcher):
+        returns the owning worker directly, stats identical."""
+        return workers[self.choose(key, function, (), ())]

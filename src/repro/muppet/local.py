@@ -26,7 +26,7 @@ import heapq
 import itertools
 import threading
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.application import Application
@@ -342,7 +342,7 @@ class LocalMuppet:
         # otherwise rewrite — the diverted copy must keep one identity.
         origin, oseq = item.event.provenance()
         diverted = self.app.streams.stamp(item.event.with_stream(sid))
-        diverted = replace(diverted, origin=origin, oseq=oseq)
+        diverted = diverted.with_provenance(origin, oseq)
         delivered = False
         for sub in self.app.subscribers_of(sid):
             # A diverted event that overflows again is dropped — degraded

@@ -11,7 +11,7 @@ machine from then on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Callable, Dict, List, Set
 
 #: Callback invoked on every worker when the master broadcasts a failure.
@@ -21,7 +21,7 @@ FailureListener = Callable[[str], None]
 RecoveryListener = Callable[[str], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class MasterStats:
     """Failure- and recovery-handling counters."""
 
@@ -36,7 +36,7 @@ class MasterStats:
 
     def as_dict(self) -> Dict[str, int]:
         """Field snapshot; registered as a metrics-registry group."""
-        return dict(vars(self))
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class Master:

@@ -17,7 +17,7 @@ has to invoke a queue overflow mechanism." The mechanism may
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Deque, Dict, Generic, Iterator, List, Optional, TypeVar
 
 from repro.errors import ConfigurationError, QueueOverflowError
@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError, QueueOverflowError
 T = TypeVar("T")
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counters for one bounded queue."""
 
@@ -36,7 +36,7 @@ class QueueStats:
 
     def as_dict(self) -> Dict[str, int]:
         """Field snapshot; registered as a metrics-registry view."""
-        return dict(vars(self))
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class BoundedQueue(Generic[T]):

@@ -35,7 +35,7 @@ from typing import Any, Deque, List, Optional, Tuple
 from repro.errors import ConfigurationError
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplayStats:
     """Journal accounting."""
 

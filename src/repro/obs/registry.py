@@ -181,10 +181,18 @@ class Ewma:
 
 
 def _numeric_fields(obj: Any) -> Dict[str, Any]:
-    """The int/float attributes of a stats object, insertion-ordered."""
+    """The int/float attributes of a stats object, insertion-ordered.
+
+    Works for ``__dict__``-backed and slotted stats objects alike; a
+    slotted dataclass's ``__slots__`` preserves field declaration order,
+    so snapshots keep their historical key order either way.
+    """
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is None:
+        attrs = {name: getattr(obj, name) for name in obj.__slots__}
     return {
         name: value
-        for name, value in vars(obj).items()
+        for name, value in attrs.items()
         if isinstance(value, (int, float)) and not name.startswith("_")
     }
 

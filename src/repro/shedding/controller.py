@@ -27,7 +27,7 @@ family in ``SimReport.counter_report()``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
@@ -131,7 +131,7 @@ class PressureSignals:
     p99_s: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class SheddingCounters:
     """Overload-control accounting for one run (all zero when off).
 
@@ -161,7 +161,7 @@ class SheddingCounters:
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict snapshot (insertion-ordered, deterministic)."""
-        return dict(self.__dict__)
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def add_residence(self, tier: int, seconds: float) -> None:
         """Charge ``seconds`` of machine time to one tier."""

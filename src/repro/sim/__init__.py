@@ -9,6 +9,7 @@ Muppet 1.0-vs-2.0, hotspots, failures, SSD-vs-HDD).
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import CostModel
 from repro.sim.des import Simulator
+from repro.sim.fastforward import FastForwardRuntime, create_runtime
 from repro.sim.runtime import (ENGINE_MUPPET1, ENGINE_MUPPET2, SimConfig,
                                SimReport, SimRuntime)
 from repro.sim.sources import (Source, constant_rate, from_trace,
@@ -18,6 +19,7 @@ __all__ = [
     "CostModel",
     "ENGINE_MUPPET1",
     "ENGINE_MUPPET2",
+    "FastForwardRuntime",
     "SimConfig",
     "SimReport",
     "SimRuntime",
@@ -25,6 +27,7 @@ __all__ = [
     "Source",
     "VirtualClock",
     "constant_rate",
+    "create_runtime",
     "from_trace",
     "poisson_rate",
     "spiky_rate",

@@ -15,6 +15,8 @@ from repro.errors import SimulationError
 class VirtualClock:
     """A monotonically advancing simulated clock (seconds)."""
 
+    __slots__ = ("_now",)
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = start
 

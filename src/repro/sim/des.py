@@ -1,9 +1,19 @@
 """A minimal deterministic discrete-event scheduler.
 
-Events are ``(time, priority, seq, callback)`` entries in a heap; ties on
-time break by priority then insertion sequence, so runs are bit-for-bit
-reproducible. Callbacks receive the simulator and may schedule further
-events. This is the substrate under :class:`repro.sim.runtime.SimRuntime`.
+Events are ``(time, priority, seq, action, handle, args)`` entries in a
+heap; ties on time break by priority then insertion sequence, so runs are
+bit-for-bit reproducible. Callbacks receive the simulator (legacy form)
+or a pre-bound argument tuple (:meth:`Simulator.schedule_call`) and may
+schedule further events. This is the substrate under
+:class:`repro.sim.runtime.SimRuntime`.
+
+The entry layout is deliberately uniform: every entry is one 6-tuple, so
+the run loop unpacks without length dispatch and the hot schedulers
+(``schedule_call`` / ``schedule_call_in``) never build a closure per
+event — the argument tuple rides in the entry itself. Ordering is
+decided entirely by the first three fields, which are identical to the
+historical 4-tuple layout, so schedules (and therefore reports) are
+byte-identical across the representation change.
 """
 
 from __future__ import annotations
@@ -47,8 +57,10 @@ class Simulator:
     def __init__(self, clock: Optional[VirtualClock] = None,
                  max_steps: int = 50_000_000) -> None:
         self.clock = clock or VirtualClock()
-        # Entries are (time, priority, seq, action) or, for cancellable
-        # events, (time, priority, seq, action, handle).
+        # Uniform entries: (time, priority, seq, action, handle, args).
+        # handle is a ScheduledEvent for cancellable entries, else None;
+        # args is None for legacy callbacks taking the simulator, else
+        # the positional tuple the action is invoked with.
         self._heap: List[Tuple] = []
         self._seq = itertools.count()
         self._max_steps = max_steps
@@ -68,58 +80,93 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {at} before now={self.clock.now()}"
             )
-        heapq.heappush(self._heap, (at, priority, next(self._seq), action))
+        heapq.heappush(
+            self._heap, (at, priority, next(self._seq), action, None, None))
 
     def schedule_in(self, delay: float, action: Action,
                     priority: int = 0) -> None:
         """Schedule ``action`` after ``delay`` seconds."""
         self.schedule(self.clock.now() + max(0.0, delay), action, priority)
 
+    def schedule_call(self, at: float, action: Callable, *args,
+                      priority: int = 0) -> None:  # hot-path
+        """Schedule ``action(*args)`` at absolute time ``at``.
+
+        The hot-path spelling of :meth:`schedule`: the callee's arguments
+        ride in the heap entry, so per-event callbacks need no closure or
+        lambda allocation — callers pass a pre-bound method plus its
+        operands.
+        """
+        if at < self.clock.now():
+            raise SimulationError(
+                f"cannot schedule at {at} before now={self.clock.now()}"
+            )
+        heapq.heappush(
+            self._heap, (at, priority, next(self._seq), action, None, args))
+
+    def schedule_call_in(self, delay: float, action: Callable, *args,
+                         priority: int = 0) -> None:  # hot-path
+        """Schedule ``action(*args)`` after ``delay`` seconds."""
+        now = self.clock.now()
+        at = now + delay if delay > 0.0 else now
+        heapq.heappush(
+            self._heap, (at, priority, next(self._seq), action, None, args))
+
     def schedule_cancellable(self, delay: float, action: Action,
                              priority: int = 0) -> ScheduledEvent:
         """Schedule ``action`` after ``delay``; returns a cancel handle.
 
         Used for linger timers that a size-triggered flush supersedes.
-        The heap mixes 4- and 5-tuples safely: ``seq`` is unique, so
-        tuple comparison never reaches the handle.
         """
         at = self.clock.now() + max(0.0, delay)
         handle = ScheduledEvent()
         heapq.heappush(
-            self._heap, (at, priority, next(self._seq), action, handle)
-        )
+            self._heap,
+            (at, priority, next(self._seq), action, handle, None))
         return handle
 
-    def run_until(self, t_end: float) -> None:
+    def run_until(self, t_end: float) -> None:  # hot-path
         """Process events up to and including time ``t_end``."""
-        while self._heap and self._heap[0][0] <= t_end:
-            entry = heapq.heappop(self._heap)
-            if len(entry) == 5 and entry[4].cancelled:
+        heap = self._heap
+        pop = heapq.heappop
+        advance = self.clock.advance_to
+        max_steps = self._max_steps
+        while heap and heap[0][0] <= t_end:
+            at, _priority, _seq, action, handle, args = pop(heap)
+            if handle is not None and handle.cancelled:
                 continue
-            at, action = entry[0], entry[3]
-            self.clock.advance_to(at)
+            advance(at)
             self.steps += 1
-            if self.steps > self._max_steps:
+            if self.steps > max_steps:
                 raise SimulationError(
-                    f"simulation exceeded max_steps={self._max_steps}"
+                    f"simulation exceeded max_steps={max_steps}"
                 )
-            action(self)
-        self.clock.advance_to(max(self.clock.now(), t_end))
+            if args is None:
+                action(self)
+            else:
+                action(*args)
+        advance(max(self.clock.now(), t_end))
 
     def run(self) -> None:
         """Process events until the schedule is empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if len(entry) == 5 and entry[4].cancelled:
+        heap = self._heap
+        pop = heapq.heappop
+        advance = self.clock.advance_to
+        max_steps = self._max_steps
+        while heap:
+            at, _priority, _seq, action, handle, args = pop(heap)
+            if handle is not None and handle.cancelled:
                 continue
-            at, action = entry[0], entry[3]
-            self.clock.advance_to(at)
+            advance(at)
             self.steps += 1
-            if self.steps > self._max_steps:
+            if self.steps > max_steps:
                 raise SimulationError(
-                    f"simulation exceeded max_steps={self._max_steps}"
+                    f"simulation exceeded max_steps={max_steps}"
                 )
-            action(self)
+            if args is None:
+                action(self)
+            else:
+                action(*args)
 
     def pending(self) -> int:
         """Number of scheduled events not yet executed."""

@@ -1,0 +1,883 @@
+"""Hybrid analytic/DES fast-forwarding of the simulated engine.
+
+The exact engine (:class:`repro.sim.runtime.SimRuntime`) pays a fixed
+interpreter toll per event: every hop re-reads config flags that never
+change mid-run (tracing, dedup, batching, shedding), crosses four method
+boundaries (send → deliver → try_start → execute → finish), and funnels
+every continuation through the scheduler heap even when the continuation
+is provably the very next thing to happen. This module removes that toll
+without changing a single observable number. Two mechanisms:
+
+**Handler fusion.** When the configuration is *fusion-eligible* (Muppet
+2.0 engine, no tracing, no replay/dedup, no data-plane batching, no
+overload shedding), :class:`FastForwardRuntime` installs closure-compiled
+versions of the per-event handlers with every dead branch removed, every
+invariant (cost constants, stream sequencers, subscriber lists, network
+parameters) captured as a closure cell, and the dispatch → route →
+enqueue → start → execute chain collapsed into straight-line code: the
+two-choice dispatcher's memo-hit decision, the slate cache hit, the
+event-size arithmetic and the slate ``touch``/``note_update`` sequence
+are all inlined with their stats bookkeeping replicated operation for
+operation. The fused handlers therefore perform the *same* state
+transitions in the *same* order as the exact methods — every counter,
+queue stat, dispatch stat and float service-time expression is preserved
+— so reports and slates are identical. Ineligible configurations (and
+the Muppet 1.0 engine) fall back to the inherited exact handlers,
+recorded in :attr:`FastForwardRuntime.ff`.
+
+**Analytic inline advancement.** :class:`FastForwardSimulator` runs a
+tail-call trampoline: a fused handler may *return* its final
+continuation ``(at, action, args)`` instead of pushing it on the heap.
+The loop then advances the clock to ``at`` closed-form and executes the
+continuation inline **iff it would have been the very next pop anyway**
+— that is, ``(at, priority=0)`` sorts strictly before the current heap
+top (a fresh entry always carries the largest sequence number, so ties
+go to the heap). Because the handler has fully completed when it
+returns, and the inlined entry provably precedes everything scheduled,
+push-then-pop and inline execution are indistinguishable: the step
+count, the sequence-number stream, the clock trajectory and the
+execution order are identical by construction. Scheduled faults, timers
+and ring-change broadcasts all live in the heap (fault broadcasts at
+priority ``-1``), so a quiescent stretch is fast-forwarded *only up to*
+the next such entry — the fallback boundary the hybrid tests pin down.
+The fused source stepper participates too: between arrivals it returns
+its own wake-up as a tail, so a quiescent inter-arrival gap advances
+source → inject → deliver → finish chains with no heap traffic at all.
+
+The net effect: dense stretches run fused handlers at a fraction of the
+exact per-step cost, and quiescent stretches collapse into straight-line
+execution.
+
+Use :func:`create_runtime` with ``SimConfig(fastforward=True)`` to opt
+in; the default (and ``SimRuntime`` built directly) stays byte-exact.
+"""
+
+from __future__ import annotations
+
+import gc
+from heapq import heappop, heappush
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.cluster.hashring import route_key as route
+from repro.cluster.topology import ClusterSpec, NetworkSpec
+from repro.core.application import Application
+from repro.core.event import Event
+from repro.core.operators import Context
+from repro.core.slate import SlateKey, _json_size_fast
+from repro.errors import SimulationError
+from repro.faults.schedule import FaultSchedule
+from repro.metrics import LatencyRecorder
+from repro.obs import Tracer
+from repro.sim.des import Simulator
+from repro.sim.runtime import (ENGINE_MUPPET2, SimConfig, SimReport,
+                               SimRuntime, _Envelope)
+from repro.sim.sources import Source
+
+#: Wholesale-clear bound for the fused memo tables (mirrors the hashring
+#: memo discipline: bounded table, cleared when full).
+_DEST_MEMO_MAX = 65_536
+
+
+class FastForwardStats:
+    """What the hybrid engine actually did on one run."""
+
+    __slots__ = ("mode", "reason")
+
+    def __init__(self) -> None:
+        #: ``"fused"`` when the compiled handlers are installed,
+        #: ``"exact"`` when the configuration forced the fallback.
+        self.mode = "exact"
+        #: Why fusion was declined (None when mode == "fused").
+        self.reason: Optional[str] = None
+
+
+class _FnInfo:
+    """Per-operator constants resolved once at install time."""
+
+    __slots__ = ("is_map", "publishes", "record_latency", "recorder")
+
+    def __init__(self, is_map: bool, publishes: Tuple[str, ...],
+                 record_latency: bool) -> None:
+        self.is_map = is_map
+        self.publishes = publishes
+        self.record_latency = record_latency
+        #: Lazily bound LatencyRecorder — created on first record so the
+        #: report's per-updater table only lists updaters that finished
+        #: at least one event, exactly like the exact engine's setdefault.
+        self.recorder: Optional[LatencyRecorder] = None
+
+
+class FastForwardSimulator(Simulator):
+    """Event loop with the tail-call trampoline (see module docstring).
+
+    Actions may return ``None`` (exact behaviour: anything they wanted
+    to run later is already in the heap) or a tail continuation
+    ``(at, action, args)`` with implicit priority 0. The trampoline
+    inlines the continuation when it provably precedes the heap top and
+    the horizon, otherwise it pushes a normal entry — either way the
+    schedule is identical to the exact engine's. Exact handlers return
+    ``None`` everywhere, so running them under this loop is a no-op
+    change; the determinism gate holds either way.
+    """
+
+    def __init__(self, clock=None, max_steps: int = 50_000_000) -> None:
+        super().__init__(clock, max_steps)
+        #: Steps executed inline (clock advanced analytically, no heap
+        #: traffic). ``steps`` includes them — parity with exact runs.
+        self.inlined_steps = 0
+
+    def run_until(self, t_end: float) -> None:  # hot-path
+        """Process events up to and including time ``t_end``."""
+        self._drain(t_end, final_advance=True)
+
+    def run(self) -> None:
+        """Process events until the schedule is empty."""
+        self._drain(float("inf"), final_advance=False)
+
+    def _drain(self, t_end: float, final_advance: bool) -> None:  # hot-path
+        heap = self._heap
+        pop = heappop
+        push = heappush
+        seq = self._seq
+        clock = self.clock
+        max_steps = self._max_steps
+        # Local counters, written back in ``finally`` so the totals stay
+        # correct when an action raises. Heap pops are time-monotone
+        # (every schedule validates ``at >= now``), so the clock can be
+        # stored directly instead of through ``advance_to``'s guard.
+        steps = self.steps
+        inlined = self.inlined_steps
+        try:
+            while heap and heap[0][0] <= t_end:
+                at, _priority, _seq, action, handle, args = pop(heap)
+                if handle is not None and handle.cancelled:
+                    continue
+                clock._now = at
+                steps += 1
+                if steps > max_steps:
+                    raise SimulationError(
+                        f"simulation exceeded max_steps={max_steps}"
+                    )
+                tail = action(self) if args is None else action(*args)
+                while tail is not None:
+                    # Inline iff this entry would be the very next pop:
+                    # a fresh entry has the largest seq, so at equal
+                    # (time, priority) the heap top wins. Tails carry
+                    # priority 0, so an equal-time heap entry yields
+                    # only if its own priority is positive; priority -1
+                    # fault broadcasts always win the tie. Past the
+                    # horizon the tail must wait in the heap, exactly
+                    # as a pushed entry would.
+                    at2 = tail[0]
+                    if at2 > t_end or (heap and (
+                            at2 > heap[0][0]
+                            or (at2 == heap[0][0] and heap[0][1] <= 0))):
+                        push(heap,
+                             (at2, 0, next(seq), tail[1], None, tail[2]))
+                        break
+                    next(seq)      # the seq the push would have consumed
+                    clock._now = at2
+                    steps += 1
+                    inlined += 1
+                    if steps > max_steps:
+                        raise SimulationError(
+                            f"simulation exceeded max_steps={max_steps}"
+                        )
+                    tail = tail[1](*tail[2])
+        finally:
+            self.steps = steps
+            self.inlined_steps = inlined
+        if final_advance:
+            clock.advance_to(max(clock._now, t_end))
+
+
+class FastForwardRuntime(SimRuntime):
+    """A :class:`SimRuntime` with fused handlers and inline advancement.
+
+    Construction is identical to :class:`SimRuntime`; when the
+    configuration is fusion-eligible the compiled handlers are swapped
+    in before anything is scheduled, otherwise the instance behaves
+    exactly like the base class (``ff.mode == "exact"``).
+    """
+
+    def _make_simulator(self) -> Simulator:
+        return FastForwardSimulator()
+
+    def __init__(
+        self,
+        app: Application,
+        cluster: ClusterSpec,
+        config: Optional[SimConfig] = None,
+        sources: Iterable[Source] = (),
+        failures: Union[Iterable[Tuple[float, str]], FaultSchedule] = (),
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(app, cluster, config, sources, failures, tracer)
+        self.ff = FastForwardStats()
+        self._ff_start_source = None
+        reason = self._fusion_blocker()
+        if reason is None:
+            self._install_fused()
+            self.ff.mode = "fused"
+        else:
+            self.ff.reason = reason
+
+    def _fusion_blocker(self) -> Optional[str]:
+        """Why the fused handlers cannot run this configuration.
+
+        Fusion compiles branches *out*; a feature whose branch was
+        removed must be off. Everything else — fault schedules, gray
+        failures, throttling, every overflow policy, ring changes,
+        timeline sampling — goes through the retained cold-path
+        delegates and stays fully supported.
+        """
+        cfg = self.config
+        if cfg.engine != ENGINE_MUPPET2:
+            return "engine is not muppet2"
+        if self._trace is not None:
+            return "tracing enabled"
+        if self.replay_journal is not None or self._dedup:
+            return "replay/effectively-once delivery enabled"
+        if self._batching:
+            return "data-plane batching enabled"
+        if self._shed is not None:
+            return "overload shedding enabled"
+        return None
+
+    def ff_summary(self) -> Dict[str, Any]:
+        """Mode, fallback reason and inline-advancement counters."""
+        sim = self.sim
+        inlined = getattr(sim, "inlined_steps", 0)
+        return {
+            "mode": self.ff.mode,
+            "reason": self.ff.reason,
+            "inlined_steps": inlined,
+            "heap_steps": sim.steps - inlined,
+        }
+
+    def run(self, duration_s: float) -> SimReport:
+        """Simulate ``duration_s`` seconds and summarize the outcome.
+
+        Fused runs defer cyclic garbage collection for the duration of
+        the event loop: the per-event records (tuple events, slotted
+        envelopes, heap entries) are acyclic and die by refcount, so the
+        collector's generation scans are pure overhead mid-run.
+        Collection is re-enabled before the report is built, raising
+        again whatever was deferred. This changes no simulated state —
+        it only removes wall-clock noise.
+        """
+        if self.ff.mode != "fused" or not gc.isenabled():
+            return super().run(duration_s)
+        gc.disable()
+        try:
+            return super().run(duration_s)
+        finally:
+            gc.enable()
+
+    def _start_source(self, source: Source) -> None:
+        starter = self._ff_start_source
+        if starter is None:
+            super()._start_source(source)
+        else:
+            starter(source)
+
+    def _install_fused(self) -> None:
+        """Compile and install the fused per-event handlers.
+
+        Every per-event constant becomes a closure cell (one LOAD_DEREF
+        instead of an attribute chain), every disabled feature's branch
+        is simply absent, and rare paths (overflow, dead destinations,
+        timers, cache misses, external-stream misuse) delegate to the
+        inherited exact methods so behaviour there is the base
+        implementation itself.
+        """
+        rt = self
+        cfg = self.config
+        costs = cfg.costs
+        sim = self.sim
+        clock = sim.clock
+        heap = sim._heap
+        sim_seq = sim._seq
+        counters = self.counters
+        pcounts = self._processing_counts
+        latency_dict = self.latency
+        machines = self.machines
+        ring = self._machine_ring
+        injector = self._injector
+        streams = self.app.streams
+        source_extra = costs.source_service_s
+
+        # Cost-model constants, inlined with the exact engine's float
+        # expression shapes (same operand order => bit-identical sums).
+        lock2 = costs.dispatch_lock_s * 2
+        map_s = costs.map_service_s
+        upd_s = costs.update_service_s
+        byte_s = costs.slate_byte_cost_s
+        cont_s = costs.slate_contention_s
+
+        net = self.cluster.network
+        inline_net = type(net) is NetworkSpec
+        net_lat = net.latency_s
+        net_bw = net.bandwidth_bytes_per_s
+        transfer_time = net.transfer_time
+
+        max_bytes = cfg.max_slate_bytes
+        write_through = cfg.flush_policy.kind == "write_through"
+
+        # Per-operator constants and per-stream plumbing.
+        sinks = cfg.latency_sinks
+        ops: Dict[str, _FnInfo] = {}
+        for spec in self.app.operators():
+            ops[spec.name] = _FnInfo(
+                spec.kind == "map", spec.publishes,
+                spec.kind == "update" and (sinks is None
+                                           or spec.name in sinks))
+        # Stream sequencers: operator publishes may only hit internal
+        # streams; injection may hit any declared stream. A miss in
+        # either table falls back to the registry's checked stamp(),
+        # which raises the proper WorkflowError.
+        seq_all = {sid: streams._seq[sid] for sid in streams.sids()}
+        seq_internal = {sid: seq_all[sid]
+                        for sid in streams.internal_sids()}
+        subs = {sid: tuple(s.name for s in self._subscribers_of(sid))
+                for sid in streams.sids()}
+        # One lookup per output instead of two: sid -> (sequencer|None,
+        # subscriber names). A None sequencer (external stream) falls
+        # back to the registry's checked stamp, which raises the proper
+        # WorkflowError for operator publishes.
+        out_info = {sid: (seq_internal.get(sid), subs[sid])
+                    for sid in streams.sids()}
+        in_info = {sid: (seq_all[sid], subs[sid])
+                   for sid in streams.sids()}
+        tuple_new = tuple.__new__
+        obj_new = object.__new__
+
+        # Destination memo: (key, fn) -> _Machine, valid for one ring
+        # generation. Pure given the generation, so it is safe even with
+        # memoize_routing off; we still honour the ablation knob so the
+        # "recompute every hash" configuration keeps meaning that.
+        memoize = cfg.memoize_routing
+        dest_memo: Dict[Tuple[str, str], Any] = {}
+        ring_gen = [ring.generation]
+        #: (fn, key) -> SlateKey. Pure value identity, so never
+        #: invalidated — only bounded.
+        skeys: Dict[Tuple[str, str], SlateKey] = {}
+
+        handle_dead = self._handle_dead_destination
+        overflow = self._overflow
+        schedule_timer = self._schedule_timer
+
+        def ff_send(envelope: _Envelope, from_machine: Optional[str],
+                    extra_delay: float = 0.0) -> None:  # hot-path
+            event = envelope.event
+            dest_fn = envelope.dest_fn
+            machine = None
+            if memoize:
+                if ring_gen[0] != ring.generation:
+                    dest_memo.clear()
+                    ring_gen[0] = ring.generation
+                machine = dest_memo.get((event.key, dest_fn))
+            if machine is None:
+                try:
+                    machine = machines[
+                        ring.lookup(route(event.key, dest_fn))]
+                except Exception:
+                    counters.lost_failure += 1
+                    return
+                if memoize:
+                    if len(dest_memo) >= _DEST_MEMO_MAX:
+                        dest_memo.clear()
+                    dest_memo[(event.key, dest_fn)] = machine
+            if not machine.alive:
+                handle_dead(machine, envelope)
+                return
+            if from_machine == machine.name:
+                delay = extra_delay
+            else:
+                # Event.size_bytes() inlined for the common payload
+                # types (same arithmetic; other types take the method).
+                v = event.value
+                tv = type(v)
+                if v is None:
+                    size = 16 + len(event.sid) + len(event.key)
+                elif tv is int:
+                    size = (16 + len(event.sid) + len(event.key)
+                            + len(repr(v)))
+                elif tv is str:
+                    size = (16 + len(event.sid) + len(event.key)
+                            + len(v.encode("utf-8")))
+                else:
+                    size = event.size_bytes()
+                if inline_net:
+                    delay = extra_delay + net_lat + size / net_bw
+                else:
+                    delay = extra_delay + transfer_time(
+                        size, same_machine=False)
+            if injector is not None:
+                delivered, delay = injector.message_fate(
+                    from_machine, machine.name, clock._now, delay)
+                if not delivered:
+                    return
+            now = clock._now
+            at = now + delay if delay > 0.0 else now
+            heappush(heap, (at, 0, next(sim_seq), ff_deliver, None,
+                            (machine, envelope)))
+
+        def ff_try_start(worker, tail: bool):  # hot-path
+            machine = worker.machine
+            if not machine.alive or worker.busy:
+                return None
+            items = worker.queue._items
+            if not items:
+                return None
+            if machine.free_cores <= 0:
+                if not worker.waiting:
+                    machine.waiting.append(worker)
+                    worker.waiting = True
+                return None
+            machine.free_cores -= 1
+            envelope = items.popleft()
+            worker.busy = True
+            event = envelope.event
+            fn = envelope.dest_fn
+            key = event[2]
+            ts = event[1]
+            item = (key, fn)
+            worker.current = item
+            count = pcounts.get(item, 0) + 1
+            pcounts[item] = count
+            if count > rt._max_workers_per_slate:
+                rt._max_workers_per_slate = count
+            # -- execute, inlined ---------------------------------------
+            info = ops[fn]
+            instance = machine.shared_instances[fn]
+            # Context(), allocated without the constructor frame — the
+            # slot stores below are __init__'s body verbatim.
+            ctx = obj_new(Context)
+            ctx.operator = fn
+            ctx.input_ts = ts
+            ctx.input_key = key
+            ctx.now = ts
+            ctx._output_sids = info.publishes
+            ctx.emitted = []
+            ctx.timers = []
+            if info.is_map:
+                if envelope.is_timer:
+                    raise SimulationError("timer delivered to a mapper")
+                instance.map(ctx, event)
+                service = lock2 + map_s * instance.cost_factor
+            else:
+                service = lock2
+                mgr = worker.mgr
+                # Slate-cache hit, inlined with SlateCache.get's exact
+                # bookkeeping (LRU touch + hit count). Miss or TTL
+                # expiry delegates to the manager, which then does its
+                # own (single) stats accounting.
+                sk = skeys.get(item)
+                if sk is None:
+                    if len(skeys) >= _DEST_MEMO_MAX:
+                        skeys.clear()
+                    sk = skeys[item] = SlateKey(fn, key)
+                cache = mgr.cache
+                slate = cache._slates.get(sk)
+                if slate is not None and (slate.ttl is None
+                                          or not slate.expired(clock._now)):
+                    cache._slates.move_to_end(sk)
+                    cache.stats.hits += 1
+                else:
+                    slate = mgr.get(instance, event.key)
+                read_io = mgr.pending_io_s
+                if read_io > 0.0:
+                    mgr.pending_io_s = 0.0
+                    now = clock._now
+                    start = machine.device_busy_until
+                    if start < now:
+                        start = now
+                    done = start + read_io
+                    machine.device_busy_until = done
+                    service += done - now
+                if envelope.is_timer:
+                    instance.on_timer(ctx, key, slate,
+                                      envelope.timer_payload)
+                else:
+                    instance.update(ctx, event, slate)
+                # Slate.touch + SlateManager.note_update, inlined: the
+                # version bump keys the size/encode caches, the dirty
+                # transition feeds the cache's dirty index.
+                slate.last_update_ts = ts
+                slate._version += 1
+                if not slate._dirty:
+                    slate._dirty = True
+                    listener = slate._dirty_listener
+                    if listener is not None:
+                        listener(slate, True)
+                if max_bytes is not None:
+                    slate.check_size(max_bytes)
+                if write_through:
+                    mgr._flush_slate(slate)
+                write_io = mgr.pending_io_s
+                if write_io > 0.0:
+                    mgr.pending_io_s = 0.0
+                    now = clock._now
+                    start = machine.device_busy_until
+                    if start < now:
+                        start = now
+                    done = start + write_io
+                    machine.device_busy_until = done
+                    service += done - now
+                # Slate.estimated_bytes, inlined with its per-version
+                # cache discipline; the non-counter shape falls back to
+                # the method (which recomputes and caches identically).
+                if slate._size_version == slate._version:
+                    sbytes = slate._size_bytes
+                else:
+                    sbytes = _json_size_fast(slate._data)
+                    if sbytes < 0:
+                        sbytes = slate.estimated_bytes()
+                    else:
+                        slate._size_version = slate._version
+                        slate._size_bytes = sbytes
+                service += (upd_s * instance.cost_factor
+                            + byte_s * sbytes)
+                if count > 1:
+                    service += cont_s
+                    rt._contention_events += 1
+            if injector is not None:
+                factor = injector.cpu_factor(machine.name, clock._now)
+                if factor > 1.0:
+                    extra = service * (factor - 1.0)
+                    service += extra
+                    injector.note_gray_cpu(extra)
+            # -----------------------------------------------------------
+            now = clock._now
+            at = now + service if service > 0.0 else now
+            if tail:
+                return (at, ff_finish,
+                        (worker, envelope, ctx.emitted, ctx.timers))
+            heappush(heap, (at, 0, next(sim_seq), ff_finish, None,
+                            (worker, envelope, ctx.emitted, ctx.timers)))
+            return None
+
+        def ff_deliver(machine, envelope: _Envelope):  # hot-path
+            if not machine.alive:
+                handle_dead(machine, envelope)
+                return None
+            key = envelope.event.key
+            fn = envelope.dest_fn
+            # TwoChoiceDispatcher.choose_workers + candidates memo hit,
+            # inlined (stats identical by construction; the miss path is
+            # the dispatcher's own candidates(), which accounts itself).
+            dispatcher = machine.dispatcher
+            dstats = dispatcher.stats
+            workers = machine.workers
+            item = (key, fn)
+            if dispatcher.num_threads == 1:
+                dstats.dispatched += 1
+                dstats.queue_locks += 1
+                worker = workers[0]
+                if worker.current == item:
+                    dstats.affinity_hits += 1
+                dstats.to_primary += 1
+            else:
+                pair = dispatcher._memo.get(item)
+                if pair is None:
+                    pair = dispatcher.candidates(key, fn)
+                else:
+                    dstats.memo_hits += 1
+                primary, secondary = pair
+                dstats.dispatched += 1
+                dstats.queue_locks += 2
+                worker = workers[primary]
+                if worker.current != item:
+                    second = workers[secondary]
+                    if second.current == item:
+                        dstats.to_secondary += 1
+                        dstats.affinity_hits += 1
+                        worker = second
+                    elif (len(worker.queue._items)
+                          >= dispatcher.significant_factor
+                          * (len(second.queue._items) + 1)):
+                        dstats.to_secondary += 1
+                        dstats.spills += 1
+                        worker = second
+                    else:
+                        dstats.to_primary += 1
+                else:
+                    dstats.to_primary += 1
+                    dstats.affinity_hits += 1
+            queue = worker.queue
+            qstats = queue.stats
+            items = queue._items
+            qstats.offered += 1
+            max_size = queue.max_size
+            if max_size is not None and len(items) >= max_size:
+                qstats.rejected += 1
+                overflow(machine, worker, envelope)
+                return None
+            items.append(envelope)
+            qstats.accepted += 1
+            depth = len(items)
+            if depth > qstats.peak_depth:
+                qstats.peak_depth = depth
+            # try_start's early exits, unrolled: the machine is alive
+            # (checked on entry) and the queue is non-empty (just
+            # appended), so only busy/core checks remain. The saturated
+            # regime takes these without a call frame.
+            if worker.busy:
+                return None
+            if machine.free_cores > 0:
+                return ff_try_start(worker, True)
+            if not worker.waiting:
+                machine.waiting.append(worker)
+                worker.waiting = True
+            return None
+
+        def ff_finish(worker, envelope: _Envelope, outputs: List[Event],
+                      timers) -> Optional[tuple]:  # hot-path
+            machine = worker.machine
+            item = worker.current
+            if item is not None:
+                # try_start always seeds pcounts[item] before running, so
+                # plain indexing is safe here and skips a method call.
+                remaining = pcounts[item] - 1
+                if remaining <= 0:
+                    pcounts.pop(item, None)
+                else:
+                    pcounts[item] = remaining
+            worker.busy = False
+            worker.current = None
+            machine.free_cores += 1
+            if not machine.alive:
+                counters.lost_failure += 1
+                return None
+            counters.processed += 1
+            info = ops[envelope.dest_fn]
+            if info.record_latency and not envelope.is_timer:
+                rec = info.recorder
+                if rec is None:
+                    rec = info.recorder = latency_dict.setdefault(
+                        envelope.dest_fn, LatencyRecorder())
+                rec.record(clock._now - envelope.birth_ts)
+            if outputs:
+                birth = envelope.birth_ts
+                from_name = machine.name
+                for out in outputs:
+                    pair = out_info.get(out[0])
+                    if pair is None or pair[0] is None:
+                        stamped = streams.stamp(out, from_operator=True)
+                        sub_names = subs[stamped.sid]
+                    else:
+                        ctr, sub_names = pair
+                        # Event.with_seq, flattened to one C-level
+                        # allocation (fields are tuple slots 0..6).
+                        stamped = tuple_new(
+                            Event, (out[0], out[1], out[2], out[3],
+                                    next(ctr), out[5], out[6]))
+                    counters.published += 1
+                    key = stamped[2]
+                    for sub_name in sub_names:
+                        # ff_send, inlined (early returns -> continue).
+                        # The envelope is allocated without the dataclass
+                        # __init__ frame; the stores mirror its fields.
+                        env = obj_new(_Envelope)
+                        env.event = stamped
+                        env.birth_ts = birth
+                        env.dest_fn = sub_name
+                        env.is_timer = False
+                        env.timer_payload = None
+                        env.diverted = False
+                        env.replayed = False
+                        dest = None
+                        if memoize:
+                            if ring_gen[0] != ring.generation:
+                                dest_memo.clear()
+                                ring_gen[0] = ring.generation
+                            dest = dest_memo.get((key, sub_name))
+                        if dest is None:
+                            try:
+                                dest = machines[
+                                    ring.lookup(route(key, sub_name))]
+                            except Exception:
+                                counters.lost_failure += 1
+                                continue
+                            if memoize:
+                                if len(dest_memo) >= _DEST_MEMO_MAX:
+                                    dest_memo.clear()
+                                dest_memo[(key, sub_name)] = dest
+                        if not dest.alive:
+                            handle_dead(dest, env)
+                            continue
+                        if from_name == dest.name:
+                            delay = 0.0
+                        else:
+                            v = stamped[3]
+                            tv = type(v)
+                            if v is None:
+                                size = 16 + len(stamped[0]) + len(key)
+                            elif tv is int:
+                                size = (16 + len(stamped[0]) + len(key)
+                                        + len(repr(v)))
+                            elif tv is str:
+                                size = (16 + len(stamped[0]) + len(key)
+                                        + len(v.encode("utf-8")))
+                            else:
+                                size = stamped.size_bytes()
+                            if inline_net:
+                                delay = net_lat + size / net_bw
+                            else:
+                                delay = transfer_time(
+                                    size, same_machine=False)
+                        if injector is not None:
+                            delivered, delay = injector.message_fate(
+                                from_name, dest.name, clock._now, delay)
+                            if not delivered:
+                                continue
+                        now = clock._now
+                        heappush(heap, (now + delay if delay > 0.0
+                                        else now, 0, next(sim_seq),
+                                        ff_deliver, None, (dest, env)))
+            if timers:
+                for timer in timers:
+                    schedule_timer(machine, envelope, timer)
+            waiting = machine.waiting
+            while machine.free_cores > 0 and waiting:
+                next_worker = waiting.popleft()
+                next_worker.waiting = False
+                ff_try_start(next_worker, False)
+            # try_start's early exits, unrolled: the machine is alive
+            # (checked above) and this worker just went idle — only the
+            # queue/core checks remain.
+            if not worker.queue._items:
+                return None
+            if machine.free_cores > 0:
+                return ff_try_start(worker, True)
+            if not worker.waiting:
+                machine.waiting.append(worker)
+                worker.waiting = True
+            return None
+
+        def ff_inject(event: Event) -> None:  # hot-path
+            pair = in_info.get(event[0])
+            if pair is None:
+                stamped = streams.stamp(event)  # raises for unknown sid
+                sub_names = subs[stamped.sid]
+            else:
+                ctr, sub_names = pair
+                stamped = tuple_new(
+                    Event, (event[0], event[1], event[2], event[3],
+                            next(ctr), event[5], event[6]))
+            counters.published += 1
+            birth = clock._now
+            key = stamped[2]
+            for sub_name in sub_names:
+                # ff_send with from_machine=None and the source's extra
+                # service charge, inlined (no same-machine short cut —
+                # sources are off-cluster).
+                env = obj_new(_Envelope)
+                env.event = stamped
+                env.birth_ts = birth
+                env.dest_fn = sub_name
+                env.is_timer = False
+                env.timer_payload = None
+                env.diverted = False
+                env.replayed = False
+                dest = None
+                if memoize:
+                    if ring_gen[0] != ring.generation:
+                        dest_memo.clear()
+                        ring_gen[0] = ring.generation
+                    dest = dest_memo.get((key, sub_name))
+                if dest is None:
+                    try:
+                        dest = machines[ring.lookup(route(key, sub_name))]
+                    except Exception:
+                        counters.lost_failure += 1
+                        continue
+                    if memoize:
+                        if len(dest_memo) >= _DEST_MEMO_MAX:
+                            dest_memo.clear()
+                        dest_memo[(key, sub_name)] = dest
+                if not dest.alive:
+                    handle_dead(dest, env)
+                    continue
+                v = stamped[3]
+                tv = type(v)
+                if v is None:
+                    size = 16 + len(stamped[0]) + len(key)
+                elif tv is int:
+                    size = (16 + len(stamped[0]) + len(key)
+                            + len(repr(v)))
+                elif tv is str:
+                    size = (16 + len(stamped[0]) + len(key)
+                            + len(v.encode("utf-8")))
+                else:
+                    size = stamped.size_bytes()
+                if inline_net:
+                    delay = source_extra + net_lat + size / net_bw
+                else:
+                    delay = source_extra + transfer_time(
+                        size, same_machine=False)
+                if injector is not None:
+                    delivered, delay = injector.message_fate(
+                        None, dest.name, clock._now, delay)
+                    if not delivered:
+                        continue
+                now = clock._now
+                heappush(heap, (now + delay if delay > 0.0 else now, 0,
+                                next(sim_seq), ff_deliver, None,
+                                (dest, env)))
+
+        def ff_start_source(source: Source) -> None:
+            # Fused twin of SimRuntime._start_source for throttle-free
+            # configurations: one schedule per quiet gap, with the
+            # wake-up returned as a tail so the trampoline can advance a
+            # quiescent gap analytically instead of through the heap.
+            iterator = source.events
+            cell = [next(iterator, None)]
+
+            def step():  # hot-path
+                event = cell[0]
+                now = clock._now
+                while event is not None and event.ts <= now:
+                    ff_inject(event)
+                    event = next(iterator, None)
+                cell[0] = event
+                if event is not None:
+                    return (event.ts, step, ())
+                return None
+
+            heappush(heap, (clock._now, 0, next(sim_seq), step, None, ()))
+
+        # Swap the hot handlers in. Cold paths keep calling the exact
+        # methods (self._send, self._divert, ...), which schedule
+        # through these same bound references — one delivery pipeline,
+        # fused, for every event regardless of which path produced it.
+        self._inject = ff_inject                     # type: ignore[assignment]
+        self._deliver_bound = ff_deliver             # type: ignore[assignment]
+        self._finish_bound = ff_finish               # type: ignore[assignment]
+        self._send_bound = ff_send                   # type: ignore[assignment]
+        if cfg.throttle is None:
+            # Throttled configurations keep the exact stepper: it must
+            # re-check the controller's pause flag on every arrival.
+            self._ff_start_source = ff_start_source
+
+
+def create_runtime(
+    app: Application,
+    cluster: ClusterSpec,
+    config: Optional[SimConfig] = None,
+    sources: Iterable[Source] = (),
+    failures: Union[Iterable[Tuple[float, str]], FaultSchedule] = (),
+    tracer: Optional[Tracer] = None,
+) -> SimRuntime:
+    """Build the right runtime for ``config``.
+
+    ``SimConfig(fastforward=True)`` yields a
+    :class:`FastForwardRuntime` (which still falls back to exact
+    stepping for ineligible configurations); anything else yields the
+    plain exact :class:`SimRuntime`.
+    """
+    if config is not None and config.fastforward:
+        return FastForwardRuntime(app, cluster, config, sources,
+                                  failures, tracer)
+    return SimRuntime(app, cluster, config, sources, failures, tracer)

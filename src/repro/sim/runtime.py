@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field
 from typing import (Any, Deque, Dict, Iterable, List, Optional, Set, Tuple,
                     Union)
 
@@ -192,6 +192,16 @@ class SimConfig:
     #: updaters. ``None`` (the default) disables the whole subsystem —
     #: the engine then behaves byte-identically to pre-shedding builds.
     shedding: Optional[SheddingConfig] = None
+    #: Hybrid analytic/DES fast-forwarding (see
+    #: :mod:`repro.sim.fastforward`). Off (the default) runs the exact
+    #: stepper. On, :func:`repro.sim.fastforward.create_runtime` builds
+    #: a :class:`~repro.sim.fastforward.FastForwardRuntime`, which fuses
+    #: the dispatch→route→enqueue→deliver inner loop and advances
+    #: quiescent stretches analytically while producing the *same*
+    #: ``counter_report()`` and slate contents as the exact engine.
+    #: ``SimRuntime`` itself ignores the knob, so constructing one
+    #: directly always yields exact behaviour.
+    fastforward: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in (ENGINE_MUPPET1, ENGINE_MUPPET2):
@@ -239,7 +249,7 @@ class SimConfig:
             self.replay_horizon_s = 0.25
 
 
-@dataclass
+@dataclass(slots=True)
 class _Envelope:
     """An event in flight, carrying provenance for latency accounting."""
 
@@ -404,7 +414,7 @@ class SimReport:
             lines.append(f"dispatch.{name}={value!r}")
         for name, value in sorted(self.dataplane.as_dict().items()):
             lines.append(f"dataplane.{name}={value!r}")
-        for name, value in sorted(vars(self.replay).items()):
+        for name, value in sorted(asdict(self.replay).items()):
             lines.append(f"replay.{name}={value!r}")
         for name, value in sorted(self.shedding.as_dict().items()):
             lines.append(f"overload.{name}={value!r}")
@@ -465,7 +475,7 @@ class SimRuntime:
         #: per-message hot path stays untouched for fault-free runs.
         self._injector = injector if injector.has_rules() else None
         self._recoveries = 0
-        self.sim = Simulator()
+        self.sim = self._make_simulator()
         self.counters = EventCounter()
         self.master = Master()
         self.latency: Dict[str, LatencyRecorder] = {}
@@ -550,6 +560,24 @@ class SimRuntime:
         self._build_machines()
         self._build_rings()
         self._register_metrics()
+        #: Hot-path plumbing: pre-bound handler references (an attribute
+        #: fetch of a method allocates a fresh bound-method object per
+        #: event; binding once here makes the per-event fetch a plain
+        #: load) and a pre-resolved operator-spec table (dict hit instead
+        #: of Application.operator's try/except per delivery).
+        self._deliver_bound = self._deliver
+        self._finish_bound = self._finish
+        self._send_bound = self._send
+        self._is_muppet2 = self.config.engine == ENGINE_MUPPET2
+        self._op_specs: Dict[str, OperatorSpec] = {
+            s.name: s for s in self.app.operators()}
+
+    def _make_simulator(self) -> Simulator:
+        """Factory for the event loop; the fast-forward runtime overrides
+        this to install its tail-call trampoline scheduler. Everything —
+        clock, kv-store, managers — hangs off the returned simulator's
+        clock, so the swap must happen here, not after construction."""
+        return Simulator()
 
     @property
     def tracer(self) -> Optional[Tracer]:
@@ -669,9 +697,9 @@ class SimRuntime:
         reg.register_group("dataplane", self.dataplane.as_dict)
         reg.register_group(
             "replay",
-            lambda: dict(vars(self.replay_journal.stats
-                              if self.replay_journal is not None
-                              else ReplayStats())))
+            lambda: asdict(self.replay_journal.stats
+                           if self.replay_journal is not None
+                           else ReplayStats()))
         reg.register_group("overload", self._overload_stats)
         for name, machine in self.machines.items():
             reg.register_group(f"queues.{name}",
@@ -833,7 +861,7 @@ class SimRuntime:
             subs = self._subs_cache[sid] = list(self.app.subscribers_of(sid))
         return subs
 
-    def _inject(self, event: Event) -> None:
+    def _inject(self, event: Event) -> None:  # hot-path
         """M0 reads one source event and hashes it onward (Section 4.1)."""
         stamped = self.app.streams.stamp(event)
         self.counters.published += 1
@@ -848,7 +876,7 @@ class SimRuntime:
                        extra_delay=self.config.costs.source_service_s)
 
     # -- routing / sending ------------------------------------------------------
-    def _send(self, envelope: _Envelope, from_machine: Optional[str],
+    def _send(self, envelope: _Envelope, from_machine: Optional[str],  # hot-path
               extra_delay: float = 0.0) -> None:
         machine = self._destination_machine(envelope)
         if machine is None:
@@ -896,8 +924,8 @@ class SimRuntime:
                 # dead destination). Replay, if enabled, journaled the
                 # event above and can resurrect it on a later crash.
                 return
-        self.sim.schedule_in(delay,
-                             lambda sim: self._deliver(machine, envelope))
+        self.sim.schedule_call_in(delay, self._deliver_bound,
+                                  machine, envelope)
 
     # -- data-plane batching ---------------------------------------------------
     def _batch_enqueue(self, envelope: _Envelope,
@@ -1051,7 +1079,7 @@ class SimRuntime:
         self.sim.schedule_in(2 * latency, broadcast, priority=-1)
 
     # -- delivery / queues -----------------------------------------------------
-    def _deliver(self, machine: _Machine, envelope: _Envelope) -> None:
+    def _deliver(self, machine: _Machine, envelope: _Envelope) -> None:  # hot-path
         if not machine.alive:
             self._handle_dead_destination(machine, envelope)
             return
@@ -1081,12 +1109,19 @@ class SimRuntime:
             self._divert(machine, envelope, shed.config.overflow_sid,
                          proactive=True)
             return
-        worker = self._choose_worker(machine, envelope)
-        if worker is None:
-            # The ring moved this key (failure broadcast raced the send);
-            # re-route from scratch.
-            self._send(envelope, from_machine=machine.name)
-            return
+        if self._is_muppet2:
+            # Fast path: the dispatcher inspects only its two candidate
+            # workers instead of the caller building O(threads) length/
+            # processing lists per event (see dispatch.choose_workers).
+            worker = machine.dispatcher.choose_workers(
+                envelope.event.key, envelope.dest_fn, machine.workers)
+        else:
+            worker = self._choose_worker(machine, envelope)
+            if worker is None:
+                # The ring moved this key (failure broadcast raced the
+                # send); re-route from scratch.
+                self._send(envelope, from_machine=machine.name)
+                return
         if self._trace is not None:
             origin, oseq = envelope.event.provenance()
             self._trace.emit(self.sim.now(), "dispatch",
@@ -1152,8 +1187,8 @@ class SimRuntime:
                              fn=envelope.dest_fn, key=envelope.event.key,
                              outcome="throttle_retry",
                              origin=origin, oseq=oseq)
-        self.sim.schedule_in(self.config.retry_delay_s,
-                             lambda sim: self._deliver(machine, envelope))
+        self.sim.schedule_call_in(self.config.retry_delay_s,
+                                  self._deliver_bound, machine, envelope)
 
     def _divert(self, machine: _Machine, envelope: _Envelope,
                 overflow_sid: str, proactive: bool = False) -> None:
@@ -1173,7 +1208,7 @@ class SimRuntime:
         origin, oseq = envelope.event.provenance()
         stamped = self.app.streams.stamp(
             envelope.event.with_stream(overflow_sid))
-        stamped = replace(stamped, origin=origin, oseq=oseq)
+        stamped = stamped.with_provenance(origin, oseq)
         if self._trace is not None:
             self._trace.emit(self.sim.now(), "shed", machine=machine.name,
                              fn=envelope.dest_fn, key=stamped.key,
@@ -1185,7 +1220,7 @@ class SimRuntime:
                        from_machine=machine.name)
 
     # -- execution -------------------------------------------------------------
-    def _try_start(self, worker: _Worker) -> None:
+    def _try_start(self, worker: _Worker) -> None:  # hot-path
         machine = worker.machine
         if not machine.alive or worker.busy or len(worker.queue) == 0:
             return
@@ -1205,9 +1240,8 @@ class SimRuntime:
         if count > self._max_workers_per_slate:
             self._max_workers_per_slate = count
         service, outputs, timers = self._execute(worker, envelope, count)
-        self.sim.schedule_in(
-            service,
-            lambda sim: self._finish(worker, envelope, outputs, timers))
+        self.sim.schedule_call_in(service, self._finish_bound,
+                                  worker, envelope, outputs, timers)
 
     def _operator_instance(self, worker: _Worker, fn: str) -> Operator:
         machine = worker.machine
@@ -1215,19 +1249,19 @@ class SimRuntime:
             return machine.shared_instances[fn]
         return machine.shared_instances[worker.wid]
 
-    def _execute(self, worker: _Worker, envelope: _Envelope,
+    def _execute(self, worker: _Worker, envelope: _Envelope,  # hot-path
                  concurrent: int) -> Tuple[float, List[Event], List[TimerRequest]]:
         """Run the operator now; return (service time, outputs, timers)."""
         cfg = self.config
         costs = cfg.costs
         machine = worker.machine
-        spec = self.app.operator(envelope.dest_fn)
+        spec = self._op_specs[envelope.dest_fn]
         instance = self._operator_instance(worker, spec.name)
         event = envelope.event
         ctx = Context(spec.name, event.ts, spec.publishes, event.key)
         if self._trace is not None:
             origin, oseq = event.provenance()
-            extra: Dict[str, Any] = {}
+            extra: Dict[str, Any] = {}  # noqa: MUP009 -- tracing-only branch; allocates nothing when the tracer is off
             if spec.kind == "update":
                 # The kv-store cell this update touches — the join key
                 # that lets reconstruct_chain follow the event through
@@ -1360,7 +1394,7 @@ class SimRuntime:
         machine.device_busy_until = done
         return done - now
 
-    def _finish(self, worker: _Worker, envelope: _Envelope,
+    def _finish(self, worker: _Worker, envelope: _Envelope,  # hot-path
                 outputs: List[Event], timers: List[TimerRequest]) -> None:
         machine = worker.machine
         item = worker.current
@@ -1378,7 +1412,7 @@ class SimRuntime:
             return
         self.counters.processed += 1
 
-        spec = self.app.operator(envelope.dest_fn)
+        spec = self._op_specs[envelope.dest_fn]
         if spec.kind == "update" and not envelope.is_timer:
             sinks = self.config.latency_sinks
             if sinks is None or spec.name in sinks:
@@ -1396,7 +1430,7 @@ class SimRuntime:
                 # recognize the duplicate.
                 origin, oseq = derive_origin(envelope.event,
                                              envelope.dest_fn, ordinal)
-                stamped = replace(stamped, origin=origin, oseq=oseq)
+                stamped = stamped.with_provenance(origin, oseq)
             if self._trace is not None:
                 parent_origin, parent_oseq = envelope.event.provenance()
                 child_origin, child_oseq = stamped.provenance()
@@ -1431,16 +1465,12 @@ class SimRuntime:
             # (re-applying an update re-derives its timers), but their
             # *outputs* inherit provenance from this event — without a
             # unique oseq, outputs of distinct firings would collide.
-            timer_event = replace(timer_event,
-                                  origin=f"!timer:{timer.updater}",
-                                  oseq=next(self._timer_ids))
+            timer_event = timer_event.with_provenance(
+                f"!timer:{timer.updater}", next(self._timer_ids))
         timer_env = _Envelope(timer_event, envelope.birth_ts, timer.updater,
                               is_timer=True, timer_payload=timer.payload)
-
-        def fire(sim: Simulator) -> None:
-            self._send(timer_env, from_machine=machine.name)
-
-        self.sim.schedule(fire_at, fire)
+        self.sim.schedule_call(fire_at, self._send_bound,
+                               timer_env, machine.name)
 
     # -- background processes ----------------------------------------------------
     def _schedule_flusher(self) -> None:
@@ -1972,7 +2002,7 @@ class SimRuntime:
             latency_by_updater=by_updater,
             throughput=ThroughputReport(self.counters.processed, duration_s),
             dispatch_stats=dispatch,
-            master_stats=vars(self.master.stats).copy(),
+            master_stats=asdict(self.master.stats),
             queue_peak_depth=queue_peak,
             slate_contention_events=self._contention_events,
             max_workers_per_slate=self._max_workers_per_slate,
@@ -1986,7 +2016,7 @@ class SimRuntime:
             steps=self.sim.steps,
             robustness=self._robustness_counters(),
             dataplane=self.dataplane,
-            replay=(ReplayStats(**vars(self.replay_journal.stats))
+            replay=(ReplayStats(**asdict(self.replay_journal.stats))
                     if self.replay_journal is not None else ReplayStats()),
             shedding=self.shedding,
             metrics=self.metrics.family_snapshot(),

@@ -22,7 +22,7 @@ KeyFunction = Callable[[int], str]
 ValueFunction = Callable[[int], Any]
 
 
-@dataclass
+@dataclass(slots=True)
 class Source:
     """One external stream's event feed.
 

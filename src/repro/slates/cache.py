@@ -24,7 +24,7 @@ from repro.errors import ConfigurationError
 EvictionCallback = Callable[[Slate], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/eviction counters for one cache."""
 

@@ -121,7 +121,7 @@ class RetryPolicy:
         return cls(max_attempts=1, fail_open=fail_open)
 
 
-@dataclass
+@dataclass(slots=True)
 class SlateManagerStats:
     """KV traffic, retry, and loss accounting for one slate manager."""
 

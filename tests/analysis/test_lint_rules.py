@@ -26,6 +26,7 @@ _SCOPE = {
     "MUP006": "repro/muppet/bad.py",
     "MUP007": "repro/sim/bad.py",
     "MUP008": "repro/muppet/local.py",
+    "MUP009": "repro/sim/bad.py",
 }
 
 #: Findings the bad fixture must produce (lower bound).
@@ -38,6 +39,7 @@ _MIN_FINDINGS = {
     "MUP006": 3,  # two field writes + object.__setattr__
     "MUP007": 2,  # bare except, except: pass
     "MUP008": 2,  # slate-under-manager, latency-under-counter
+    "MUP009": 4,  # two dict literals, dataclasses.replace, aliased replace
 }
 
 ALL_CODES = sorted(_SCOPE)

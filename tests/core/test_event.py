@@ -121,10 +121,8 @@ class TestProvenance:
         assert event.provenance() == ("S1", 7)
 
     def test_explicit_origin_wins(self):
-        from dataclasses import replace
-
-        event = replace(Event(sid="S2", ts=1.0, key="k", seq=99),
-                        origin="S1>M1", oseq=12)
+        event = Event(sid="S2", ts=1.0, key="k",
+                      seq=99).with_provenance("S1>M1", 12)
         assert event.provenance() == ("S1>M1", 12)
 
     def test_derive_origin_chains_and_strides(self):
@@ -146,14 +144,11 @@ class TestProvenance:
                 == derive_origin(replayed_copy, "M1", 0))
 
     def test_second_hop_identities_stay_distinct(self):
-        from dataclasses import replace
-
         from repro.core.event import derive_origin
 
         parent = Event(sid="S1", ts=1.0, key="k", seq=3)
         origin, oseq = derive_origin(parent, "M1", 0)
-        child = replace(Event(sid="S2", ts=1.1, key="k"),
-                        origin=origin, oseq=oseq)
+        child = Event(sid="S2", ts=1.1, key="k").with_provenance(origin, oseq)
         grand_origin, grand_oseq = derive_origin(child, "U1", 0)
         assert grand_origin == "S1>M1>U1"
         # Different ordinals of the same invocation never collide.

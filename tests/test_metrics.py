@@ -114,7 +114,8 @@ class TestRobustnessCounters:
         assert snap["recoveries"] == 1
         assert snap["kv_retries"] == 3
         assert snap["gray_slow_s"] == 0.5
-        assert set(snap) == set(vars(counters))
+        from dataclasses import fields
+        assert set(snap) == {f.name for f in fields(counters)}
 
 
 class TestFormatTable:
