@@ -1,0 +1,128 @@
+"""E24 — Elastic scaling with crash-safe live slate migration.
+
+The paper fixes the cluster size before the run and pays for peak
+load all day (Section 7 discusses hash-ring re-addressing only as a
+failure response). E24 adds the ``repro.elastic`` subsystem: an
+EWMA-driven autoscaler that grows and shrinks the worker pool through
+live, crash-safe slate migrations — snapshot, bounded delta rounds,
+and an atomic cutover behind the per-partition migration barrier —
+instead of the stop-the-world flush-and-rehydrate the paper's
+recovery story implies.
+
+The workload is a diurnal swing: a calm warm-up, a >11x surge, and a
+long cool-down, against a deliberately expensive counter (5 ms per
+update), so demand crosses the autoscaler's whole 2..16 machine
+range. The claims under test: the cluster rides the swing 2 -> 16 ->
+2 with zero lost and zero duplicated updates under effectively-once,
+and the incremental handoff moves strictly fewer bytes than the
+full-rehydration ablation (the paper-style flush barrier, whose
+writes fan out to every kv replica and whose receiver pays a cold
+read per slate).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.scenarios import (E24_DIURNAL_PHASES,
+                                      e24_elasticity_run,
+                                      e24_expected_events)
+
+
+def _counted(runtime) -> int:
+    return sum(v["count"]
+               for v in runtime.slates_of("U1", read_through=True).values())
+
+
+def _mode_row(mode, runtime, report, trajectory):
+    mc = runtime._migration.counters
+    ac = runtime._autoscaler.counters
+    return [
+        mode,
+        max(machines for _, machines in trajectory),
+        trajectory[-1][1],
+        f"{ac.scale_ups}/{ac.scale_downs}",
+        f"{mc.completed}/{mc.aborted}",
+        mc.incremental_bytes or mc.full_barrier_bytes,
+        _counted(runtime),
+        report.counters.lost_total(),
+    ]
+
+
+_HEADERS = ["handoff", "peak", "final", "ups/downs", "done/aborted",
+            "moved bytes", "counted", "lost"]
+
+
+def test_e24_diurnal_swing(benchmark, experiment):
+    """The full 2 -> 16 -> 2 swing, incremental vs full rehydration."""
+
+    def run():
+        return {
+            mode: e24_elasticity_run(full_rehydration=(mode == "full"))
+            for mode in ("incremental", "full")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = e24_expected_events()
+    peak_rate = max(rate for rate, _ in E24_DIURNAL_PHASES)
+    report = experiment("E24-elastic-scaling")
+    report.claim("an EWMA autoscaler rides a >11x diurnal swing "
+                 "2 -> 16 -> 2 machines through live migrations with "
+                 "zero lost and zero duplicated updates, and the "
+                 "incremental handoff moves fewer bytes than a "
+                 "flush-barrier full rehydration")
+    report.line(f"diurnal phases {E24_DIURNAL_PHASES} "
+                f"({expected} events, peak {peak_rate:g}/s against "
+                f"2x200/s seed capacity):")
+    report.table(_HEADERS, [
+        _mode_row(mode, *results[mode])
+        for mode in ("incremental", "full")])
+
+    inc_rt, inc_report, inc_traj = results["incremental"]
+    full_rt, full_report, full_traj = results["full"]
+
+    for runtime, run_report, trajectory in results.values():
+        # The swing: every run must reach the ceiling and come home.
+        assert max(machines for _, machines in trajectory) == 16
+        assert trajectory[-1][1] == 2
+        # Effectively-once exactness across every handoff.
+        assert _counted(runtime) == expected
+        assert run_report.counters.lost_total() == 0
+        assert runtime._migration.counters.aborted == 0
+        assert runtime._migration.counters.completed \
+            == (runtime._autoscaler.counters.scale_ups
+                + runtime._autoscaler.counters.scale_downs) \
+            * runtime.config.autoscale.grow_step
+
+    # The tentpole byte claim: the incremental snapshot/delta stream
+    # beats the ablation's replicated barrier writes plus cold reads.
+    inc_mc = inc_rt._migration.counters
+    full_mc = full_rt._migration.counters
+    assert inc_mc.incremental_bytes > 0 and inc_mc.full_barrier_bytes == 0
+    assert full_mc.full_barrier_bytes > 0 and full_mc.incremental_bytes == 0
+    assert inc_mc.incremental_bytes < full_mc.full_barrier_bytes
+
+    ratio = inc_mc.incremental_bytes / full_mc.full_barrier_bytes
+    report.outcome(
+        f"both modes rode 2 -> 16 -> 2 exactly ({expected} events, "
+        f"0 lost, {inc_mc.completed}+{full_mc.completed} migrations); "
+        f"incremental handoff moved {inc_mc.incremental_bytes} bytes "
+        f"= {ratio * 100:.0f}% of full rehydration's "
+        f"{full_mc.full_barrier_bytes}")
+
+
+def test_e24_replay_exact(benchmark, experiment):
+    """The elastic run is deterministic: same config, same bytes."""
+
+    def run():
+        first_rt, first, _ = e24_elasticity_run()
+        second_rt, second, _ = e24_elasticity_run()
+        return (first.counter_report(), first_rt.slates_of("U1"),
+                second.counter_report(), second_rt.slates_of("U1"))
+
+    first, first_slates, second, second_slates = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    report = experiment("E24b-replay-exact")
+    report.claim("autoscaler decisions, migration scheduling, and "
+                 "handoff transfers all run inside the DES, so an "
+                 "elastic run replays byte-identically")
+    assert first == second
+    assert first_slates == second_slates

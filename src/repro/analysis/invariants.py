@@ -25,6 +25,14 @@ checks the structural guarantees the engine claims, so a chaos run can
   Effectively-once traces must satisfy this strictly (late in-flight
   events re-route to the owner); at-most-once traces may legitimately
   report the bounded in-flight residual documented in DESIGN.md.
+* **migration** (opt-in, not part of ``check_all``) — live-handoff
+  safety for elastic scaling: each slate ``(updater, key)`` is handed
+  to exactly one receiver per migration epoch, and after the cutover's
+  ``handoff`` span the donor never executes an update or flushes that
+  slate again within the same ring epoch. A second receiver means the
+  ledger double-assigned ownership; donor activity after handoff means
+  the cutover barrier leaked — either way two machines could apply
+  updates to diverging copies of one slate.
 * **shed_accounting** (opt-in, not part of ``check_all``) — every
   delivery terminates as exactly one of applied / thinned / dropped /
   diverted, or is throttle-deferred (at least one ``throttle_retry``
@@ -326,6 +334,63 @@ class InvariantChecker:
                     "or double-count", group["span"]))
         return self._attach_chain(violations)
 
+    def check_migration(self) -> List[InvariantViolation]:
+        """Live-handoff safety (see the module docstring, opt-in).
+
+        One receiver per ``(updater, key)`` per *migration* epoch (the
+        coordinator's counter, carried on every ``handoff`` span), and
+        no donor ``execute``/``slate_flush`` of a handed-off slate
+        within the *ring* epoch the cutover opened. A later ring change
+        may legitimately hand the slate back, so donor activity is only
+        policed until the next ``ring_change`` span.
+        """
+        violations: List[InvariantViolation] = []
+        # (updater, key, migration epoch) -> receiver machines seen.
+        owners: Dict[Tuple[Any, Any, Any], Set[Any]] = {}
+        flagged: Set[Tuple[Any, Any, Any]] = set()
+        # (updater, key, ring epoch) -> the donor that released it.
+        released: Dict[Tuple[Any, Any, int], Any] = {}
+        for index, span in enumerate(self.spans):
+            kind = span["kind"]
+            if kind == "handoff":
+                owner_key = (span.get("updater"), span.get("key"),
+                             span.get("epoch"))
+                receivers = owners.setdefault(owner_key, set())
+                receivers.add(span.get("machine"))
+                if len(receivers) > 1 and owner_key not in flagged:
+                    flagged.add(owner_key)
+                    updater, key, epoch = owner_key
+                    violations.append(InvariantViolation(
+                        "migration",
+                        f"slate ({updater}, {key!r}) handed to "
+                        f"{sorted(receivers)} within migration epoch "
+                        f"{epoch}; the ledger assigns exactly one "
+                        "receiver per slate per migration", span))
+                released[(span.get("updater"), span.get("key"),
+                          self._epochs[index])] = span.get("src")
+                continue
+            if (kind == "execute" and span.get("op_kind") == "update"
+                    and not span.get("timer", False)):
+                slate = (span.get("op"), span.get("key"),
+                         self._epochs[index])
+                verb = "executed an update on"
+            elif kind == "slate_flush":
+                slate = (span.get("updater"), span.get("key"),
+                         self._epochs[index])
+                verb = "flushed"
+            else:
+                continue
+            donor = released.get(slate)
+            if donor is not None and span.get("machine") == donor:
+                updater, key, _ = slate
+                violations.append(InvariantViolation(
+                    "migration",
+                    f"donor {donor} {verb} slate ({updater}, {key!r}) "
+                    "after handing it off at cutover; the migration "
+                    "epoch barrier must fence the donor until the next "
+                    "ring change", span))
+        return self._attach_chain(violations)
+
     def check_all(self) -> List[InvariantViolation]:
         """Run every invariant; violations in check order."""
         violations: List[InvariantViolation] = []
@@ -359,8 +424,9 @@ def check_trace(trace: Union[str, Tracer, Iterable[Span]],
         trace: Path to a JSONL trace file, a live :class:`Tracer`
             (its retained spans are checked), or an iterable of spans.
         checks: Subset of invariant names to run (``fifo``,
-            ``watermarks``, ``two_choice``, ``ring_ownership``);
-            all by default.
+            ``watermarks``, ``two_choice``, ``ring_ownership``, plus
+            opt-in ``shed_accounting`` and ``migration``); the
+            ``check_all`` set by default.
     """
     if isinstance(trace, str):
         try:
@@ -382,6 +448,8 @@ def check_trace(trace: Union[str, Tracer, Iterable[Span]],
         "ring_ownership": checker.check_ring_ownership,
         # Opt-in (not in check_all): needs a fault-free, drained trace.
         "shed_accounting": checker.check_shed_accounting,
+        # Opt-in (not in check_all): meaningful for elastic traces.
+        "migration": checker.check_migration,
     }
     if checks is None:
         return checker.check_all()

@@ -27,7 +27,7 @@ and drained, which is exactly what shed accounting requires.
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.errors import AnalysisError, ConfigurationError
 from repro.obs.trace import Span
@@ -37,6 +37,9 @@ __all__ = [
     "E22_POLICIES", "build_e22_app", "build_e6d_app",
     "e22_base_capacity", "e22_classifier", "e22_overload_run",
     "e22_shedding_trace", "e22_source_events", "e22_thinning_policy",
+    "E24_DIURNAL_PHASES", "build_e24_diurnal_app",
+    "e24_elasticity_run", "e24_expected_events",
+    "e24_migration_run", "e24_migration_trace",
     "e6d_chaos_run", "e6d_chaos_trace",
 ]
 
@@ -342,4 +345,159 @@ def e22_shedding_trace(overload: float = 5.0, duration_s: float = 3.0,
             f"trace ring dropped {dropped} spans; a truncated trace "
             "reads as vanished events to shed accounting — raise "
             "trace_capacity")
+    return tracer.spans()
+
+
+# -- E24: elastic scaling with live slate migration ---------------------------
+
+def e24_migration_run(phase: Optional[str] = None, target: str = "donor",
+                      kind: str = "retire",
+                      delivery: str = "effectively-once",
+                      trace_capacity: int = 262_144,
+                      rate_per_s: float = 2000.0,
+                      duration_s: float = 3.0) -> Any:
+    """Run the traced E24 live-migration scenario; returns the runtime.
+
+    The E6d workload (same app, rate, keys, cluster) with a live slate
+    migration at t=1.0 s instead of a crash: ``kind="retire"`` drains
+    m001 out of the ring through the incremental-handoff protocol,
+    ``kind="join"`` admits a fresh elastic machine. When ``phase`` is
+    given, a :meth:`~repro.faults.FaultSchedule.at_migration` trigger
+    crashes the ``target`` participant as the handoff enters that
+    phase — the chaos matrix the migration tests and the ``migration``
+    invariant sweep.
+    """
+    from repro.cluster import ClusterSpec
+    from repro.elastic import MigrationConfig
+    from repro.faults import FaultSchedule
+    from repro.sim import SimConfig, SimRuntime
+    from repro.sim.sources import constant_rate
+    from repro.slates.manager import FlushPolicy
+
+    config = SimConfig(
+        flush_policy=FlushPolicy.every(0.2),
+        queue_capacity=100_000,
+        kill_kv_on_machine_failure=True,
+        delivery_semantics=delivery,
+        migration=MigrationConfig(),
+        trace=True,
+        trace_capacity=trace_capacity,
+    )
+    source = constant_rate("S1", rate_per_s=rate_per_s,
+                           duration_s=duration_s,
+                           key_fn=lambda i: f"k{i % 64}")
+    chaos = FaultSchedule(seed=7)
+    if phase is not None:
+        chaos.at_migration(phase, target=target)
+    runtime = SimRuntime(build_e6d_app(), ClusterSpec.uniform(4, cores=4),
+                         config, [source], failures=chaos)
+    if kind == "retire":
+        runtime.schedule_remove_machine(1.0, "m001")
+    elif kind == "join":
+        runtime.schedule_add_machine(1.0, "e901")
+    else:
+        raise ConfigurationError(
+            f"e24 migration kind {kind!r} must be 'retire' or 'join'")
+    runtime.run(8.0)
+    return runtime
+
+
+#: The E24 diurnal workload: piecewise-constant ``(rate/s, seconds)``
+#: phases — a calm warm-up, a >11x surge, and a long cool-down. Against
+#: a 5 ms/update counter this swings demand across the autoscaler's
+#: whole 2..16 machine range (one core ≈ 200 updates/s).
+E24_DIURNAL_PHASES: List[Tuple[float, float]] = [
+    (250.0, 4.0), (2800.0, 24.0), (250.0, 32.0)]
+
+
+def e24_expected_events(
+        phases: Optional[List[Tuple[float, float]]] = None) -> int:
+    """Total events the diurnal source materializes."""
+    return sum(int(rate * seconds)
+               for rate, seconds in (phases or E24_DIURNAL_PHASES))
+
+
+def build_e24_diurnal_app() -> Any:
+    """S1 → U1: a deliberately expensive counter (5 ms per update)."""
+    from repro.core.application import Application
+    from repro.core.operators import Updater
+
+    class _CostlyCount(Updater):
+        cost_factor = 20.0  # 20 x 250 us base = 5 ms per update
+
+        def init_slate(self, key: str) -> dict:
+            return {"count": 0}
+
+        def update(self, ctx: Any, event: Any, slate: Any) -> None:
+            slate["count"] += 1
+
+    app = Application("e24-diurnal")
+    app.add_stream("S1", external=True)
+    app.add_updater("U1", _CostlyCount, subscribes=["S1"])
+    return app.validate()
+
+
+def e24_elasticity_run(
+        full_rehydration: bool = False, horizon_s: float = 90.0,
+        sample_period_s: float = 0.25,
+) -> Tuple[Any, Any, List[Tuple[float, int]]]:
+    """Run the E24 diurnal autoscaling scenario end to end.
+
+    A 2-machine (1 core each) seed cluster faces the
+    :data:`E24_DIURNAL_PHASES` swing under the autoscaler: queue
+    pressure grows the cluster toward 16 machines through serialized
+    live migrations, and the calm tail shrinks it back to 2. With
+    ``full_rehydration=True`` every handoff runs the flush-barrier
+    ablation instead of the incremental snapshot/delta stream.
+
+    Returns ``(runtime, report, trajectory)`` where ``trajectory`` is
+    the sampled ``[(t, live_machines), ...]`` curve.
+    """
+    from repro.cluster import ClusterSpec
+    from repro.elastic import AutoscalerConfig, MigrationConfig
+    from repro.sim import SimConfig, SimRuntime
+    from repro.sim.sources import spiky_rate
+    from repro.slates.manager import FlushPolicy
+
+    config = SimConfig(
+        flush_policy=FlushPolicy.every(0.2),
+        queue_capacity=10_000,
+        delivery_semantics="effectively-once",
+        autoscale=AutoscalerConfig(
+            min_machines=2, max_machines=16, check_period_s=0.25,
+            scale_up_queue=0.5, scale_down_queue=0.1,
+            cooldown_s=0.5, hold_s=1.0, grow_step=2, shrink_step=2,
+            cores=1),
+        migration=MigrationConfig(full_rehydration=full_rehydration),
+    )
+    source = spiky_rate("S1", E24_DIURNAL_PHASES,
+                        key_fn=lambda i: f"k{i % 64}")
+    runtime = SimRuntime(build_e24_diurnal_app(),
+                         ClusterSpec.uniform(2, cores=1),
+                         config, [source])
+    trajectory: List[Tuple[float, int]] = []
+
+    def sample(sim: Any) -> None:
+        trajectory.append(
+            (sim.now(), runtime._elastic_stats()["machines_live"]))
+        sim.schedule_in(sample_period_s, sample)
+
+    runtime.sim.schedule_in(0.0, sample)
+    report = runtime.run(horizon_s)
+    return runtime, report, trajectory
+
+
+def e24_migration_trace(phase: Optional[str] = None, target: str = "donor",
+                        kind: str = "retire",
+                        trace_capacity: int = 262_144) -> List[Span]:
+    """The complete E24 span trace (raises if the ring dropped spans)."""
+    runtime = e24_migration_run(phase=phase, target=target, kind=kind,
+                                trace_capacity=trace_capacity)
+    tracer = runtime.tracer
+    assert tracer is not None
+    dropped = getattr(tracer, "dropped", 0)
+    if dropped:
+        raise AnalysisError(
+            f"trace ring dropped {dropped} spans; a truncated trace "
+            "cannot be invariant-checked — raise trace_capacity")
     return tracer.spans()

@@ -146,12 +146,20 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="run the traced E22 overload scenario "
                              "(adaptive thinning at 5x) and check its "
                              "trace, including shed accounting")
+    source.add_argument("--e24", action="store_true",
+                        help="run the traced E24 live-migration "
+                             "scenario (retire m001 through the "
+                             "incremental handoff) and check its "
+                             "trace, including the migration "
+                             "invariant")
     invariants.add_argument("--checks", metavar="NAMES", default=None,
                             help="comma-separated subset (fifo, "
                                  "watermarks, two_choice, "
-                                 "ring_ownership, shed_accounting); "
-                                 "default: all structural checks, plus "
-                                 "shed_accounting for --e22 traces")
+                                 "ring_ownership, shed_accounting, "
+                                 "migration); default: all structural "
+                                 "checks, plus shed_accounting for "
+                                 "--e22 and migration for --e24 "
+                                 "traces")
     invariants.add_argument("--overload", type=float, default=5.0,
                             help="E22 overload multiple (default: 5.0)")
     return parser
@@ -337,6 +345,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             # check is sound here on top of the structural four.
             checks = ["fifo", "watermarks", "two_choice",
                       "ring_ownership", "shed_accounting"]
+    elif args.e24:
+        from repro.analysis.scenarios import e24_migration_trace
+
+        trace = e24_migration_trace()
+        label = "E24 live-migration trace"
+        if checks is None:
+            # The trace contains a full handoff, so the opt-in
+            # migration check is meaningful on top of the structural
+            # four.
+            checks = ["fifo", "watermarks", "two_choice",
+                      "ring_ownership", "migration"]
     else:
         trace = args.trace
         label = args.trace

@@ -132,6 +132,32 @@ class HashRing(Generic[M]):
             self._invalidate_memo()
             self._excluded.discard(member)
 
+    def preview(self, add: Iterable[M] = (),
+                remove: Iterable[M] = ()) -> "HashRing[M]":
+        """A throwaway shadow ring with a hypothetical membership change.
+
+        Elastic migration plans a handoff by diffing ownership between
+        the live ring and this preview *without* touching the live ring
+        — the donor keeps owning its keys until cutover. Virtual-point
+        positions depend only on member identity, so the preview's
+        placements are exactly what the live ring will serve after the
+        same add/remove is applied for real. Exclusion marks carry over
+        (a failed machine must not become a migration receiver);
+        memoization is off since each preview serves one planning pass.
+        """
+        removed = set(remove)
+        shadow: "HashRing[M]" = HashRing(replicas=self._replicas,
+                                         memoize=False)
+        for member in sorted(self._members, key=repr):
+            if member not in removed:
+                shadow.add(member)
+        for member in add:
+            shadow.add(member)
+        for member in sorted(self._excluded, key=repr):
+            if member not in removed:
+                shadow.exclude(member)
+        return shadow
+
     @property
     def members(self) -> Set[M]:
         """All members, including excluded ones."""

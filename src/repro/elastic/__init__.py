@@ -1,0 +1,28 @@
+"""Elastic scaling: autoscaler policy + crash-safe live slate migration.
+
+ROADMAP item 3. The autoscaler watches the overload controller's
+signals (worst queue fraction, p99-over-budget, dirty backlog) and
+grows or shrinks the cluster at runtime; membership changes hand slates
+to their new owners through the incremental, crash-safe migration
+protocol in :mod:`repro.elastic.migration` instead of the legacy
+flush-barrier + full-rehydration path.
+"""
+
+from repro.elastic.autoscaler import (Autoscaler, AutoscalerConfig,
+                                      AutoscalerCounters, ScaleDecision)
+from repro.elastic.migration import (MIGRATION_PHASES, MIGRATION_TARGETS,
+                                     MigrationConfig, MigrationCoordinator,
+                                     MigrationCounters, MigrationState)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "AutoscalerCounters",
+    "MIGRATION_PHASES",
+    "MIGRATION_TARGETS",
+    "MigrationConfig",
+    "MigrationCoordinator",
+    "MigrationCounters",
+    "MigrationState",
+    "ScaleDecision",
+]

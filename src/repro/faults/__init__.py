@@ -5,17 +5,20 @@ excluded from the hash ring "until operator intervention". This package
 supplies the other half of a production failure story — a declarative,
 seeded :class:`FaultSchedule` that injects crashes, crash-then-recover
 cycles, network partitions, gray (slow-node) failures, probabilistic
-message drop/delay, and kv-node outages into
+message drop/delay, kv-node outages, and migration-phase-triggered
+participant crashes (:meth:`FaultSchedule.at_migration`) into
 :class:`repro.sim.runtime.SimRuntime`, and the :class:`FaultInjector`
 that realizes the schedule deterministically inside the discrete-event
 simulator.
 """
 
 from repro.faults.injector import FaultInjector, FaultInjectorStats
-from repro.faults.schedule import (FAULT_KINDS, FaultEvent, FaultSchedule)
+from repro.faults.schedule import (FAULT_KINDS, MIGRATION_KINDS, FaultEvent,
+                                   FaultSchedule)
 
 __all__ = [
     "FAULT_KINDS",
+    "MIGRATION_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FaultInjectorStats",

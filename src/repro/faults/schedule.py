@@ -28,6 +28,11 @@ kv_outage  the co-located kv node goes down for an interval (machine and
            workers stay up); writes leave hints, the slate manager's
            retry/backoff/fail-open path absorbs errors, and the hints
            drain when the node returns.
+migration_crash
+           phase-triggered chaos for live slate handoff: when a
+           migration enters the named phase, the chosen participant
+           (donor, receiver, or master) crashes. Consumed by the
+           migration coordinator, not scheduled at a time.
 ========= ==================================================================
 
 All randomness (drop coin flips, delay jitter) comes from one
@@ -44,11 +49,15 @@ from repro.errors import ConfigurationError
 
 #: Every fault kind a schedule may contain.
 FAULT_KINDS = ("crash", "recover", "partition", "slow", "drop", "delay",
-               "kv_outage")
+               "kv_outage", "migration_crash")
 
 #: Kinds that describe an interval of altered behaviour rather than a
 #: single state change; the injector evaluates them at query time.
 INTERVAL_KINDS = ("partition", "slow", "drop", "delay")
+
+#: Kinds dispatched by the migration coordinator at phase entry rather
+#: than at a wall-clock instant (``at`` is ignored for these).
+MIGRATION_KINDS = ("migration_crash",)
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +76,9 @@ class FaultEvent:
         cpu_factor / net_factor: Gray-failure inflation factors (>= 1).
         probability: Per-message probability for ``drop``/``delay``.
         extra_delay_s / jitter_s: Added latency for ``delay``.
+        phase: Migration phase that triggers a ``migration_crash``.
+        target: Which migration participant a ``migration_crash``
+            kills: ``"donor"``, ``"receiver"``, or ``"master"``.
     """
 
     kind: str
@@ -79,6 +91,8 @@ class FaultEvent:
     probability: float = 1.0
     extra_delay_s: float = 0.0
     jitter_s: float = 0.0
+    phase: Optional[str] = None
+    target: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -103,6 +117,22 @@ class FaultEvent:
         if self.kind in ("crash", "recover", "slow", "kv_outage") \
                 and not self.machine:
             raise ConfigurationError(f"{self.kind} needs a machine name")
+        if self.kind == "migration_crash":
+            from repro.elastic.migration import (MIGRATION_PHASES,
+                                                 MIGRATION_TARGETS)
+            if self.phase not in MIGRATION_PHASES:
+                raise ConfigurationError(
+                    f"migration_crash phase {self.phase!r} must be one "
+                    f"of {MIGRATION_PHASES}")
+            if self.target is not None \
+                    and self.target not in MIGRATION_TARGETS:
+                raise ConfigurationError(
+                    f"migration_crash target {self.target!r} must be "
+                    f"one of {MIGRATION_TARGETS}")
+        elif self.phase is not None or self.target is not None:
+            raise ConfigurationError(
+                f"{self.kind}: phase/target apply only to "
+                "migration_crash events")
 
     def active(self, now: float) -> bool:
         """Whether an interval fault applies at simulated time ``now``."""
@@ -203,6 +233,22 @@ class FaultSchedule:
         return self.add(FaultEvent("kv_outage", at, until=until,
                                    machine=machine))
 
+    def at_migration(self, phase: str, target: str = "donor",
+                     machine: Optional[str] = None) -> "FaultSchedule":
+        """Crash a migration participant when a handoff enters ``phase``.
+
+        Phase-triggered, not time-triggered: the migration coordinator
+        consumes the first unconsumed matching event at each phase
+        entry, which is what makes crash-during-snapshot or
+        crash-during-cutover chaos tests deterministic regardless of
+        when the autoscaler decides to migrate. ``target="master"``
+        models a coordinator crash (the protocol pauses and re-drives
+        from the master's ledger); ``machine`` overrides the default
+        victim (first donor / first receiver in sorted order).
+        """
+        return self.add(FaultEvent("migration_crash", 0.0, phase=phase,
+                                   target=target, machine=machine))
+
     # -- interop -----------------------------------------------------------
     @classmethod
     def from_kill_list(cls, failures: Iterable[Tuple[float, str]],
@@ -224,7 +270,14 @@ class FaultSchedule:
 
     def point_events(self) -> List[FaultEvent]:
         """crash/recover/kv_outage — realized as scheduled state changes."""
-        return [e for e in self.events() if e.kind not in INTERVAL_KINDS]
+        return [e for e in self.events()
+                if e.kind not in INTERVAL_KINDS
+                and e.kind not in MIGRATION_KINDS]
+
+    def migration_triggers(self) -> List[FaultEvent]:
+        """Phase-triggered ``migration_crash`` events, in declaration
+        order (the coordinator consumes each at most once)."""
+        return [e for e in self._events if e.kind in MIGRATION_KINDS]
 
     def kill_list(self) -> List[Tuple[float, str]]:
         """The crash events in legacy kill-list form (compat shim)."""

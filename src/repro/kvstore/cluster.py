@@ -395,6 +395,26 @@ class ReplicatedKVStore:
         return sum(node.compact() for _, node in sorted(self.nodes.items())
                    if not node.is_down)
 
+    def column_cells(self, column: str) -> Dict[str, "Cell"]:
+        """Newest live cell per row for one column across live nodes.
+
+        The offline complement of :meth:`read`: replicas reconcile by
+        last-write-wins but nothing is repaired, charged, or counted.
+        Used by post-run inspection (``SimRuntime.slates_of`` with
+        ``read_through=True``) to see slates that were flushed and then
+        dropped from every cache — e.g. by a full-rehydration cutover
+        whose keys saw no later traffic.
+        """
+        newest: Dict[str, Cell] = {}
+        for _, node in sorted(self.nodes.items()):
+            if node.is_down:
+                continue
+            for row, cell in node.column_cells(column).items():
+                existing = newest.get(row)
+                if existing is None or cell.supersedes(existing):
+                    newest[row] = cell
+        return newest
+
     def total_cells(self) -> int:
         """Cells across all nodes (replicas counted separately)."""
         return sum(node.total_cells() for node in self.nodes.values())

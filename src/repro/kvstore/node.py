@@ -207,6 +207,31 @@ class StorageNode:
                 if c.live(now) and c.value is not None}
         return live, cost
 
+    def column_cells(self, column: str) -> Dict[str, Cell]:
+        """Newest live cell per row for one column (offline inspection).
+
+        Walks the memtable and every SSTable without charging simulated
+        I/O or touching the operation counters — this is the post-run
+        read-through path, not a store operation the workload pays for.
+        """
+        now = self.clock()
+        newest: Dict[str, Cell] = {}
+        for table in self._sstables:
+            for cell in table.cells():
+                if cell.column != column:
+                    continue
+                existing = newest.get(cell.row)
+                if existing is None or cell.supersedes(existing):
+                    newest[cell.row] = cell
+        for (row, col), cell in self._memtable._cells.items():
+            if col != column:
+                continue
+            existing = newest.get(row)
+            if existing is None or cell.supersedes(existing):
+                newest[row] = cell
+        return {row: cell for row, cell in newest.items()
+                if cell.live(now) and cell.value is not None}
+
     # -- maintenance -------------------------------------------------------------
     def flush(self) -> float:
         """Flush the memtable to a new SSTable; returns background cost."""

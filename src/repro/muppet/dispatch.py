@@ -69,6 +69,12 @@ class TwoChoiceDispatcher:
         self._memoize = memoize
         self._memo: Dict[KeyFn, Tuple[int, int]] = {}
 
+    def reset(self) -> None:
+        """Forget memoized placements. Called when the machine retires
+        from the ring so a later re-admission starts with a cold
+        dispatcher, indistinguishable from a freshly built machine."""
+        self._memo.clear()
+
     def candidates(self, key: str, function: str) -> Tuple[int, int]:
         """The (primary, secondary) thread indexes for a (key, function).
 
@@ -195,6 +201,10 @@ class SingleChoiceDispatcher:
         self.stats = DispatchStats()
         self._memoize = memoize
         self._memo: Dict[KeyFn, int] = {}
+
+    def reset(self) -> None:
+        """Forget memoized placements (see TwoChoiceDispatcher.reset)."""
+        self._memo.clear()
 
     def choose(
         self,

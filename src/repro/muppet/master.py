@@ -12,7 +12,9 @@ machine from then on.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Callable, Dict, List, Set
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import ConfigurationError
 
 #: Callback invoked on every worker when the master broadcasts a failure.
 FailureListener = Callable[[str], None]
@@ -33,6 +35,11 @@ class MasterStats:
     duplicate_recovery_reports: int = 0
     #: Checkpoint-epoch barriers coordinated (effectively-once delivery).
     checkpoint_epochs: int = 0
+    #: Live-migration ledger activity (elastic scaling).
+    migrations_started: int = 0
+    migrations_completed: int = 0
+    migrations_aborted: int = 0
+    migration_phase_records: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Field snapshot; registered as a metrics-registry group."""
@@ -53,6 +60,11 @@ class Master:
         self._listeners: List[FailureListener] = []
         self._recovery_listeners: List[RecoveryListener] = []
         self.stats = MasterStats()
+        #: Durable live-migration ledger: epoch -> phase record. The
+        #: coordinator journals every phase transition here *before*
+        #: acting on it, so a master crash mid-migration resumes from
+        #: the last recorded phase instead of losing the handoff.
+        self._migrations: Dict[int, Dict[str, str]] = {}
 
     def subscribe(self, listener: FailureListener) -> None:
         """Register a worker/machine callback for failure broadcasts."""
@@ -108,6 +120,57 @@ class Master:
         """
         self.stats.checkpoint_epochs += 1
         return self.stats.checkpoint_epochs
+
+    # -- live-migration ledger (elastic scaling) ---------------------------
+    def begin_migration(self, kind: str, machine: str) -> int:
+        """Open a migration epoch in the ledger; returns its id.
+
+        Migration epochs are master-scoped and monotone — the identity
+        that makes every later phase record idempotent (recording the
+        same (epoch, phase) twice is a no-op resume, not a new step).
+        """
+        if kind not in ("join", "retire"):
+            raise ConfigurationError(
+                f"migration kind must be 'join' or 'retire', got {kind!r}")
+        self.stats.migrations_started += 1
+        epoch = self.stats.migrations_started
+        self._migrations[epoch] = {"kind": kind, "machine": machine,
+                                   "phase": "plan"}
+        return epoch
+
+    def record_migration_phase(self, epoch: int, phase: str) -> None:
+        """Journal a phase transition for an open migration epoch.
+
+        Idempotent: re-recording the current phase (a resumed re-drive
+        after a master crash) changes nothing but the counter.
+        """
+        record = self._migrations.get(epoch)
+        if record is None or "outcome" in record:
+            return
+        record["phase"] = phase
+        self.stats.migration_phase_records += 1
+
+    def complete_migration(self, epoch: int) -> None:
+        """Close a migration epoch as completed."""
+        record = self._migrations.get(epoch)
+        if record is None or "outcome" in record:
+            return
+        record["outcome"] = "completed"
+        self.stats.migrations_completed += 1
+
+    def abort_migration(self, epoch: int, reason: str) -> None:
+        """Close a migration epoch as aborted (donor still owns keys)."""
+        record = self._migrations.get(epoch)
+        if record is None or "outcome" in record:
+            return
+        record["outcome"] = "aborted"
+        record["reason"] = reason
+        self.stats.migrations_aborted += 1
+
+    def migration_phase(self, epoch: int) -> Optional[str]:
+        """Last journaled phase for ``epoch`` (resume point), or None."""
+        record = self._migrations.get(epoch)
+        return None if record is None else record.get("phase")
 
     def failed_machines(self) -> Set[str]:
         """Machines currently known dead."""

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -45,6 +45,9 @@ class ReplayStats:
     #: Replayed events skipped by a slate's dedup watermark
     #: (effectively-once delivery only; 0 otherwise).
     deduped: int = 0
+    #: Entries re-addressed to a new destination at migration cutover
+    #: (live slate handoff; 0 otherwise).
+    readdressed: int = 0
 
 
 class ReplayJournal:
@@ -75,6 +78,10 @@ class ReplayJournal:
         self.max_entries = max_entries
         #: (sent_at, destination machine, payload) in send order.
         self._entries: Deque[Tuple[float, str, Any]] = deque()
+        #: Migration holds: token -> earliest timestamp that must stay
+        #: replayable. While any hold is active, pruning (horizon- or
+        #: epoch-based) cannot advance past the oldest held timestamp.
+        self._holds: Dict[str, float] = {}
         self.stats = ReplayStats()
 
     @classmethod
@@ -95,10 +102,61 @@ class ReplayJournal:
     def _prune(self, now: float) -> None:
         if self.horizon_s is None:
             return
-        cutoff = now - self.horizon_s
+        cutoff = self._clamp_to_holds(now - self.horizon_s)
         while self._entries and self._entries[0][0] < cutoff:
             self._entries.popleft()
             self.stats.pruned += 1
+
+    def _clamp_to_holds(self, cutoff: float) -> float:
+        """Cap a prune cutoff at the oldest active migration hold."""
+        if self._holds:
+            cutoff = min(cutoff, min(self._holds.values()))
+        return cutoff
+
+    # -- migration holds (elastic scaling) --------------------------------
+    def hold(self, token: str, since_ts: float) -> None:
+        """Pin entries recorded at or after ``since_ts`` against pruning.
+
+        Taken at migration plan time and released after the receiver's
+        ack. Between cutover and that ack, the freshest state of every
+        handed-off slate lives only in the receiver's cache, so the
+        journaled updates covering it must outlive any checkpoint-epoch
+        prune that fires mid-migration — otherwise a receiver crash in
+        that window would lose updates the donor had already applied
+        (the prune-too-early window). Re-holding an existing token
+        keeps the earlier timestamp.
+        """
+        existing = self._holds.get(token)
+        if existing is None or since_ts < existing:
+            self._holds[token] = since_ts
+
+    def release(self, token: str) -> None:
+        """Drop a migration hold; idempotent for unknown tokens."""
+        self._holds.pop(token, None)
+
+    def readdress(self, resolve: Callable[[str, Any], Optional[str]]) -> int:
+        """Rewrite entry destinations at migration cutover.
+
+        ``resolve(dest_machine, payload)`` returns the new destination
+        for an entry, or ``None`` to leave it unchanged. The cutover
+        passes a ring-lookup closure, so journaled events whose keys
+        just changed owner replay to the *new* owner: a later crash of
+        that receiver replays exactly the updates whose effects rode the
+        migrated blobs, and the blobs' dedup watermarks make re-applying
+        them idempotent. Returns the number of entries rewritten.
+        """
+        changed = 0
+        rewritten: Deque[Tuple[float, str, Any]] = deque()
+        for sent_at, machine, payload in self._entries:
+            new_dest = resolve(machine, payload)
+            if new_dest is not None and new_dest != machine:
+                rewritten.append((sent_at, new_dest, payload))
+                changed += 1
+            else:
+                rewritten.append((sent_at, machine, payload))
+        self._entries = rewritten
+        self.stats.readdressed += changed
+        return changed
 
     def prune_before(self, cutoff: float) -> int:
         """Drop every entry recorded strictly before ``cutoff``.
@@ -108,7 +166,12 @@ class ReplayJournal:
         that their effects are certainly covered by that barrier can be
         forgotten — this is what bounds journal memory without a time
         horizon. Returns the number of entries dropped.
+
+        Migration-aware: the cutoff is clamped to the oldest active
+        :meth:`hold`, so checkpoint epochs that complete while a handoff
+        is in flight retain every entry the handoff may still need.
         """
+        cutoff = self._clamp_to_holds(cutoff)
         dropped = 0
         while self._entries and self._entries[0][0] < cutoff:
             self._entries.popleft()

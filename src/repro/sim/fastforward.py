@@ -242,6 +242,10 @@ class FastForwardRuntime(SimRuntime):
             return "data-plane batching enabled"
         if self._shed is not None:
             return "overload shedding enabled"
+        if cfg.autoscale is not None or cfg.migration is not None:
+            # Elastic membership rewires rings and managers mid-run; the
+            # fused hot path assumes a fixed machine set.
+            return "elastic autoscaling/migration enabled"
         return None
 
     def ff_summary(self) -> Dict[str, Any]:

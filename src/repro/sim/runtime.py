@@ -50,6 +50,9 @@ from repro.core.application import Application, OperatorSpec
 from repro.core.event import Event, EventCounter, derive_origin
 from repro.core.operators import Context, Mapper, Operator, TimerRequest, Updater
 from repro.core.slate import Slate, SlateKey
+from repro.elastic import (Autoscaler, AutoscalerConfig, MigrationConfig,
+                           MigrationCoordinator, MigrationState,
+                           ScaleDecision)
 from repro.errors import ConfigurationError, SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
@@ -202,6 +205,18 @@ class SimConfig:
     #: ``SimRuntime`` itself ignores the knob, so constructing one
     #: directly always yields exact behaviour.
     fastforward: bool = False
+    #: Elastic autoscaling policy (see :mod:`repro.elastic.autoscaler`):
+    #: EWMA-smoothed queue/p99/dirty-backlog signals drive planned
+    #: grow/shrink decisions at runtime. ``None`` (the default) leaves
+    #: membership fully static/manual — prior runs are untouched.
+    autoscale: Optional[AutoscalerConfig] = None
+    #: Crash-safe live slate migration (see
+    #: :mod:`repro.elastic.migration`): planned membership changes
+    #: stream each moving slate's changelog donor→receiver and cut over
+    #: behind a per-migration epoch barrier instead of the legacy
+    #: cluster-wide flush + lazy rehydration. ``None`` (the default)
+    #: keeps the legacy flush-barrier join path.
+    migration: Optional[MigrationConfig] = None
 
     def __post_init__(self) -> None:
         if self.engine not in (ENGINE_MUPPET1, ENGINE_MUPPET2):
@@ -247,6 +262,15 @@ class SimConfig:
             self.delivery_semantics = "at-least-once"
         elif self.delivery_semantics == "at-least-once":
             self.replay_horizon_s = 0.25
+        if self.migration is not None and self.engine != ENGINE_MUPPET2:
+            raise ConfigurationError(
+                "live slate migration requires the muppet2 engine (one "
+                "central slate manager per machine to stream from), "
+                f"got engine={self.engine!r}")
+        if self.autoscale is not None and self.engine != ENGINE_MUPPET2:
+            raise ConfigurationError(
+                "elastic autoscaling requires the muppet2 engine, "
+                f"got engine={self.engine!r}")
 
 
 @dataclass(slots=True)
@@ -306,6 +330,20 @@ class _Machine:
         #: Current overload-control pressure tier (0 = normal); written
         #: by the shedding monitor, read on the per-event hot paths.
         self.pressure_tier = 0
+        #: Retired by a scale-down: out of the worker ring but kept in
+        #: ``SimRuntime.machines`` (probe/report key sets stay stable),
+        #: and first in line for re-admission on the next scale-up.
+        self.retired = False
+        #: Effectively-once replay ordering guard (2.0 engine only).
+        #: While replayed envelopes for a (key, fn) sit in a worker's
+        #: queue, every same-(key, fn) dispatch must land on that worker:
+        #: the two-choice spill rule would otherwise let a *fresh* event
+        #: jump to the idle secondary, apply first, and advance the slate
+        #: watermark past the still-queued replay — which then gets
+        #: dedup-skipped even though its effect was lost in the crash.
+        #: Maps (key, fn) -> [worker, queued_replay_count]; empty (zero
+        #: cost) whenever no replays are in flight.
+        self.replay_pins: Dict[Tuple[str, str], List[Any]] = {}
 
     def queue_depth_fraction(self) -> float:
         """Worst queue fullness across this machine's workers."""
@@ -556,6 +594,30 @@ class SimRuntime:
         #: Per-machine overflow outcome counts (satellite of the
         #: ``overload`` family): ``{machine: {outcome: count}}``.
         self._overflow_outcomes: Dict[str, Dict[str, int]] = {}
+        #: Elastic scaling: the autoscaler decides, the migration
+        #: coordinator executes. Both are None when unconfigured, so
+        #: every previously-working configuration runs byte-identically
+        #: (no extra simulator events, no new metrics family).
+        auto_cfg = self.config.autoscale
+        self._autoscaler = (Autoscaler(auto_cfg)
+                            if auto_cfg is not None else None)
+        mig_cfg = self.config.migration
+        if mig_cfg is not None:
+            self._migration: Optional[MigrationCoordinator] = (
+                MigrationCoordinator(
+                    self, mig_cfg,
+                    self.fault_schedule.migration_triggers()))
+        else:
+            self._migration = None
+        #: Scale requests queued behind the (single) in-flight
+        #: migration, as (kind, machine) pairs.
+        self._pending_scale: Deque[Tuple[str, str]] = deque()
+        #: Elastic joins in admission order — shrink retires LIFO.
+        self._join_order: List[str] = []
+        self._elastic_seq = itertools.count(1)
+        #: Machines whose queue/slate probes are registered (joins at
+        #: runtime register theirs exactly once).
+        self._probed_machines: Set[str] = set()
         self.machines: Dict[str, _Machine] = {}
         self._build_machines()
         self._build_rings()
@@ -702,11 +764,17 @@ class SimRuntime:
                            else ReplayStats()))
         reg.register_group("overload", self._overload_stats)
         for name, machine in self.machines.items():
+            self._probed_machines.add(name)
             reg.register_group(f"queues.{name}",
                                self._make_queue_probe(machine))
             reg.register_group(f"slates.{name}",
                                self._make_slate_probe(machine))
         reg.register_group("kv", self._kv_probe)
+        if self._autoscaler is not None or self._migration is not None:
+            # Registered only when the subsystem is on: the family's
+            # presence in metrics snapshots must not perturb runs that
+            # never asked for elasticity.
+            reg.register_group("elastic", self._elastic_stats)
 
     #: Overflow outcomes reported per machine under ``overload.queue.*``
     #: (zero-filled so the key set is load-independent).
@@ -819,6 +887,8 @@ class SimRuntime:
             self._schedule_shedding_monitor()
         elif self.config.throttle is not None:
             self._schedule_throttle_monitor()
+        if self._autoscaler is not None:
+            self._schedule_autoscaler()
         self.sim.run_until(duration_s)
         if self._shed is not None:
             self._shed.finish(self.sim.now())
@@ -1048,35 +1118,48 @@ class SimRuntime:
         latency = self.cluster.network.latency_s
 
         def broadcast(sim: Simulator) -> None:
-            if machine.name in self._known_failed:
-                return
-            self._known_failed.add(machine.name)
-            self.master.report_failure(machine.name)
-            self._machine_ring.exclude(machine.name)
-            for ring in self._function_rings.values():
-                for worker in machine.workers:
-                    ring.exclude(worker.wid)
-            if self._trace is not None:
-                self._trace.emit(sim.now(), "ring_change",
-                                 change="exclude", machine=machine.name)
-            if self._detection_time is None and self._failure_time is not None:
-                self._detection_time = sim.now() - self._failure_time
-            if self.replay_journal is not None:
-                # Section 4.3 future work, implemented: re-send the
-                # horizon's worth of events that targeted the dead
-                # machine. The ring now routes them to survivors. Under
-                # effectively-once the resends are flagged so the
-                # receiving updaters check them (and everything derived
-                # from them) against their dedup watermarks.
-                for lost in self.replay_journal.take_for(machine.name,
-                                                         sim.now()):
-                    self.counters_replayed += 1
-                    if self._dedup:
-                        lost.replayed = True
-                    self._send(lost, from_machine=None)
+            self._declare_machine_failed(machine.name)
 
         # Report to master (one hop) + broadcast to workers (one hop).
         self.sim.schedule_in(2 * latency, broadcast, priority=-1)
+
+    def _declare_machine_failed(self, machine_name: str) -> None:
+        """Master-side failure handling: exclude the machine and replay.
+
+        The body of the Section 4.3 failure broadcast, callable both
+        from the deferred sender-detection path and synchronously (the
+        migration coordinator declares a receiver dead at ack time —
+        the replayable window is still pinned by the migration hold, so
+        exclusion + journal replay heal the handed-off keys exactly).
+        Idempotent: a machine already known failed is a no-op.
+        """
+        if machine_name in self._known_failed:
+            return
+        machine = self.machines[machine_name]
+        now = self.sim.now()
+        self._known_failed.add(machine_name)
+        self.master.report_failure(machine_name)
+        self._machine_ring.exclude(machine_name)
+        for ring in self._function_rings.values():
+            for worker in machine.workers:
+                ring.exclude(worker.wid)
+        if self._trace is not None:
+            self._trace.emit(now, "ring_change",
+                             change="exclude", machine=machine_name)
+        if self._detection_time is None and self._failure_time is not None:
+            self._detection_time = now - self._failure_time
+        if self.replay_journal is not None:
+            # Section 4.3 future work, implemented: re-send the
+            # horizon's worth of events that targeted the dead
+            # machine. The ring now routes them to survivors. Under
+            # effectively-once the resends are flagged so the
+            # receiving updaters check them (and everything derived
+            # from them) against their dedup watermarks.
+            for lost in self.replay_journal.take_for(machine_name, now):
+                self.counters_replayed += 1
+                if self._dedup:
+                    lost.replayed = True
+                self._send(lost, from_machine=None)
 
     # -- delivery / queues -----------------------------------------------------
     def _deliver(self, machine: _Machine, envelope: _Envelope) -> None:  # hot-path
@@ -1110,11 +1193,21 @@ class SimRuntime:
                          proactive=True)
             return
         if self._is_muppet2:
-            # Fast path: the dispatcher inspects only its two candidate
-            # workers instead of the caller building O(threads) length/
-            # processing lists per event (see dispatch.choose_workers).
-            worker = machine.dispatcher.choose_workers(
-                envelope.event.key, envelope.dest_fn, machine.workers)
+            worker = None
+            if machine.replay_pins:
+                # Replay ordering guard (see _Machine.replay_pins): a
+                # queued replay pins its (key, fn) to one worker so no
+                # fresh same-key event can overtake it via the spill rule.
+                pin = machine.replay_pins.get(
+                    (envelope.event.key, envelope.dest_fn))
+                if pin is not None:
+                    worker = pin[0]
+            if worker is None:
+                # Fast path: the dispatcher inspects only its two candidate
+                # workers instead of the caller building O(threads) length/
+                # processing lists per event (see dispatch.choose_workers).
+                worker = machine.dispatcher.choose_workers(
+                    envelope.event.key, envelope.dest_fn, machine.workers)
         else:
             worker = self._choose_worker(machine, envelope)
             if worker is None:
@@ -1129,6 +1222,14 @@ class SimRuntime:
                              key=envelope.event.key, worker=worker.index,
                              origin=origin, oseq=oseq)
         if worker.queue.offer(envelope):
+            if (self._is_muppet2 and self._dedup and envelope.replayed
+                    and not envelope.is_timer):
+                pin_key = (envelope.event.key, envelope.dest_fn)
+                pin = machine.replay_pins.get(pin_key)
+                if pin is None:
+                    machine.replay_pins[pin_key] = [worker, 1]
+                else:
+                    pin[1] += 1
             if self._trace is not None:
                 origin, oseq = envelope.event.provenance()
                 self._trace.emit(self.sim.now(), "enqueue",
@@ -1235,6 +1336,16 @@ class SimRuntime:
         worker.busy = True
         item = (envelope.event.key, envelope.dest_fn)
         worker.current = item
+        if machine.replay_pins and envelope.replayed \
+                and not envelope.is_timer:
+            # Last queued replay for this (key, fn) is now executing; the
+            # dispatcher's processing-affinity rule covers the rest of
+            # the window (worker.current == item until _finish).
+            pin = machine.replay_pins.get(item)
+            if pin is not None:
+                pin[1] -= 1
+                if pin[1] <= 0:
+                    del machine.replay_pins[item]
         count = self._processing_counts.get(item, 0) + 1
         self._processing_counts[item] = count
         if count > self._max_workers_per_slate:
@@ -1630,85 +1741,400 @@ class SimRuntime:
 
         The paper calls out the hard part: moving a key while its slate
         has unflushed changes on the old owner would need the slate
-        "replicated at both A and B". Our design answer is a *rebalance
+        "replicated at both A and B". The legacy answer (and still the
+        default when ``SimConfig.migration`` is None) is a *rebalance
         barrier*: immediately before the ring change, every dirty slate
         is flushed to the key-value store. The new owner then simply
         misses its cache and refetches — the normal Section 4.2 path.
-        The co-located kv-store ring stays fixed (the paper's Cassandra
-        cluster is managed separately).
+        With migration configured, the join instead runs the
+        five-phase incremental handoff (snapshot → delta_stream →
+        cutover → ack → release): donors stream changelogs to the
+        joiner while still owning the keys, and only the cutover
+        instant flips the ring. The co-located kv-store ring stays
+        fixed either way (the paper's Cassandra cluster is managed
+        separately).
 
-        Residual hazard (bounded, not eliminated): an event already *in
-        flight* to the old owner when the ring changes still updates the
-        old owner's now-orphaned cache copy, and that update can lose
-        the last-write-wins race against the new owner's flushes — at
-        most the in-flight window's worth of updates, typically zero to
-        a few events. Eliminating it would need the dual-owner slate
-        coordination the paper deems "highly difficult".
+        Residual hazard of the legacy path (bounded, not eliminated):
+        an event already *in flight* to the old owner when the ring
+        changes still updates the old owner's now-orphaned cache copy,
+        and that update can lose the last-write-wins race against the
+        new owner's flushes — at most the in-flight window's worth of
+        updates, typically zero to a few events. The incremental path
+        shrinks that window to the final cutover delta but shares the
+        same in-flight bound.
+        """
+        def join(sim: Simulator) -> None:
+            if self._migration is not None:
+                existing = self.machines.get(name)
+                if existing is not None and not existing.retired:
+                    return
+                if existing is None:
+                    self._construct_machine(name, cores)
+                self._request_scale("join", name, cores=cores)
+                return
+            self._legacy_join(name, cores)
+
+        self.sim.schedule(at, join, priority=-1)
+
+    def schedule_remove_machine(self, at: float, name: str) -> None:
+        """Retire a machine from the worker ring at simulated time ``at``.
+
+        The machine stays constructed (and alive) but leaves the ring:
+        its keys move to the survivors — via live handoff when
+        ``SimConfig.migration`` is set, via the legacy flush barrier
+        otherwise — and it becomes the first re-admission candidate for
+        a later scale-up. Retirement is planned downsizing, not a
+        failure: nothing is lost, nothing replays.
+        """
+        def leave(sim: Simulator) -> None:
+            if self._migration is not None:
+                self._request_scale("retire", name)
+            else:
+                self._retire_legacy(name)
+
+        self.sim.schedule(at, leave, priority=-1)
+
+    def _construct_machine(self, name: str, cores: int) -> "_Machine":
+        """Build a machine (workers, dispatcher, manager) *without* ring
+        membership — the caller admits it to the ring, either at once
+        (legacy join) or at migration cutover. New machines get no
+        co-located kv node: the store ring is fixed at construction,
+        matching the paper's separately managed Cassandra cluster.
         """
         from repro.cluster.topology import MachineSpec
 
-        def join(sim: Simulator) -> None:
-            if name in self.machines:
-                return
-            self._rebalance_flush()
-            spec = MachineSpec(name, cores=cores)
-            machine = _Machine(spec.name, spec.cores)
-            cfg = self.config
-            if cfg.engine == ENGINE_MUPPET2:
-                threads = cfg.threads_per_machine or spec.cores
-                machine.central_mgr = self._new_manager(
-                    cfg.cache_slates_per_machine, owner=spec.name)
-                if cfg.two_choice:
-                    machine.dispatcher = TwoChoiceDispatcher(
-                        threads, cfg.dispatch_factor,
-                        memoize=cfg.memoize_routing)
-                else:
-                    machine.dispatcher = SingleChoiceDispatcher(
-                        threads, memoize=cfg.memoize_routing)
-                machine.shared_instances = {
-                    s.name: s.instantiate() for s in self.app.operators()
-                }
-                for i in range(threads):
-                    machine.workers.append(_Worker(
-                        wid=f"{spec.name}/t{i}", machine=machine,
-                        index=i, function=None,
-                        queue_capacity=cfg.queue_capacity,
-                        mgr=machine.central_mgr))
-                self._machine_ring.add(spec.name)
+        spec = MachineSpec(name, cores=cores)
+        machine = _Machine(spec.name, spec.cores)
+        cfg = self.config
+        if cfg.engine == ENGINE_MUPPET2:
+            threads = cfg.threads_per_machine or spec.cores
+            machine.central_mgr = self._new_manager(
+                cfg.cache_slates_per_machine, owner=spec.name)
+            if cfg.two_choice:
+                machine.dispatcher = TwoChoiceDispatcher(
+                    threads, cfg.dispatch_factor,
+                    memoize=cfg.memoize_routing)
             else:
-                overrides = cfg.workers_per_function or {}
-                total = sum(
-                    overrides.get(s.name,
-                                  cfg.workers_per_function_per_machine)
-                    for s in self.app.operators())
-                per_worker_cache = max(
-                    1, cfg.cache_slates_per_machine // max(1, total))
-                index = 0
-                for op_spec in self.app.operators():
-                    count = overrides.get(
-                        op_spec.name,
-                        cfg.workers_per_function_per_machine)
-                    for j in range(count):
-                        worker = _Worker(
-                            wid=f"{spec.name}/{op_spec.name}#{j}",
-                            machine=machine, index=index,
-                            function=op_spec.name,
-                            queue_capacity=cfg.queue_capacity,
-                            mgr=self._new_manager(per_worker_cache,
-                                                  owner=spec.name))
-                        machine.shared_instances[worker.wid] = (
-                            op_spec.instantiate())
-                        machine.workers.append(worker)
-                        self._function_rings[op_spec.name].add(worker.wid)
-                        self._worker_by_id[worker.wid] = worker
-                        index += 1
-            self.machines[spec.name] = machine
-            if self._trace is not None:
-                self._trace.emit(sim.now(), "ring_change",
-                                 change="join", machine=spec.name)
-            self._reroute_queued_after_ring_change()
+                machine.dispatcher = SingleChoiceDispatcher(
+                    threads, memoize=cfg.memoize_routing)
+            machine.shared_instances = {
+                s.name: s.instantiate() for s in self.app.operators()
+            }
+            for i in range(threads):
+                machine.workers.append(_Worker(
+                    wid=f"{spec.name}/t{i}", machine=machine,
+                    index=i, function=None,
+                    queue_capacity=cfg.queue_capacity,
+                    mgr=machine.central_mgr))
+        else:
+            overrides = cfg.workers_per_function or {}
+            total = sum(
+                overrides.get(s.name,
+                              cfg.workers_per_function_per_machine)
+                for s in self.app.operators())
+            per_worker_cache = max(
+                1, cfg.cache_slates_per_machine // max(1, total))
+            index = 0
+            for op_spec in self.app.operators():
+                count = overrides.get(
+                    op_spec.name,
+                    cfg.workers_per_function_per_machine)
+                for j in range(count):
+                    worker = _Worker(
+                        wid=f"{spec.name}/{op_spec.name}#{j}",
+                        machine=machine, index=index,
+                        function=op_spec.name,
+                        queue_capacity=cfg.queue_capacity,
+                        mgr=self._new_manager(per_worker_cache,
+                                              owner=spec.name))
+                    machine.shared_instances[worker.wid] = (
+                        op_spec.instantiate())
+                    machine.workers.append(worker)
+                    self._worker_by_id[worker.wid] = worker
+                    index += 1
+        self.machines[spec.name] = machine
+        if ((self._autoscaler is not None or self._migration is not None)
+                and name not in self._probed_machines):
+            # Elastic machines get queue/slate probes like seed machines;
+            # legacy joins skip this to keep non-elastic metrics snapshots
+            # identical to the seed.
+            self._probed_machines.add(name)
+            self.metrics.register_group(f"queues.{name}",
+                                        self._make_queue_probe(machine))
+            self.metrics.register_group(f"slates.{name}",
+                                        self._make_slate_probe(machine))
+        return machine
 
-        self.sim.schedule(at, join, priority=-1)
+    def _legacy_join(self, name: str, cores: int) -> None:
+        """Flush-barrier join: the original Section 4.3 re-admission."""
+        existing = self.machines.get(name)
+        if existing is not None and not existing.retired:
+            return
+        self._rebalance_flush()
+        machine = (existing if existing is not None
+                   else self._construct_machine(name, cores))
+        machine.retired = False
+        if self.config.engine == ENGINE_MUPPET2:
+            self._machine_ring.add(name)
+        else:
+            for worker in machine.workers:
+                if worker.function is not None:
+                    self._function_rings[worker.function].add(worker.wid)
+        self._join_order.append(name)
+        if self._trace is not None:
+            self._trace.emit(self.sim.now(), "ring_change",
+                             change="join", machine=name)
+        self._reroute_queued_after_ring_change()
+
+    def _retire_legacy(self, name: str) -> None:
+        """Flush-barrier retirement (no migration configured)."""
+        machine = self.machines.get(name)
+        if (machine is None or machine.retired or not machine.alive
+                or (self.config.engine == ENGINE_MUPPET2
+                    and name not in self._machine_ring.members)):
+            return
+        self._rebalance_flush()
+        if self.config.engine == ENGINE_MUPPET2:
+            self._machine_ring.remove(name)
+        else:
+            for worker in machine.workers:
+                if worker.function is not None:
+                    self._function_rings[worker.function].remove(worker.wid)
+        machine.retired = True
+        if self._trace is not None:
+            self._trace.emit(self.sim.now(), "ring_change",
+                             change="retire", machine=name)
+        self._reroute_queued_after_ring_change()
+        self._drop_retired_copies(name)
+
+    # -- elastic scaling (autoscaler + live migration) ---------------------
+    def _elastic_stats(self) -> Dict[str, Any]:
+        """The ``elastic`` metrics family: cluster size, autoscaler
+        decisions, and migration handoff accounting."""
+        live = (self._machine_ring.live_members
+                if self.config.engine == ENGINE_MUPPET2
+                else {n for n, m in self.machines.items()
+                      if m.alive and not m.retired})
+        stats: Dict[str, Any] = {
+            "machines_live": len(live),
+            "machines_retired": sum(
+                1 for m in self.machines.values() if m.retired),
+            "pending_requests": len(self._pending_scale),
+        }
+        if self._autoscaler is not None:
+            for key, value in self._autoscaler.counters.as_dict().items():
+                stats[f"autoscaler.{key}"] = value
+            stats["autoscaler.queue_ewma"] = self._autoscaler.smoothed_queue
+        if self._migration is not None:
+            for key, value in self._migration.counters.as_dict().items():
+                stats[f"migration.{key}"] = value
+        return stats
+
+    def _central_manager(self, name: str) -> Optional[SlateManager]:
+        """A machine's central slate manager (None for unknown names)."""
+        machine = self.machines.get(name)
+        return None if machine is None else machine.central_mgr
+
+    def route_key_of(self, slate_key: SlateKey) -> str:
+        """The ring routing key a slate's events hash under."""
+        return route_key(slate_key.key, slate_key.updater)
+
+    def _kill_machine_now(self, name: str) -> None:
+        """Crash a machine at the current instant (migration chaos)."""
+        self._make_failure(name)(self.sim)
+
+    def _drop_retired_copies(self, name: str) -> None:
+        """Flush-and-drop every cache copy a retired machine still holds,
+        and cold-start its dispatcher so a later re-admission is
+        indistinguishable from a fresh join."""
+        machine = self.machines.get(name)
+        if machine is None or not machine.alive:
+            return
+        io = 0.0
+        for mgr in self._managers_of(machine):
+            mgr.flush_all_dirty()
+            io += mgr.take_pending_io()
+            for slate_key in list(mgr.cache.resident()):
+                mgr.drop(slate_key)
+        if io > 0:
+            machine.device_busy_until = (
+                max(self.sim.now(), machine.device_busy_until) + io)
+        if machine.dispatcher is not None:
+            machine.dispatcher.reset()
+
+    def _request_scale(self, kind: str, name: str, cores: int = 4) -> None:
+        """Route one join/retire request to the configured mechanism.
+
+        With migration configured, requests serialize: one handoff is in
+        flight at a time and the rest queue (FIFO), which keeps every
+        ownership change attributable to exactly one migration epoch.
+        """
+        if self._migration is None:
+            if kind == "join":
+                self._legacy_join(name, cores)
+            else:
+                self._retire_legacy(name)
+            return
+        if self._migration.active is not None:
+            self._pending_scale.append((kind, name))
+            return
+        self._start_migration(kind, name)
+
+    def _start_migration(self, kind: str, name: str) -> None:
+        migration = self._migration
+        assert migration is not None
+        machine = self.machines.get(name)
+        if machine is None or not machine.alive:
+            return
+        if kind == "join":
+            if name in self._machine_ring.members:
+                return
+        else:
+            if machine.retired or name not in self._machine_ring.live_members:
+                return  # failed machines heal via replay, not migration
+        migration.begin(kind, name)
+
+    def _drain_scale_queue(self) -> None:
+        migration = self._migration
+        if migration is None:
+            return
+        while self._pending_scale and migration.active is None:
+            kind, name = self._pending_scale.popleft()
+            self._start_migration(kind, name)
+
+    def _apply_migration_ring_change(self, mig: "MigrationState") -> None:
+        """The coordinator's cutover hook: flip the ring, re-address the
+        journal, clean up a retiring donor. Runs at one simulated
+        instant inside the cutover phase."""
+        machine = self.machines[mig.machine]
+        if mig.kind == "join":
+            machine.retired = False
+            self._machine_ring.add(mig.machine)
+            self._join_order.append(mig.machine)
+            change = "join"
+        else:
+            machine.retired = True
+            self._machine_ring.remove(mig.machine)
+            change = "retire"
+        if self._trace is not None:
+            self._trace.emit(self.sim.now(), "ring_change",
+                             change=change, machine=mig.machine)
+        journal = self.replay_journal
+        donors = set(mig.donors())
+        if journal is not None and donors:
+            def resolve(dest: str, payload: Any) -> Optional[str]:
+                if dest not in donors:
+                    return None
+                target = self._destination_machine(payload)
+                return None if target is None else target.name
+            changed = journal.readdress(resolve)
+            if self._migration is not None:
+                # readdress() already counts into journal stats; mirror
+                # into the migration family so bench E24 sees it.
+                self._migration.counters.journal_readdressed += changed
+        if mig.kind == "retire":
+            self._drop_retired_copies(mig.machine)
+
+    def _migration_finished(self, mig: "MigrationState",
+                            completed: bool) -> None:
+        """The coordinator's completion/abort hook."""
+        if mig.kind == "join" and not completed:
+            machine = self.machines.get(mig.machine)
+            if (machine is not None
+                    and mig.machine not in self._machine_ring.members):
+                # The joiner never entered the ring; park it as a
+                # re-admission candidate for the next scale-up.
+                machine.retired = True
+        self._drain_scale_queue()
+
+    def _schedule_autoscaler(self) -> None:
+        """The autoscaler's observation tick (mirrors the shedding
+        monitor): sample cluster health each period, execute any
+        resulting decision through the scaling machinery."""
+        scaler = self._autoscaler
+        assert scaler is not None
+        cfg = scaler.config
+        period = cfg.check_period_s
+
+        def tick(sim: Simulator) -> None:
+            live = sorted(self._machine_ring.live_members)
+            alive = [self.machines[n] for n in live
+                     if self.machines[n].alive]
+            worst = max((m.queue_depth_fraction() for m in alive),
+                        default=0.0)
+            p99 = (self._updater_p99(256)
+                   if cfg.p99_budget_s is not None else None)
+            dirty = 0
+            if cfg.dirty_backlog_high is not None:
+                dirty = max(
+                    (sum(mg.cache.dirty_count()
+                         for mg in self._managers_of(m)) for m in alive),
+                    default=0)
+            decision = scaler.observe(
+                sim.now(), worst_queue_fraction=worst, p99_s=p99,
+                dirty_backlog=dirty, live_machines=len(live))
+            if decision is not None:
+                self._execute_scale_decision(decision)
+            sim.schedule_in(period, tick)
+
+        self.sim.schedule_in(period, tick)
+
+    def _execute_scale_decision(self, decision: ScaleDecision) -> None:
+        scaler = self._autoscaler
+        assert scaler is not None
+        if self._migration is not None and (
+                self._migration.active is not None or self._pending_scale):
+            # A handoff is in flight (or queued): don't pile decisions on
+            # top — the EWMA will re-fire if pressure persists.
+            scaler.counters.blocked_migration += 1
+            return
+        cores = scaler.config.cores
+        if decision.direction == "grow":
+            for _ in range(decision.count):
+                name = self._next_join_candidate()
+                if name not in self.machines:
+                    self._construct_machine(name, cores)
+                self._request_scale("join", name, cores=cores)
+        else:
+            for _ in range(decision.count):
+                name = self._pick_retire_victim()
+                if name is None:
+                    return
+                self._request_scale("retire", name)
+
+    def _claimed_for_scaling(self) -> Set[str]:
+        claimed = {n for _, n in self._pending_scale}
+        if self._migration is not None and self._migration.active is not None:
+            claimed.add(self._migration.active.machine)
+        return claimed
+
+    def _next_join_candidate(self) -> str:
+        """Pick the next machine to admit: retired machines re-admit
+        first (their probes and workers already exist), then fresh
+        ``e###`` names from the elastic sequence."""
+        claimed = self._claimed_for_scaling()
+        for name in sorted(self.machines):
+            machine = self.machines[name]
+            if machine.retired and machine.alive and name not in claimed:
+                return name
+        while True:
+            name = f"e{next(self._elastic_seq):03d}"
+            if name not in self.machines:
+                return name
+
+    def _pick_retire_victim(self) -> Optional[str]:
+        """Pick the machine to retire: last joined leaves first (LIFO —
+        elastic machines drain before seed machines), falling back to
+        the lexicographically last live member."""
+        claimed = self._claimed_for_scaling()
+        live = self._machine_ring.live_members
+        for name in reversed(self._join_order):
+            if name in live and name not in claimed:
+                return name
+        candidates = sorted(n for n in live if n not in claimed)
+        if len(candidates) <= 1:
+            return None
+        return candidates[-1]
 
     def _reroute_queued_after_ring_change(self) -> None:
         """Move queued events whose keys changed owner to the new owner.
@@ -1723,6 +2149,9 @@ class SimRuntime:
         for machine in list(self.machines.values()):
             if not machine.alive:
                 continue
+            # Pins are rebuilt below from the envelopes that stay; moved
+            # replays re-pin at their new owner on re-delivery.
+            machine.replay_pins.clear()
             for worker in machine.workers:
                 kept: List[_Envelope] = []
                 for envelope in worker.queue.drain():
@@ -1739,6 +2168,14 @@ class SimRuntime:
                         kept.append(envelope)
                 for envelope in kept:
                     worker.queue.offer(envelope)
+                    if (self._is_muppet2 and self._dedup
+                            and envelope.replayed and not envelope.is_timer):
+                        pin_key = (envelope.event.key, envelope.dest_fn)
+                        pin = machine.replay_pins.get(pin_key)
+                        if pin is None:
+                            machine.replay_pins[pin_key] = [worker, 1]
+                        else:
+                            pin[1] += 1
 
     def _rebalance_flush(self) -> None:
         """Flush every dirty slate cluster-wide before a ring change, so
@@ -1777,6 +2214,7 @@ class SimRuntime:
             # queues: flush them now so they are counted lost (and the
             # failure broadcast fires) instead of lingering.
             self._flush_batches_to(machine_name)
+            machine.replay_pins.clear()
             for worker in machine.workers:
                 lost = worker.queue.drain()
                 self.counters.lost_failure += len(lost)
@@ -1784,7 +2222,10 @@ class SimRuntime:
                     worker.mgr.crash()
             if machine.central_mgr is not None:
                 machine.central_mgr.crash()
-            if self.config.kill_kv_on_machine_failure:
+            if self.config.kill_kv_on_machine_failure \
+                    and machine_name in self.store.nodes:
+                # Elastic machines (joined after boot) host workers only;
+                # kv membership is fixed at the seed spec.
                 self.store.mark_down(machine_name)
 
         return kill
@@ -1907,12 +2348,19 @@ class SimRuntime:
         fields, _ = split_watermarks(DEFAULT_CODEC.decode(result.value))
         return fields
 
-    def slates_of(self, updater: str) -> Dict[str, Dict[str, Any]]:
+    def slates_of(self, updater: str,
+                  read_through: bool = False) -> Dict[str, Dict[str, Any]]:
         """All cached slates of one updater (post-run inspection).
 
         Freshest copy wins when several caches hold the same slate —
         after a failover-and-recover cycle, survivors retain orphaned
         (stale) copies of keys that moved back to the revived owner.
+
+        With ``read_through=True`` the kv-store's column is scanned too,
+        so slates that were flushed and then dropped from every cache
+        (a full-rehydration cutover whose keys saw no later traffic)
+        still appear; a resident copy only loses to the store when the
+        store's write is fresher.
         """
         found: Dict[str, Tuple[float, Dict[str, Any]]] = {}
         for machine in self.machines.values():
@@ -1931,6 +2379,15 @@ class SimRuntime:
                     if known is None or slate.last_update_ts > known[0]:
                         found[slate_key.key] = (slate.last_update_ts,
                                                 slate.as_dict())
+        if read_through and self.store is not None:
+            from repro.slates.codec import DEFAULT_CODEC, split_watermarks
+
+            for row, cell in self.store.column_cells(updater).items():
+                known = found.get(row)
+                if known is not None and known[0] >= cell.write_ts:
+                    continue
+                fields, _ = split_watermarks(DEFAULT_CODEC.decode(cell.value))
+                found[row] = (cell.write_ts, fields)
         return {key: contents for key, (_, contents) in found.items()}
 
     def memory_mb_per_machine(self) -> float:

@@ -456,6 +456,42 @@ class SlateManager:
         if slate.dirty:
             self._flush_slate(slate)
 
+    # -- live migration (elastic scaling) ---------------------------------------
+    def import_blob(self, slate_key: SlateKey, blob: bytes,
+                    ttl: Optional[float], last_update_ts: float,
+                    now: float) -> Slate:
+        """Install a slate handed off by another machine's manager.
+
+        The blob is a donor-side :meth:`Slate.encoded_with` payload, so
+        the dedup watermarks ride inside it and are split out here —
+        the receiver's replay-dedup state is exactly as fresh as the
+        handed-off data (the same atomicity as the store read path).
+
+        The imported slate lands *dirty*: between cutover and the
+        receiver's next flush, this cache holds the only copy newer
+        than the store, and the dirty flag is what guarantees the
+        ordinary flush machinery (and the migration ack barrier)
+        persists it rather than silently dropping the freshest state.
+        """
+        fields, watermarks = split_watermarks(self.codec.decode(blob))
+        slate = Slate(slate_key, fields, ttl=ttl, created_ts=now)
+        slate.set_watermarks(watermarks)
+        slate.last_update_ts = last_update_ts
+        slate.dirty = True
+        self.cache.put(slate)
+        return slate
+
+    def drop(self, slate_key: SlateKey) -> Optional[Slate]:
+        """Release ownership of a slate without flushing it.
+
+        Migration cutover calls this on the *donor* after the receiver
+        installed the handed-off blob: the donor's copy — dirty or not
+        — is no longer authoritative, and flushing it here would race
+        the receiver's own writes (last-write-wins could resurrect
+        pre-handoff state). Returns the dropped slate, or None.
+        """
+        return self.cache.remove(slate_key)
+
     # -- failure ---------------------------------------------------------------
     def crash(self) -> int:
         """Lose the cache without flushing, as when a machine dies.

@@ -245,3 +245,92 @@ class TestE6dChaosTrace:
         assert violations[0].chain, "first violation should carry a chain"
         formatted = violations[0].format()
         assert "event chain" in formatted
+
+
+def _handoff(updater="U1", key="k0", src="m0", receiver="m1", epoch=1,
+             ts=1.0):
+    return _span("handoff", ts=ts, updater=updater, key=key, src=src,
+                 machine=receiver, epoch=epoch)
+
+
+class TestMigrationInvariant:
+    def test_single_receiver_passes(self):
+        spans = [_span("ring_change"), _handoff(),
+                 _handoff(key="k1")]
+        assert InvariantChecker(spans).check_migration() == []
+
+    def test_two_receivers_in_one_epoch_flagged(self):
+        spans = [_span("ring_change"), _handoff(receiver="m1"),
+                 _handoff(receiver="m2")]
+        violations = InvariantChecker(spans).check_migration()
+        assert len(violations) == 1
+        assert "exactly one receiver" in violations[0].message
+
+    def test_rehandoff_across_migration_epochs_passes(self):
+        # m1 takes k0 in migration epoch 1, hands it on in epoch 2.
+        spans = [_span("ring_change"), _handoff(receiver="m1", epoch=1),
+                 _span("ring_change"),
+                 _handoff(src="m1", receiver="m2", epoch=2)]
+        assert InvariantChecker(spans).check_migration() == []
+
+    def test_donor_execute_after_handoff_flagged(self):
+        spans = [_span("ring_change"), _handoff(src="m0"),
+                 _execute("m0", 0, 9)]
+        violations = InvariantChecker(spans).check_migration()
+        assert len(violations) == 1
+        assert "after handing it off" in violations[0].message
+
+    def test_donor_flush_after_handoff_flagged(self):
+        spans = [_span("ring_change"), _handoff(src="m0"),
+                 _span("slate_flush", ts=1.1, updater="U1", key="k0",
+                       machine="m0")]
+        assert len(InvariantChecker(spans).check_migration()) == 1
+
+    def test_receiver_activity_after_handoff_passes(self):
+        spans = [_span("ring_change"), _handoff(src="m0", receiver="m1"),
+                 _execute("m1", 0, 9),
+                 _span("slate_flush", ts=1.1, updater="U1", key="k0",
+                       machine="m1")]
+        assert InvariantChecker(spans).check_migration() == []
+
+    def test_donor_regains_slate_after_next_ring_change(self):
+        # The receiver later retires and hands the slate back; the
+        # donor legitimately executes in the new ring epoch.
+        spans = [_span("ring_change"), _handoff(src="m0", receiver="m1"),
+                 _span("ring_change"),
+                 _handoff(src="m1", receiver="m0", epoch=2),
+                 _execute("m0", 0, 9)]
+        assert InvariantChecker(spans).check_migration() == []
+
+
+class TestE24MigrationTrace:
+    """The live-handoff scenario's real trace is clean, and a
+    hand-corrupted copy of it is not."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        from repro.analysis.scenarios import e24_migration_trace
+
+        return e24_migration_trace()
+
+    def test_real_trace_has_no_violations(self, trace):
+        violations = check_trace(
+            trace, checks=["fifo", "watermarks", "two_choice",
+                           "ring_ownership", "migration"])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_trace_records_the_handoff(self, trace):
+        handoffs = [s for s in trace if s["kind"] == "handoff"]
+        assert handoffs and all(s["src"] == "m001" for s in handoffs)
+        phases = [s["phase"] for s in trace if s["kind"] == "migration"]
+        assert phases[0] == "plan" and "cutover" in phases
+
+    def test_corrupted_double_owner_is_caught(self, trace):
+        corrupted = [dict(s) for s in trace]
+        handoff = next(s for s in corrupted if s["kind"] == "handoff")
+        forged = dict(handoff)
+        forged["machine"] = "m-intruder"
+        corrupted.append(forged)
+        violations = check_trace(corrupted, checks=["migration"])
+        assert violations
+        assert "m-intruder" in violations[0].message

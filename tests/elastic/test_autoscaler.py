@@ -1,0 +1,135 @@
+"""Autoscaler policy: EWMA signals, hysteresis, cooldown, bounds."""
+
+import pytest
+
+from repro.elastic import Autoscaler, AutoscalerConfig, ScaleDecision
+from repro.errors import ConfigurationError
+
+
+def observe(scaler, now, queue, p99=None, dirty=0, live=4):
+    return scaler.observe(now, worst_queue_fraction=queue, p99_s=p99,
+                          dirty_backlog=dirty, live_machines=live)
+
+
+class TestAutoscalerConfig:
+    def test_defaults_valid(self):
+        cfg = AutoscalerConfig()
+        assert cfg.min_machines <= cfg.max_machines
+        assert cfg.scale_down_queue < cfg.scale_up_queue
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_machines": 0},
+        {"max_machines": 1, "min_machines": 2},
+        {"check_period_s": 0.0},
+        {"ewma_alpha": 0.0},
+        {"ewma_alpha": 1.5},
+        {"scale_up_queue": 0.0},
+        {"scale_up_queue": 1.5},
+        {"scale_down_queue": -0.1},
+        # No hysteresis band: down threshold at/above up threshold.
+        {"scale_down_queue": 0.6, "scale_up_queue": 0.6},
+        {"p99_budget_s": 0.0},
+        {"dirty_backlog_high": 0},
+        {"cooldown_s": -1.0},
+        {"hold_s": -1.0},
+        {"grow_step": 0},
+        {"shrink_step": 0},
+        {"cores": 0},
+    ])
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(**kwargs)
+
+
+class TestAutoscalerPolicy:
+    def cfg(self, **kwargs):
+        kwargs.setdefault("ewma_alpha", 1.0)  # unsmoothed: direct signal
+        kwargs.setdefault("cooldown_s", 1.0)
+        kwargs.setdefault("hold_s", 1.0)
+        return AutoscalerConfig(**kwargs)
+
+    def test_grow_on_queue_pressure(self):
+        scaler = Autoscaler(self.cfg())
+        decision = observe(scaler, 0.0, queue=0.9)
+        assert decision == ScaleDecision("grow", 1)
+        assert scaler.counters.scale_ups == 1
+
+    def test_grow_blocked_by_cooldown_then_allowed(self):
+        scaler = Autoscaler(self.cfg())
+        assert observe(scaler, 0.0, queue=0.9) is not None
+        assert observe(scaler, 0.5, queue=0.9) is None
+        assert scaler.counters.blocked_cooldown == 1
+        assert observe(scaler, 1.5, queue=0.9) is not None
+
+    def test_grow_blocked_at_max_machines(self):
+        scaler = Autoscaler(self.cfg(max_machines=4))
+        assert observe(scaler, 0.0, queue=0.9, live=4) is None
+        assert scaler.counters.blocked_bounds == 1
+
+    def test_grow_step_clipped_to_bound(self):
+        scaler = Autoscaler(self.cfg(grow_step=4, max_machines=6))
+        assert observe(scaler, 0.0, queue=0.9, live=4) \
+            == ScaleDecision("grow", 2)
+
+    def test_p99_over_budget_escalates(self):
+        scaler = Autoscaler(self.cfg(p99_budget_s=0.1))
+        assert observe(scaler, 0.0, queue=0.0, p99=0.5) \
+            == ScaleDecision("grow", 1)
+
+    def test_dirty_backlog_escalates(self):
+        scaler = Autoscaler(self.cfg(dirty_backlog_high=100))
+        assert observe(scaler, 0.0, queue=0.0, dirty=500) \
+            == ScaleDecision("grow", 1)
+
+    def test_shrink_requires_hold(self):
+        scaler = Autoscaler(self.cfg(hold_s=1.0, cooldown_s=0.0))
+        assert observe(scaler, 0.0, queue=0.0) is None   # calm starts
+        assert observe(scaler, 0.5, queue=0.0) is None   # still holding
+        assert observe(scaler, 1.5, queue=0.0) \
+            == ScaleDecision("shrink", 1)
+        assert scaler.counters.scale_downs == 1
+
+    def test_band_sample_resets_calm_clock(self):
+        scaler = Autoscaler(self.cfg(hold_s=1.0, cooldown_s=0.0))
+        observe(scaler, 0.0, queue=0.0)
+        observe(scaler, 0.5, queue=0.3)   # hysteresis band: not calm
+        assert observe(scaler, 1.5, queue=0.0) is None  # clock restarted
+        assert observe(scaler, 3.0, queue=0.0) \
+            == ScaleDecision("shrink", 1)
+
+    def test_shrink_blocked_at_min_machines(self):
+        scaler = Autoscaler(self.cfg(min_machines=2, hold_s=0.0,
+                                     cooldown_s=0.0))
+        observe(scaler, 0.0, queue=0.0, live=2)
+        assert observe(scaler, 1.0, queue=0.0, live=2) is None
+        assert scaler.counters.blocked_bounds == 1
+
+    def test_shrink_needs_p99_headroom(self):
+        scaler = Autoscaler(self.cfg(p99_budget_s=0.1, hold_s=0.0,
+                                     cooldown_s=0.0))
+        observe(scaler, 0.0, queue=0.0, p99=0.08)
+        # Under budget but above budget/2: not calm enough to shrink.
+        assert observe(scaler, 1.0, queue=0.0, p99=0.08) is None
+        observe(scaler, 2.0, queue=0.0, p99=0.01)
+        assert observe(scaler, 3.0, queue=0.0, p99=0.01) \
+            == ScaleDecision("shrink", 1)
+
+    def test_ewma_smooths_a_spike(self):
+        scaler = Autoscaler(AutoscalerConfig(ewma_alpha=0.2))
+        # One spiky sample after a calm history does not trip the
+        # threshold; sustained pressure does.
+        observe(scaler, 0.0, queue=0.0)
+        assert observe(scaler, 0.25, queue=0.9) is None
+        for i in range(2, 12):
+            decision = observe(scaler, 0.25 * i, queue=0.9)
+            if decision is not None:
+                assert decision.direction == "grow"
+                break
+        else:
+            pytest.fail("sustained pressure never tripped the EWMA")
+
+    def test_observation_counter(self):
+        scaler = Autoscaler(self.cfg())
+        for i in range(5):
+            observe(scaler, float(i), queue=0.0)
+        assert scaler.counters.observations == 5

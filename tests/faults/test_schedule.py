@@ -106,7 +106,8 @@ class TestFaultScheduleBuilder:
                     .slow(0.2, "m003", until=0.8, net_factor=2.0)
                     .drop(0.3, until=0.7, probability=0.5)
                     .delay(0.4, until=0.6, extra_s=0.01, jitter_s=0.005)
-                    .kv_outage(0.5, "m000", until=1.5))
+                    .kv_outage(0.5, "m000", until=1.5)
+                    .at_migration("cutover", target="donor"))
         assert sorted({e.kind for e in schedule}) == sorted(FAULT_KINDS)
 
 

@@ -166,3 +166,33 @@ class TestMaintenance:
         stats = store.stats_by_node()
         assert set(stats) == {"n0", "n1", "n2", "n3"}
         assert sum(s["puts"] for s in stats.values()) == 3
+
+
+class TestColumnCells:
+    def test_newest_live_cell_per_row(self):
+        store = make_store(nodes=2, rf=2)
+        store.write("r1", "U1", b"old", consistency=ConsistencyLevel.ALL)
+        store.write("r1", "U1", b"new", consistency=ConsistencyLevel.ALL)
+        store.write("r2", "U1", b"only")
+        store.write("r3", "other", b"x")
+        cells = store.column_cells("U1")
+        assert set(cells) == {"r1", "r2"}
+        assert cells["r1"].value == b"new"
+
+    def test_excludes_tombstones_and_survives_flush(self):
+        store = make_store(nodes=2, rf=2)
+        store.write("gone", "U1", b"v", consistency=ConsistencyLevel.ALL)
+        store.write("kept", "U1", b"v", consistency=ConsistencyLevel.ALL)
+        store.delete("gone", "U1")
+        store.flush_all()  # scan must reach into SSTables too
+        assert set(store.column_cells("U1")) == {"kept"}
+
+    def test_down_node_is_skipped(self):
+        store = make_store(nodes=2, rf=1)
+        for i in range(8):
+            store.write(f"r{i}", "U1", b"v")
+        before = set(store.column_cells("U1"))
+        assert before == {f"r{i}" for i in range(8)}
+        store.mark_down("n0")
+        after = set(store.column_cells("U1"))
+        assert after < before  # rf=1: the down node's rows disappear

@@ -202,3 +202,55 @@ class TestEpochPrunedJournal:
         assert ReplayJournal(horizon_s=None).horizon_s is None
         with pytest.raises(ConfigurationError):
             ReplayJournal(horizon_s=0.0)
+
+
+class TestMigrationHolds:
+    """The prune-too-early window: entries a live handoff still needs
+    must survive checkpoint-epoch prunes that fire mid-migration."""
+
+    def test_hold_blocks_prune_before(self):
+        journal = ReplayJournal.epoch_pruned()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            journal.record("m1", f"e{t}", now=t)
+        journal.hold("migration-1", since_ts=1.0)
+        # A checkpoint barrier completing at t=3 would normally drop
+        # everything before it; the hold caps the cutoff at 1.0.
+        assert journal.prune_before(3.0) == 1
+        assert journal.take_for("m1", now=3.0) == ["e1.0", "e2.0", "e3.0"]
+
+    def test_release_reopens_pruning(self):
+        journal = ReplayJournal.epoch_pruned()
+        for t in (0.0, 1.0, 2.0):
+            journal.record("m1", f"e{t}", now=t)
+        journal.hold("migration-1", since_ts=0.0)
+        assert journal.prune_before(10.0) == 0
+        journal.release("migration-1")
+        assert journal.prune_before(10.0) == 3
+
+    def test_hold_clamps_time_horizon_too(self):
+        journal = ReplayJournal(horizon_s=1.0)
+        journal.record("m1", "old", now=0.0)
+        journal.hold("migration-1", since_ts=0.0)
+        journal.record("m1", "new", now=5.0)
+        assert journal.take_for("m1", now=5.5) == ["old", "new"]
+
+    def test_rehold_keeps_earlier_timestamp(self):
+        journal = ReplayJournal.epoch_pruned()
+        journal.record("m1", "a", now=0.0)
+        journal.hold("migration-1", since_ts=0.0)
+        journal.hold("migration-1", since_ts=5.0)  # resume re-drives hold
+        assert journal.prune_before(10.0) == 0
+
+    def test_release_unknown_token_is_idempotent(self):
+        ReplayJournal.epoch_pruned().release("never-held")
+
+    def test_readdress_rewrites_and_counts(self):
+        journal = ReplayJournal.epoch_pruned()
+        journal.record("m1", "a", now=0.0)
+        journal.record("m2", "b", now=1.0)
+        changed = journal.readdress(
+            lambda dest, payload: "m9" if dest == "m1" else None)
+        assert changed == 1
+        assert journal.stats.readdressed == 1
+        assert journal.take_for("m9", now=2.0) == ["a"]
+        assert journal.take_for("m2", now=2.0) == ["b"]
