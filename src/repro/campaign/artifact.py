@@ -1,0 +1,225 @@
+"""Campaign artifacts: canonical JSON plus a rendered markdown table.
+
+The JSON artifact is the committed, machine-checked record of one
+campaign (Helix artifact-evaluation style: the repo carries a copy of
+the result files next to the command that regenerates them). It is
+written in canonical form — sorted keys, two-space indent, trailing
+newline, no timestamps, no hostnames — so a deterministic campaign
+re-run produces a byte-identical file on any machine and CI can diff
+the fresh artifact against the committed one cell for cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union, cast
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ConfigurationError
+
+#: Row statuses.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+#: Artifact schema version, bumped on any shape change.
+SCHEMA = 1
+
+Row = Dict[str, Any]
+Payload = Dict[str, Any]
+
+
+def spec_hash(spec: CampaignSpec) -> str:
+    """Hash of everything that changes cell *results* without changing
+    cell identity: the scenario ref, fixed params, base seed, and the
+    volatile-metric contract. A stale committed artifact (produced by an
+    older spec) fails ``campaign check`` on this hash before any cell
+    comparison."""
+    payload = {
+        "fixed": dict(spec.fixed),
+        "name": spec.name,
+        "scenario": spec.scenario,
+        "seed": spec.seed,
+        "volatile_metrics": sorted(spec.volatile_metrics),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+    return digest[:12]
+
+
+def build_payload(spec: CampaignSpec, rows: Sequence[Row]) -> Payload:
+    """Assemble the artifact dict for a completed (or partial) run."""
+    return {
+        "schema": SCHEMA,
+        "campaign": spec.name,
+        "description": spec.description,
+        "scenario": spec.scenario,
+        "spec_hash": spec_hash(spec),
+        "fixed": dict(spec.fixed),
+        "volatile_metrics": sorted(spec.volatile_metrics),
+        "cells": list(rows),
+    }
+
+
+def dumps_canonical(payload: Payload) -> str:
+    """The byte-identity wire form of an artifact."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_artifact(path: Path, payload: Payload) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_canonical(payload))
+
+
+def load_artifact(path: Union[str, Path]) -> Payload:
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no campaign artifact at {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"corrupt campaign artifact {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "cells" not in payload:
+        raise ConfigurationError(f"{path} is not a campaign artifact")
+    return cast(Payload, payload)
+
+
+def rows_by_cell(payload: Payload) -> Dict[str, Row]:
+    return {row["cell"]: row for row in payload["cells"]}
+
+
+def compare_artifacts(
+    committed: Payload, fresh: Payload, volatile: Sequence[str]
+) -> List[str]:
+    """Cell-for-cell determinism check; returns mismatch messages.
+
+    Every fresh cell must exist in the committed artifact with equal
+    status and — volatile (machine-dependent) metrics excluded — exactly
+    equal metrics. The fresh run may cover a subset of the committed
+    grid (the CI smoke path), never a superset.
+    """
+    failures: List[str] = []
+    if committed.get("spec_hash") != fresh.get("spec_hash"):
+        failures.append(
+            f"spec hash mismatch: committed {committed.get('spec_hash')} "
+            f"vs fresh {fresh.get('spec_hash')} — the committed artifact "
+            "was produced by a different spec; re-run with --update"
+        )
+        return failures
+    skip = set(volatile)
+    committed_rows = rows_by_cell(committed)
+    for row in fresh["cells"]:
+        identifier = row["cell"]
+        base = committed_rows.get(identifier)
+        if base is None:
+            failures.append(
+                f"cell {identifier} {row['params']!r} missing from the "
+                "committed artifact"
+            )
+            continue
+        if row["status"] != base["status"]:
+            failures.append(
+                f"cell {identifier} {row['params']!r}: status "
+                f"{row['status']!r} vs committed {base['status']!r}"
+            )
+            continue
+        fresh_metrics = {
+            k: v for k, v in row.get("metrics", {}).items() if k not in skip
+        }
+        base_metrics = {
+            k: v for k, v in base.get("metrics", {}).items() if k not in skip
+        }
+        if fresh_metrics != base_metrics:
+            drifted = sorted(
+                k
+                for k in set(fresh_metrics) | set(base_metrics)
+                if fresh_metrics.get(k) != base_metrics.get(k)
+            )
+            failures.append(
+                f"cell {identifier} {row['params']!r}: metrics differ on "
+                f"{drifted} (fresh "
+                f"{ {k: fresh_metrics.get(k) for k in drifted} } vs committed "
+                f"{ {k: base_metrics.get(k) for k in drifted} })"
+            )
+    return failures
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_format_value(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def metric_columns(rows: Sequence[Row]) -> List[str]:
+    """Union of metric names across ok rows, first-seen order."""
+    columns: List[str] = []
+    for row in rows:
+        for name in row.get("metrics", {}):
+            if name not in columns:
+                columns.append(name)
+    return columns
+
+
+def render_markdown(
+    spec: CampaignSpec,
+    payload: Payload,
+    summary_lines: Sequence[str] = (),
+) -> str:
+    """The human half of the artifact: one cell table plus derived
+    summaries, in the artifact-evaluation style (what was run, how to
+    re-run it, and the committed numbers)."""
+    rows = cast(List[Row], payload["cells"])
+    param_names = list(spec.grid)
+    metrics = metric_columns(rows)
+    table_rows: List[List[Any]] = []
+    for row in rows:
+        cells: List[Any] = [row["cell"]]
+        cells.extend(row["params"].get(name, "") for name in param_names)
+        cells.append(row["status"])
+        row_metrics = row.get("metrics", {})
+        cells.extend(row_metrics.get(name, "") for name in metrics)
+        table_rows.append(cells)
+    failed = [row for row in rows if row["status"] != STATUS_OK]
+    lines = [
+        f"# Campaign `{spec.name}`",
+        "",
+        spec.description,
+        "",
+        f"- scenario: `{spec.scenario}`",
+        f"- spec hash: `{payload['spec_hash']}`",
+        f"- cells: {len(rows)} ({len(failed)} failed)",
+        f"- fixed params: `{json.dumps(dict(spec.fixed), sort_keys=True)}`",
+        "",
+        "Regenerate with "
+        f"`python -m repro campaign run {spec.name} --update`; verify a "
+        f"fresh run against this artifact with "
+        f"`python -m repro campaign check {spec.name}`.",
+        "",
+        "## Cells",
+        "",
+        _markdown_table(["cell"] + param_names + ["status"] + metrics, table_rows),
+    ]
+    if summary_lines:
+        lines += ["", "## Summary", ""]
+        lines.extend(summary_lines)
+    return "\n".join(lines) + "\n"
+
+
+def split_errors(rows: Sequence[Row]) -> Tuple[List[Row], List[Row]]:
+    """Partition rows into (ok, failed)."""
+    ok = [row for row in rows if row["status"] == STATUS_OK]
+    return ok, [row for row in rows if row["status"] != STATUS_OK]

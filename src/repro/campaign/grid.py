@@ -1,0 +1,77 @@
+"""Grid expansion and stable cell identity.
+
+A cell is one point of the cross product. Its identity — the key for
+resume-from-partial and for the CI determinism check — is a hash of the
+campaign name plus the cell's *grid* parameters in canonical JSON form,
+so it is stable across runs, worker counts, machines, and dict insertion
+order. The per-cell RNG seed is derived from the same hash, which makes
+every cell's result independent of the order (or process) it ran in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set
+
+from repro.campaign.spec import Grid, GridValue
+
+#: Hex digits of the cell hash kept as the cell id.
+CELL_ID_LEN = 12
+
+
+def canonical_json(obj: Any) -> str:
+    """Minimal, key-sorted JSON — the hashing wire format."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def cell_id(campaign: str, params: Dict[str, GridValue]) -> str:
+    """Stable id of one grid cell within a campaign."""
+    digest = hashlib.sha256(
+        f"{campaign}:{canonical_json(params)}".encode("utf-8")
+    ).hexdigest()
+    return digest[:CELL_ID_LEN]
+
+
+def cell_seed(identifier: str, base_seed: int) -> int:
+    """Deterministic per-cell RNG seed folded with the spec's base seed."""
+    return (int(identifier, 16) ^ base_seed) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One expanded grid point, ready to run."""
+
+    index: int
+    cell: str
+    params: Dict[str, GridValue]
+    seed: int
+
+
+def expand_grid(campaign: str, grid: Grid, base_seed: int = 0) -> List[Cell]:
+    """Cross product of the grid in declaration order, deduplicated.
+
+    Repeated values in a parameter list (or parameter combinations that
+    hash identically) collapse to the first occurrence, so a sloppy spec
+    cannot run — or double-count — the same cell twice.
+    """
+    names = list(grid)
+    cells: List[Cell] = []
+    seen: Set[str] = set()
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        identifier = cell_id(campaign, params)
+        if identifier in seen:
+            continue
+        seen.add(identifier)
+        cells.append(
+            Cell(
+                index=len(cells),
+                cell=identifier,
+                params=params,
+                seed=cell_seed(identifier, base_seed),
+            )
+        )
+    return cells

@@ -1,0 +1,316 @@
+"""Perf-gate scenarios as campaign cells.
+
+These are the four canonical scenarios the perf gate has always run
+(E1-style scaling, E2-style latency, E9-style flush pressure, E23
+fast-forwarding), relocated from ``benchmarks/bench_perf_gate.py`` so
+the ``perf_baseline`` campaign regenerates ``BENCH_PERF.json`` through
+the runner and the gate script becomes a thin wrapper over the same
+cells.
+
+Each scenario mixes deterministic simulated metrics (throughput, steps,
+identity checks — byte-identical everywhere) with wall/CPU timings that
+are machine-dependent by nature; the campaign spec lists the latter as
+``volatile_metrics`` so ``campaign check`` ignores them while the gate's
+tolerance checks still read them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+from repro.cluster import ClusterSpec
+from repro.core.application import Application
+from repro.core.event import Event
+from repro.core.operators import Context, Mapper, Updater
+from repro.errors import ConfigurationError
+from repro.kvstore.cluster import ReplicatedKVStore
+from repro.sim import SimConfig, SimRuntime, create_runtime
+from repro.sim.sources import Source
+from repro.slates.manager import FlushPolicy, SlateManager
+
+#: E23 exact-mode baseline: the committed wall of the E1 workload on the
+#: exact stepper on the reference machine, pinned so the hybrid speedup
+#: claim is measured against a fixed yardstick rather than a same-run
+#: remeasurement. The issue targeted 5x; the honest measured speedup on
+#: this workload is ~4x (see EXPERIMENTS.md E23 for the CPython floor
+#: analysis).
+E23_BASELINE_EXACT_WALL_S = 3.6863
+
+#: Timing repeats per measured run; min is reported (least-noise).
+REPEATS = 3
+
+
+class _Echo(Mapper):
+    def map(self, ctx: Context, event: Event) -> None:
+        ctx.publish(self.config["output_sid"], event.key, event.value)
+
+
+class _Count(Updater):
+    def init_slate(self, key: str) -> Dict[str, Any]:
+        return {"count": 0}
+
+    def update(self, ctx: Context, event: Event, slate: Any) -> None:
+        slate["count"] += 1
+
+
+def _chain_app() -> Application:
+    """S1 -> M1 -> S2 -> M2 -> S3 -> U1: two cheap map hops per event,
+    so the data plane (not operator CPU) dominates — the E1 scenario."""
+    app = Application("perf-gate-chain")
+    app.add_stream("S1", external=True)
+    app.add_stream("S2")
+    app.add_stream("S3")
+    app.add_mapper(
+        "M1", _Echo, subscribes=["S1"], publishes=["S2"], config={"output_sid": "S2"}
+    )
+    app.add_mapper(
+        "M2", _Echo, subscribes=["S2"], publishes=["S3"], config={"output_sid": "S3"}
+    )
+    app.add_updater("U1", _Count, subscribes=["S3"])
+    return app.validate()
+
+
+def _count_app() -> Application:
+    """S1 -> M1 -> S2 -> U1: the minimal end-to-end pipeline (E2)."""
+    app = Application("perf-gate-count")
+    app.add_stream("S1", external=True)
+    app.add_stream("S2")
+    app.add_mapper(
+        "M1", _Echo, subscribes=["S1"], publishes=["S2"], config={"output_sid": "S2"}
+    )
+    app.add_updater("U1", _Count, subscribes=["S2"])
+    return app.validate()
+
+
+def _events(n: int, spacing: float, keys: int) -> List[Event]:
+    return [Event("S1", ts=i * spacing, key=f"k{i % keys}", value=i) for i in range(n)]
+
+
+def _timed(fn: Callable[[], Any]) -> Tuple[Any, float, float]:
+    """Run ``fn`` REPEATS times; return (last result, min wall, min cpu)."""
+    walls, cpus = [], []
+    result = None
+    for _ in range(REPEATS):
+        w0, c0 = time.perf_counter(), time.process_time()
+        result = fn()
+        walls.append(time.perf_counter() - w0)
+        cpus.append(time.process_time() - c0)
+    return result, min(walls), min(cpus)
+
+
+# -- scenarios ---------------------------------------------------------------
+def scenario_e1_scaling() -> Dict[str, Any]:
+    """Chain pipeline at 50k ev/s on 4 machines, the batched data plane
+    off (no event coalescing, no routing memos, per-slate flushes — the
+    pre-optimization behaviour) versus on (all three)."""
+    n, spacing, keys, machines = 30_000, 0.00002, 200, 4
+    horizon = n * spacing + 5.0
+
+    def run(batch: bool) -> Tuple[Any, Any]:
+        cfg = SimConfig(
+            batch_max_events=64 if batch else 0,
+            batch_linger_s=0.005 if batch else 0.0,
+            memoize_routing=batch,
+            coalesce_slate_flushes=batch,
+        )
+        runtime = SimRuntime(
+            _chain_app(),
+            ClusterSpec.uniform(machines, cores=4),
+            cfg,
+            [Source("S1", iter(_events(n, spacing, keys)))],
+        )
+        report = runtime.run(horizon)
+        return report, runtime.slates_of("U1")
+
+    (rep_off, slates_off), wall_off, cpu_off = _timed(lambda: run(False))
+    (rep_on, slates_on), wall_on, cpu_on = _timed(lambda: run(True))
+    dump_off = json.dumps(slates_off, sort_keys=True)
+    dump_on = json.dumps(slates_on, sort_keys=True)
+    identical = dump_off == dump_on
+    return {
+        "events": n,
+        "machines": machines,
+        "sim_events_per_s": round(rep_on.events_per_second(), 3),
+        "sim_events_per_s_unbatched": round(rep_off.events_per_second(), 3),
+        "steps_unbatched": rep_off.steps,
+        "steps_batched": rep_on.steps,
+        "wall_s": round(wall_on, 4),
+        "wall_s_unbatched": round(wall_off, 4),
+        "cpu_s": round(cpu_on, 4),
+        "cpu_s_unbatched": round(cpu_off, 4),
+        "speedup_wall": round(wall_off / wall_on, 3),
+        "speedup_cpu": round(cpu_off / cpu_on, 3),
+        "batches_sent": rep_on.dataplane.batches_sent,
+        "avg_batch_events": round(
+            rep_on.dataplane.batched_events / max(1, rep_on.dataplane.batches_sent),
+            2,
+        ),
+        "slates_identical": identical,
+    }
+
+
+def scenario_e2_latency() -> Dict[str, Any]:
+    """Count pipeline at 2k ev/s on 6 machines with batching on; the
+    linger must not push end-to-end latency anywhere near the paper's
+    2 s bound."""
+    n, spacing, keys, machines = 8_000, 0.0005, 500, 6
+    horizon = n * spacing + 5.0
+
+    def run() -> Any:
+        cfg = SimConfig(batch_max_events=64, batch_linger_s=0.002)
+        runtime = SimRuntime(
+            _count_app(),
+            ClusterSpec.uniform(machines, cores=4),
+            cfg,
+            [Source("S1", iter(_events(n, spacing, keys)))],
+        )
+        return runtime.run(horizon)
+
+    report, wall, cpu = _timed(run)
+    assert report.latency is not None
+    return {
+        "events": n,
+        "machines": machines,
+        "sim_events_per_s": round(report.events_per_second(), 3),
+        "p99_latency_ms": round(report.latency.p99 * 1e3, 3),
+        "wall_s": round(wall, 4),
+        "cpu_s": round(cpu, 4),
+    }
+
+
+def scenario_e9_flush() -> Dict[str, Any]:
+    """Slate-manager flush pressure: 20k hot-key updates through an
+    interval policy, exercising the coalesced write_batch path."""
+    updates, keys = 20_000, 500
+
+    def run() -> SlateManager:
+        ticks = itertools.count()
+        clock = lambda: next(ticks) * 0.001
+        store = ReplicatedKVStore(
+            ["n0", "n1", "n2", "n3"], replication_factor=3, clock=clock
+        )
+        manager = SlateManager(
+            store,
+            cache_capacity=keys * 2,
+            flush_policy=FlushPolicy.every(0.05),
+            clock=clock,
+        )
+        updater = _Count(name="U1")
+        for i in range(updates):
+            slate = manager.get(updater, f"k{i % keys}")
+            slate["count"] += 1
+            slate.touch(clock())
+            manager.note_update(slate)
+            manager.flush_due()
+        manager.flush_all_dirty()
+        return manager
+
+    manager, wall, cpu = _timed(run)
+    sim_now = manager.clock()  # one tick past the run's virtual end
+    return {
+        "updates": updates,
+        "sim_events_per_s": round(updates / max(sim_now, 1e-9), 3),
+        "kv_writes": manager.stats.kv_writes,
+        "batch_flushes": manager.stats.batch_flushes,
+        "batched_writes": manager.stats.batched_writes,
+        "wall_s": round(wall, 4),
+        "cpu_s": round(cpu, 4),
+    }
+
+
+def scenario_e23_fastforward() -> Dict[str, Any]:
+    """The E1 chain workload, exact vs hybrid fast-forwarding, with
+    *identical* default configuration for both runs — the only delta is
+    ``fastforward=True`` — so report and final-slate identity is a
+    like-for-like claim. The speedup figure is the hybrid wall against
+    the pinned committed exact baseline (the same number E1 reports as
+    ``wall_s_unbatched``); a fresh same-config exact wall is recorded
+    alongside for transparency about machine drift."""
+    n, spacing, keys, machines = 30_000, 0.00002, 200, 4
+    horizon = n * spacing + 5.0
+
+    def run(fastforward: bool) -> Tuple[Any, Any, Any]:
+        cfg = SimConfig(fastforward=fastforward)
+        runtime = create_runtime(
+            _chain_app(),
+            ClusterSpec.uniform(machines, cores=4),
+            cfg,
+            [Source("S1", iter(_events(n, spacing, keys)))],
+        )
+        report = runtime.run(horizon)
+        ff = runtime.ff_summary() if fastforward else None
+        return report, runtime.slates_of("U1"), ff
+
+    (rep_x, slates_x, _), wall_x, cpu_x = _timed(lambda: run(False))
+    (rep_h, slates_h, ff), wall_h, cpu_h = _timed(lambda: run(True))
+    dump_x = json.dumps(slates_x, sort_keys=True)
+    dump_h = json.dumps(slates_h, sort_keys=True)
+    identical = rep_x.counter_report() == rep_h.counter_report() and dump_x == dump_h
+    return {
+        "events": n,
+        "machines": machines,
+        "sim_events_per_s": round(rep_h.events_per_second(), 3),
+        "steps": rep_h.steps,
+        "ff_mode": ff["mode"],
+        "inlined_steps": ff["inlined_steps"],
+        "baseline_exact_wall_s": E23_BASELINE_EXACT_WALL_S,
+        "exact_wall_s_fresh": round(wall_x, 4),
+        "wall_s": round(wall_h, 4),
+        "cpu_s": round(cpu_h, 4),
+        "speedup_vs_baseline": round(E23_BASELINE_EXACT_WALL_S / wall_h, 3),
+        "speedup_vs_fresh_exact": round(wall_x / wall_h, 3),
+        "identical": identical,
+    }
+
+
+SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
+    "e1_scaling": scenario_e1_scaling,
+    "e2_latency": scenario_e2_latency,
+    "e9_flush": scenario_e9_flush,
+    "e23_fastforward": scenario_e23_fastforward,
+}
+
+#: Machine-dependent metrics: excluded from determinism comparison.
+VOLATILE_METRICS: Tuple[str, ...] = (
+    "wall_s",
+    "wall_s_unbatched",
+    "cpu_s",
+    "cpu_s_unbatched",
+    "speedup_wall",
+    "speedup_cpu",
+    "exact_wall_s_fresh",
+    "speedup_vs_baseline",
+    "speedup_vs_fresh_exact",
+)
+
+
+def perf_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Campaign entry point: one perf scenario per cell.
+
+    The scenarios are fully self-seeded (fixed event traces, virtual
+    clocks), so the campaign seed is unused — deliberately, to keep the
+    numbers comparable with every previously committed baseline.
+    """
+    name = str(params["scenario"])
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown perf scenario {name!r}; have {sorted(SCENARIOS)}"
+        )
+    return scenario()
+
+
+def scenarios_from_artifact(payload: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Map a ``perf_baseline`` campaign artifact to the gate's historic
+    ``{scenario_name: metrics}`` shape (the campaign artifact schema is
+    the on-disk source of truth; this is the read adapter the gate's
+    tolerance checks consume)."""
+    scenarios: Dict[str, Dict[str, Any]] = {}
+    for row in payload["cells"]:
+        if row["status"] != "ok":
+            continue
+        scenarios[str(row["params"]["scenario"])] = dict(row["metrics"])
+    return scenarios

@@ -1,0 +1,165 @@
+"""Scenario cells for the shipped campaigns.
+
+Both scenarios report *simulated* metrics only (virtual-clock latency,
+event counts, replay accounting) — no wall clock — so their campaign
+artifacts are byte-identical across machines, reruns, and worker
+counts. That is what lets CI re-run a reduced grid and diff it against
+the committed artifact cell for cell.
+
+``capacity_cell`` is the ROADMAP's capacity-planning curve (the paper's
+§5 grid: machines × offered rate, judged against the 2 s latency
+bound); ``delivery_cell`` is the E6e delivery-semantics matrix
+(at-most/at-least/effectively-once × crash schedule).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.cluster import ClusterSpec
+from repro.core.application import Application
+from repro.core.event import Event
+from repro.core.operators import Context, Mapper, Updater
+from repro.errors import ConfigurationError
+from repro.faults import FaultSchedule
+from repro.sim import SimConfig, SimRuntime, constant_rate
+from repro.slates.manager import FlushPolicy
+
+#: The paper's §5 end-to-end latency requirement (seconds).
+LATENCY_BUDGET_S = 2.0
+
+
+class _Echo(Mapper):
+    def map(self, ctx: Context, event: Event) -> None:
+        ctx.publish(self.config["output_sid"], event.key, event.value)
+
+
+class _Count(Updater):
+    def init_slate(self, key: str) -> Dict[str, Any]:
+        return {"count": 0}
+
+    def update(self, ctx: Context, event: Event, slate: Any) -> None:
+        slate["count"] += 1
+
+
+class _CostlyCount(_Count):
+    """A counting updater with meaningful per-event CPU (NLP-ish work),
+    so machine counts saturate at realistic rates: 20x the base update
+    cost = 5 ms of simulated service time per event, ~800 ev/s of
+    updater capacity per 4-core machine."""
+
+    cost_factor = 20.0
+
+
+def _count_app(costly: bool) -> Application:
+    app = Application("campaign-count")
+    app.add_stream("S1", external=True)
+    app.add_stream("S2")
+    app.add_mapper(
+        "M1", _Echo, subscribes=["S1"], publishes=["S2"], config={"output_sid": "S2"}
+    )
+    app.add_updater("U1", _CostlyCount if costly else _Count, subscribes=["S2"])
+    return app.validate()
+
+
+def capacity_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """One point of the capacity-planning grid: ``machines`` machines
+    absorbing ``rate`` ev/s for ``duration`` seconds.
+
+    A cell *meets* the plan when simulated p99 stays inside the paper's
+    2 s budget and nothing is lost to queue overflow — the summary
+    derives "machines needed for rate X" as the smallest passing
+    machine count per rate.
+    """
+    machines = int(params["machines"])
+    rate = float(params["rate"])
+    duration = float(params.get("duration", 2.0))
+    keys = int(params.get("keys", 128))
+    source = constant_rate(
+        "S1", rate_per_s=rate, duration_s=duration, key_fn=lambda i: f"k{i % keys}"
+    )
+    runtime = SimRuntime(
+        _count_app(costly=True),
+        ClusterSpec.uniform(machines, cores=4),
+        SimConfig(),
+        [source],
+    )
+    report = runtime.run(duration + 8.0)
+    counted = sum(v["count"] for v in runtime.slates_of("U1").values())
+    offered = int(rate * duration)
+    lost = report.counters.lost_total()
+    p99_s = report.latency.p99 if report.latency is not None else float("inf")
+    meets = bool(p99_s < LATENCY_BUDGET_S and lost == 0 and counted == offered)
+    return {
+        "offered": offered,
+        "counted": counted,
+        "lost": lost,
+        "throughput_ev_s": round(report.events_per_second(), 3),
+        "p50_ms": round(report.latency.p50 * 1e3, 3) if report.latency else None,
+        "p99_ms": round(p99_s * 1e3, 3) if report.latency else None,
+        "queue_peak": report.queue_peak_depth,
+        "meets_budget": meets,
+    }
+
+
+def _fault_schedule(kind: str) -> FaultSchedule:
+    """The delivery matrix's crash schedules (seeded like E6e)."""
+    if kind == "none":
+        return FaultSchedule()
+    if kind == "crash":
+        return FaultSchedule(seed=42).crash(1.05, "m001", recover_at=2.0)
+    if kind == "double_crash":
+        schedule = FaultSchedule(seed=42)
+        schedule = schedule.crash(1.05, "m001", recover_at=1.7)
+        return schedule.crash(2.1, "m002", recover_at=2.6)
+    raise ConfigurationError(f"unknown fault schedule {kind!r}")
+
+
+def delivery_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """One cell of the delivery-semantics matrix: ``delivery`` mode
+    under the ``faults`` crash schedule, E6e's workload and knobs
+    (per-key FIFO single-choice dispatch, kv nodes die with their
+    machine). ``offered`` is the ground truth every mode is judged
+    against; effectively-once must land on it exactly for *every*
+    schedule."""
+    delivery = str(params["delivery"])
+    faults = str(params["faults"])
+    rate = float(params.get("rate", 2000.0))
+    duration = float(params.get("duration", 3.0))
+    kwargs: Dict[str, Any] = {}
+    if delivery == "at-least-once":
+        kwargs["replay_horizon_s"] = duration + 3.0
+    if delivery == "effectively-once":
+        kwargs["checkpoint_epoch_s"] = 0.5
+    config = SimConfig(
+        flush_policy=FlushPolicy.every(0.2),
+        queue_capacity=100_000,
+        two_choice=False,
+        kill_kv_on_machine_failure=True,
+        delivery_semantics=delivery,
+        **kwargs,
+    )
+    source = constant_rate(
+        "S1", rate_per_s=rate, duration_s=duration, key_fn=lambda i: f"k{i % 64}"
+    )
+    runtime = SimRuntime(
+        _count_app(costly=False),
+        ClusterSpec.uniform(4, cores=4),
+        config,
+        [source],
+        failures=_fault_schedule(faults),
+    )
+    report = runtime.run(duration + 3.0)
+    counted = sum(v["count"] for v in runtime.slates_of("U1").values())
+    offered = int(rate * duration)
+    return {
+        "offered": offered,
+        "counted": counted,
+        "delta": counted - offered,
+        "exact": counted == offered,
+        "lost_failure": report.counters.lost_failure,
+        "replay_deduped": report.robustness.replay_deduped,
+        "replay_reapplied": report.robustness.replay_reapplied,
+        "checkpoint_epochs": report.robustness.checkpoint_epochs,
+        "recoveries": report.robustness.recoveries,
+    }

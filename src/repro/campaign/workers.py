@@ -1,0 +1,62 @@
+"""Cell execution — the per-process worker half of the run system.
+
+A worker receives ``(scenario_ref, fixed, cell)``, imports the scenario
+in its own process, runs it on the cell's merged parameters with the
+cell's hash-derived seed, and returns a finished artifact row. A
+scenario raising marks *that cell* failed (status, exception text, no
+metrics) without touching any other cell or the artifact as a whole — a
+campaign always produces a complete, loadable artifact.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.campaign.artifact import STATUS_FAILED, STATUS_OK, Row
+from repro.campaign.grid import Cell
+from repro.campaign.spec import GridValue, resolve_ref
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_metrics(metrics: Any) -> Dict[str, Any]:
+    if not isinstance(metrics, dict):
+        raise TypeError(f"scenario returned {type(metrics).__name__}, not a dict")
+    for name, value in metrics.items():
+        if not isinstance(name, str):
+            raise TypeError(f"metric name {name!r} is not a string")
+        if not isinstance(value, _SCALARS):
+            raise TypeError(f"metric {name!r} has non-scalar value {value!r}")
+    return metrics
+
+
+def execute_cell(
+    scenario_ref: str, fixed: Mapping[str, GridValue], cell: Cell
+) -> Row:
+    """Run one cell; never raises — failures become failed rows."""
+    row: Row = {
+        "cell": cell.cell,
+        "params": dict(cell.params),
+        "seed": cell.seed,
+    }
+    params: Dict[str, Any] = dict(fixed)
+    params.update(cell.params)
+    try:
+        scenario = resolve_ref(scenario_ref)
+        metrics = _check_metrics(scenario(params, cell.seed))
+    except Exception as exc:
+        row["status"] = STATUS_FAILED
+        parts = traceback.format_exception_only(type(exc), exc)
+        row["error"] = "".join(parts).strip()
+        row["metrics"] = {}
+        return row
+    row["status"] = STATUS_OK
+    row["metrics"] = metrics
+    return row
+
+
+def pool_entry(packed: Tuple[str, Mapping[str, GridValue], Cell]) -> Row:
+    """``multiprocessing.Pool.map`` adapter (must be module-level)."""
+    scenario_ref, fixed, cell = packed
+    return execute_cell(scenario_ref, fixed, cell)

@@ -8,6 +8,8 @@ Commands:
   runtime; print counters and (optionally) dump an updater's slates.
 * ``simulate`` — run an application over a trace on the simulated
   cluster; print the performance report as JSON.
+* ``campaign`` — declarative parameter sweeps with committed artifacts
+  (``run``/``render``/``check``/``list``; see ``repro.campaign``).
 
 Examples::
 
@@ -162,6 +164,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "traces")
     invariants.add_argument("--overload", type=float, default=5.0,
                             help="E22 overload multiple (default: 5.0)")
+
+    from repro.campaign.cli import add_campaign_parser
+
+    add_campaign_parser(sub)
     return parser
 
 
@@ -366,12 +372,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign.cli import dispatch
+
+    return dispatch(args)
+
+
 _COMMANDS = {
     "validate": _cmd_validate,
     "generate": _cmd_generate,
     "run": _cmd_run,
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -1,0 +1,91 @@
+"""Artifact canonical form, the check comparison, and markdown."""
+
+import copy
+import json
+
+import pytest
+
+from repro.campaign import artifact as art
+from repro.campaign.runner import Runner, summarize_rows
+from repro.errors import ConfigurationError
+from tests.campaign.toy import toy_spec
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return Runner(toy_spec()).run().payload
+
+
+class TestCanonicalForm:
+    def test_trailing_newline_and_sorted_keys(self, payload):
+        text = art.dumps_canonical(payload)
+        assert text.endswith("}\n")
+        first_cell = json.loads(text)["cells"][0]
+        assert list(first_cell) == sorted(first_cell)
+
+    def test_load_rejects_missing_and_corrupt(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no campaign artifact"):
+            art.load_artifact(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            art.load_artifact(bad)
+        not_artifact = tmp_path / "plain.json"
+        not_artifact.write_text("{}")
+        with pytest.raises(ConfigurationError, match="not a campaign artifact"):
+            art.load_artifact(not_artifact)
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self, payload):
+        assert art.compare_artifacts(payload, payload, ()) == []
+
+    def test_subset_fresh_passes(self, payload):
+        fresh = copy.deepcopy(payload)
+        fresh["cells"] = fresh["cells"][:2]
+        assert art.compare_artifacts(payload, fresh, ()) == []
+
+    def test_volatile_metrics_are_ignored(self, payload):
+        fresh = copy.deepcopy(payload)
+        fresh["cells"][0]["metrics"]["sum"] += 100
+        assert art.compare_artifacts(payload, fresh, ("sum",)) == []
+        (failure,) = art.compare_artifacts(payload, fresh, ())
+        assert "metrics differ" in failure and "sum" in failure
+
+    def test_unknown_fresh_cell_fails(self, payload):
+        fresh = copy.deepcopy(payload)
+        fresh["cells"][0]["cell"] = "beefbeefbeef"
+        (failure,) = art.compare_artifacts(payload, fresh, ())
+        assert "missing from the committed artifact" in failure
+
+    def test_status_drift_fails(self, payload):
+        fresh = copy.deepcopy(payload)
+        fresh["cells"][0]["status"] = "failed"
+        (failure,) = art.compare_artifacts(payload, fresh, ())
+        assert "status" in failure
+
+    def test_spec_hash_mismatch_short_circuits(self, payload):
+        fresh = copy.deepcopy(payload)
+        fresh["spec_hash"] = "000000000000"
+        fresh["cells"][0]["metrics"]["sum"] += 1
+        failures = art.compare_artifacts(payload, fresh, ())
+        assert len(failures) == 1
+        assert "spec hash mismatch" in failures[0]
+
+
+class TestMarkdown:
+    def test_renders_cells_and_summary(self, payload):
+        spec = toy_spec()
+        text = art.render_markdown(
+            spec, payload, summarize_rows(spec, payload["cells"])
+        )
+        assert text.startswith("# Campaign `toy`")
+        assert "| cell | a | b | status | sum | seed_echo |" in text
+        assert payload["cells"][0]["cell"] in text
+        assert "## Summary" in text
+        assert "- total sum across cells: 94" in text
+        assert "campaign run toy --update" in text
+
+    def test_split_errors(self, payload):
+        ok, failed = art.split_errors(payload["cells"])
+        assert len(ok) == 4 and failed == []

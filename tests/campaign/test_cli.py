@@ -1,0 +1,135 @@
+"""``python -m repro campaign`` end to end, against the toy campaign."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.campaign.specs as specs
+from repro.cli import main
+from tests.campaign.toy import toy_spec
+
+
+@pytest.fixture
+def toy_registered(monkeypatch, tmp_path):
+    """Register the toy campaign and run from a scratch repo root."""
+    monkeypatch.setitem(specs.SPECS, "toy", toy_spec())
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestList:
+    def test_lists_shipped_campaigns(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity: 24 cells (smoke: 6)" in out
+        assert "delivery_matrix: 9 cells (smoke: 6)" in out
+        assert "perf_baseline: 4 cells" in out
+        assert "BENCH_PERF.json" in out
+
+
+class TestRun:
+    def test_scratch_run_writes_default_paths(self, toy_registered, capsys):
+        assert main(["campaign", "run", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells (full grid), 4 ran, 0 resumed, 0 failed" in out
+        scratch = toy_registered / "campaigns" / "scratch"
+        assert (scratch / "toy.json").exists()
+        assert (scratch / "toy.md").exists()
+
+    def test_update_writes_committed_paths(self, toy_registered, capsys):
+        assert main(["campaign", "run", "toy", "--update"]) == 0
+        results = toy_registered / "campaigns" / "results"
+        assert (results / "toy.json").exists()
+        assert (results / "toy.md").exists()
+
+    def test_update_rejects_out(self, toy_registered, capsys):
+        code = main(["campaign", "run", "toy", "--update", "--out", "x"])
+        assert code == 2
+        assert "drop --out" in capsys.readouterr().err
+
+    def test_unknown_campaign_exits_2(self, capsys):
+        assert main(["campaign", "run", "nope"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_verify_failure_exits_1(self, toy_registered, monkeypatch, capsys):
+        brittle = toy_spec(scenario="tests.campaign.toy:brittle_cell")
+        monkeypatch.setitem(specs.SPECS, "toy", brittle)
+        assert main(["campaign", "run", "toy"]) == 1
+        out = capsys.readouterr().out
+        assert "VERIFY FAIL" in out
+
+    def test_resume_skips_completed_cells(self, toy_registered, capsys):
+        assert main(["campaign", "run", "toy", "--out", "fresh"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", "toy", "--out", "fresh", "--resume"]) == 0
+        assert "0 ran, 4 resumed" in capsys.readouterr().out
+
+
+class TestCheck:
+    def run_and_check(self, *extra):
+        assert main(["campaign", "run", "toy", "--update"]) == 0
+        assert main(["campaign", "run", "toy", "--out", "fresh"]) == 0
+        return main(["campaign", "check", "toy", "--fresh", "fresh", *extra])
+
+    def test_identical_rerun_passes(self, toy_registered, capsys):
+        assert self.run_and_check() == 0
+        assert "4/4 committed cells re-ran byte-identically" in (
+            capsys.readouterr().out
+        )
+
+    def test_missing_fresh_artifact_exits_2(self, toy_registered, capsys):
+        assert main(["campaign", "run", "toy", "--update"]) == 0
+        assert main(["campaign", "check", "toy", "--fresh", "fresh"]) == 2
+        assert "no fresh artifact" in capsys.readouterr().out
+
+    def test_metric_drift_fails(self, toy_registered, capsys):
+        assert main(["campaign", "run", "toy", "--update"]) == 0
+        assert main(["campaign", "run", "toy", "--out", "fresh"]) == 0
+        fresh_path = Path("fresh") / "toy.json"
+        payload = json.loads(fresh_path.read_text())
+        payload["cells"][0]["metrics"]["sum"] += 1
+        fresh_path.write_text(json.dumps(payload))
+        assert main(["campaign", "check", "toy", "--fresh", "fresh"]) == 1
+        assert "metrics differ" in capsys.readouterr().out
+
+
+class TestRender:
+    def test_rerenders_from_committed_artifact(self, toy_registered, capsys):
+        assert main(["campaign", "run", "toy", "--update"]) == 0
+        md_path = toy_registered / "campaigns" / "results" / "toy.md"
+        md_path.unlink()
+        assert main(["campaign", "render", "toy"]) == 0
+        assert "## Summary" in md_path.read_text()
+
+
+TOY_TOML = """
+name = "toy-toml"
+description = "toy campaign loaded from TOML"
+scenario = "tests.campaign.toy:toy_cell"
+seed = 7
+
+[grid]
+a = [1, 2]
+b = [3, 4]
+
+[fixed]
+c = 5
+"""
+
+
+@pytest.mark.skipif(sys.version_info < (3, 11), reason="needs tomllib")
+class TestTomlSpec:
+    def test_run_from_toml_spec(self, toy_registered, capsys):
+        spec_path = toy_registered / "toy.toml"
+        spec_path.write_text(TOY_TOML)
+        assert main(["campaign", "run", "--spec", str(spec_path)]) == 0
+        assert (toy_registered / "campaigns" / "scratch" / "toy-toml.json").exists()
+
+    def test_name_mismatch_rejected(self, toy_registered, capsys):
+        spec_path = toy_registered / "toy.toml"
+        spec_path.write_text(TOY_TOML)
+        code = main(["campaign", "run", "other", "--spec", str(spec_path)])
+        assert code == 2
+        assert "defines campaign" in capsys.readouterr().err

@@ -1,0 +1,62 @@
+"""Grid expansion, cell identity, and seed derivation."""
+
+from repro.campaign.grid import Cell, cell_id, cell_seed, expand_grid
+
+#: Pinned: the identity contract is part of the artifact format. If this
+#: changes, every committed campaign artifact's resume/check keys break,
+#: so a change here must be deliberate (and artifacts regenerated).
+PINNED_TOY_CELL = "e1927ed7dd00"
+
+
+class TestCellId:
+    def test_pinned_hash(self):
+        assert cell_id("toy", {"a": 1, "b": 3}) == PINNED_TOY_CELL
+
+    def test_param_order_is_irrelevant(self):
+        assert cell_id("toy", {"b": 3, "a": 1}) == PINNED_TOY_CELL
+
+    def test_campaign_name_is_part_of_identity(self):
+        assert cell_id("other", {"a": 1, "b": 3}) != PINNED_TOY_CELL
+
+    def test_value_types_distinguish_cells(self):
+        assert cell_id("toy", {"a": 1}) != cell_id("toy", {"a": 1.0})
+        assert cell_id("toy", {"a": 1}) != cell_id("toy", {"a": "1"})
+
+
+class TestCellSeed:
+    def test_derivation(self):
+        expected = (int(PINNED_TOY_CELL, 16) ^ 7) & 0x7FFFFFFF
+        assert cell_seed(PINNED_TOY_CELL, 7) == expected == 2128076039
+
+    def test_base_seed_changes_cell_seeds(self):
+        assert cell_seed(PINNED_TOY_CELL, 0) != cell_seed(PINNED_TOY_CELL, 1)
+
+    def test_fits_in_31_bits(self):
+        assert 0 <= cell_seed("f" * 12, 0) <= 0x7FFFFFFF
+
+
+class TestExpandGrid:
+    def test_declaration_order_cross_product(self):
+        cells = expand_grid("toy", {"a": [1, 2], "b": [3, 4]})
+        assert [c.params for c in cells] == [
+            {"a": 1, "b": 3},
+            {"a": 1, "b": 4},
+            {"a": 2, "b": 3},
+            {"a": 2, "b": 4},
+        ]
+        assert [c.index for c in cells] == [0, 1, 2, 3]
+
+    def test_duplicate_values_collapse(self):
+        cells = expand_grid("toy", {"a": [1, 1, 2], "b": [3]})
+        assert [c.params for c in cells] == [{"a": 1, "b": 3}, {"a": 2, "b": 3}]
+        assert [c.index for c in cells] == [0, 1]
+
+    def test_cells_carry_identity_and_seed(self):
+        (cell,) = expand_grid("toy", {"a": [1], "b": [3]}, base_seed=7)
+        assert isinstance(cell, Cell)
+        assert cell.cell == PINNED_TOY_CELL
+        assert cell.seed == cell_seed(PINNED_TOY_CELL, 7)
+
+    def test_unique_ids_across_grid(self):
+        cells = expand_grid("toy", {"a": [1, 2, 3], "b": [4, 5, 6]})
+        assert len({c.cell for c in cells}) == 9

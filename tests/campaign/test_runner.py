@@ -1,0 +1,130 @@
+"""Runner determinism, failure isolation, and resume-from-partial."""
+
+import copy
+import json
+
+import pytest
+
+from repro.campaign import artifact as art
+from repro.campaign.runner import Runner
+from repro.errors import ConfigurationError
+from tests.campaign.toy import toy_spec
+
+
+def run_payload(spec, **kwargs):
+    return Runner(spec, workers=kwargs.pop("workers", 1)).run(**kwargs).payload
+
+
+class TestRun:
+    def test_rows_in_grid_order_with_merged_params(self):
+        result = Runner(toy_spec()).run()
+        assert result.ran == 4
+        assert result.resumed == 0
+        assert result.failed == 0
+        assert result.verify_failures == []
+        assert [row["params"] for row in result.rows] == [
+            {"a": 1, "b": 3},
+            {"a": 1, "b": 4},
+            {"a": 2, "b": 3},
+            {"a": 2, "b": 4},
+        ]
+        # fixed {"c": 5} reached the scenario; params stay grid-only.
+        assert [row["metrics"]["sum"] for row in result.rows] == [18, 19, 28, 29]
+        # every cell got its own hash-derived seed
+        seeds = [row["metrics"]["seed_echo"] for row in result.rows]
+        assert len(set(seeds)) == 4
+        assert [row["seed"] for row in result.rows] == seeds
+
+    def test_smoke_runs_the_reduced_grid(self):
+        result = Runner(toy_spec()).run(smoke=True)
+        assert [row["params"] for row in result.rows] == [{"a": 1, "b": 3}]
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            Runner(toy_spec(), workers=0)
+
+
+class TestDeterminism:
+    def test_repeat_runs_are_byte_identical(self):
+        first = art.dumps_canonical(run_payload(toy_spec()))
+        second = art.dumps_canonical(run_payload(toy_spec()))
+        assert first == second
+
+    def test_worker_count_does_not_change_bytes(self):
+        sequential = art.dumps_canonical(run_payload(toy_spec(), workers=1))
+        parallel = art.dumps_canonical(run_payload(toy_spec(), workers=4))
+        assert sequential == parallel
+
+    def test_artifact_has_no_timestamps(self):
+        text = art.dumps_canonical(run_payload(toy_spec()))
+        payload = json.loads(text)
+        assert set(payload) == {
+            "schema",
+            "campaign",
+            "description",
+            "scenario",
+            "spec_hash",
+            "fixed",
+            "volatile_metrics",
+            "cells",
+        }
+
+
+class TestFailureIsolation:
+    def brittle(self):
+        return toy_spec(scenario="tests.campaign.toy:brittle_cell")
+
+    def test_one_raising_cell_fails_alone(self, tmp_path):
+        result = Runner(self.brittle()).run()
+        assert result.failed == 1
+        by_status = {row["status"] for row in result.rows}
+        assert by_status == {"ok", "failed"}
+        (failed,) = [row for row in result.rows if row["status"] == "failed"]
+        assert failed["params"] == {"a": 2, "b": 3}
+        assert "boom on a=2 b=3" in failed["error"]
+        assert failed["metrics"] == {}
+        # the artifact is still complete and loadable
+        path = tmp_path / "toy.json"
+        art.write_artifact(path, result.payload)
+        assert len(art.load_artifact(path)["cells"]) == 4
+        # and verification reports the failed cell
+        assert any("boom" in f for f in result.verify_failures)
+
+    def test_failure_is_isolated_under_worker_pool(self):
+        result = Runner(self.brittle(), workers=4).run()
+        assert result.failed == 1
+        assert sum(row["status"] == "ok" for row in result.rows) == 3
+
+    def test_non_scalar_metrics_fail_the_cell(self):
+        spec = toy_spec(scenario="tests.campaign.toy:bad_metrics_cell")
+        result = Runner(spec).run()
+        assert result.failed == 4
+        assert "non-scalar" in result.rows[0]["error"]
+
+
+class TestResume:
+    def test_resume_skips_ok_cells_and_reruns_the_rest(self):
+        full = Runner(toy_spec()).run()
+        partial = copy.deepcopy(full.payload)
+        # one cell failed last time, one was never run
+        partial["cells"][1]["status"] = "failed"
+        partial["cells"][1]["metrics"] = {}
+        del partial["cells"][3]
+        result = Runner(toy_spec()).run(resume_from=partial)
+        assert result.resumed == 2
+        assert result.ran == 2
+        # resuming converges to the exact same bytes as the full run
+        assert art.dumps_canonical(result.payload) == art.dumps_canonical(
+            full.payload
+        )
+
+    def test_resume_rejects_stale_spec(self):
+        full = Runner(toy_spec()).run()
+        with pytest.raises(ConfigurationError, match="different spec"):
+            Runner(toy_spec(seed=8)).run(resume_from=full.payload)
+
+    def test_full_resume_runs_nothing(self):
+        full = Runner(toy_spec()).run()
+        result = Runner(toy_spec()).run(resume_from=full.payload)
+        assert result.ran == 0
+        assert result.resumed == 4

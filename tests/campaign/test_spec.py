@@ -1,0 +1,136 @@
+"""Spec validation, hook resolution, and TOML loading."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.spec import resolve_ref, spec_from_dict, spec_from_toml
+from repro.errors import ConfigurationError
+from tests.campaign.toy import toy_cell, toy_spec
+
+
+class TestResolveRef:
+    def test_resolves_module_callable(self):
+        assert resolve_ref("tests.campaign.toy:toy_cell") is toy_cell
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError, match="module:callable"):
+            resolve_ref("tests.campaign.toy.toy_cell")
+
+    def test_rejects_missing_module(self):
+        with pytest.raises(ConfigurationError, match="cannot import"):
+            resolve_ref("tests.campaign.nope:toy_cell")
+
+    def test_rejects_missing_attr(self):
+        with pytest.raises(ConfigurationError, match="no attribute"):
+            resolve_ref("tests.campaign.toy:nope")
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(ConfigurationError, match="callable"):
+            resolve_ref("tests.campaign.toy:TOY_CONSTANT")
+
+
+class TestSpecValidation:
+    def test_valid_spec_builds(self):
+        spec = toy_spec()
+        assert spec.grid_for(smoke=False) == {"a": [1, 2], "b": [3, 4]}
+        assert spec.grid_for(smoke=True) == {"a": [1], "b": [3]}
+
+    def test_smoke_falls_back_to_full_grid(self):
+        spec = toy_spec(smoke_grid=None)
+        assert spec.grid_for(smoke=True) == spec.grid
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            toy_spec(grid={})
+
+    def test_non_scalar_grid_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-scalar"):
+            toy_spec(grid={"a": [[1, 2]], "b": [3]}, smoke_grid=None)
+
+    def test_string_grid_values_rejected(self):
+        # A bare string is a Sequence; it must not count as a value list.
+        with pytest.raises(ConfigurationError, match="sequence"):
+            toy_spec(grid={"a": "12", "b": [3]}, smoke_grid=None)
+
+    def test_fixed_and_swept_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="both fixed"):
+            toy_spec(fixed={"a": 9})
+
+    def test_smoke_grid_must_sweep_same_params(self):
+        with pytest.raises(ConfigurationError, match="same parameters"):
+            toy_spec(smoke_grid={"a": [1]})
+
+    def test_smoke_grid_values_must_be_subset(self):
+        with pytest.raises(ConfigurationError, match="outside the full grid"):
+            toy_spec(smoke_grid={"a": [99], "b": [3]})
+
+    def test_committed_path_default_and_override(self):
+        root = Path("/repo")
+        assert toy_spec().committed_path(root) == (
+            root / "campaigns" / "results" / "toy.json"
+        )
+        spec = toy_spec(artifact="BENCH_TOY.json")
+        assert spec.committed_path(root) == root / "BENCH_TOY.json"
+        assert spec.markdown_path(root) == root / "campaigns" / "results" / "toy.md"
+
+
+class TestSpecFromDict:
+    def test_round_trip(self):
+        spec = spec_from_dict(
+            {
+                "name": "toy",
+                "description": "d",
+                "scenario": "tests.campaign.toy:toy_cell",
+                "grid": {"a": [1], "b": [2]},
+                "fixed": {"c": 5},
+                "seed": 7,
+                "volatile_metrics": ["wall_s"],
+            }
+        )
+        assert spec.name == "toy"
+        assert spec.volatile_metrics == ("wall_s",)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown campaign spec"):
+            spec_from_dict({"name": "x", "bogus": 1})
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing 'scenario'"):
+            spec_from_dict({"name": "x", "description": "d", "grid": {"a": [1]}})
+
+
+TOY_TOML = """
+name = "toy"
+description = "toy campaign loaded from TOML"
+scenario = "tests.campaign.toy:toy_cell"
+seed = 7
+volatile_metrics = ["seed_echo"]
+
+[grid]
+a = [1, 2]
+b = [3, 4]
+
+[fixed]
+c = 5
+"""
+
+
+class TestSpecFromToml:
+    @pytest.mark.skipif(sys.version_info < (3, 11), reason="needs tomllib")
+    def test_loads_toml(self, tmp_path):
+        path = tmp_path / "toy.toml"
+        path.write_text(TOY_TOML)
+        spec = spec_from_toml(path)
+        assert spec.name == "toy"
+        assert spec.grid == {"a": [1, 2], "b": [3, 4]}
+        assert spec.fixed == {"c": 5}
+        assert spec.seed == 7
+
+    @pytest.mark.skipif(sys.version_info >= (3, 11), reason="tomllib present")
+    def test_gated_below_311(self, tmp_path):
+        path = tmp_path / "toy.toml"
+        path.write_text(TOY_TOML)
+        with pytest.raises(ConfigurationError, match="3.11"):
+            spec_from_toml(path)

@@ -1,0 +1,63 @@
+"""Toy campaign scenarios for the test suite.
+
+These live in a real importable module (not a test file, not a closure)
+because the runner hands workers ``"module:callable"`` references and
+spawned worker processes import them fresh — exactly what production
+specs do.
+"""
+
+from typing import Any, Dict, List, Mapping
+
+from repro.campaign.spec import CampaignSpec
+
+#: A module-level non-callable, for resolve_ref's error path.
+TOY_CONSTANT = 42
+
+
+def toy_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Deterministic arithmetic over the merged (fixed + grid) params."""
+    return {
+        "sum": int(params["a"]) * 10 + int(params["b"]) + int(params["c"]),
+        "seed_echo": seed,
+    }
+
+
+def brittle_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Raises on one specific cell; every other cell succeeds."""
+    if params["a"] == 2 and params["b"] == 3:
+        raise ValueError("boom on a=2 b=3")
+    return {"value": int(params["a"]) * 100 + int(params["b"])}
+
+
+def bad_metrics_cell(params: Mapping[str, Any], seed: int) -> Any:
+    """Returns something that is not a flat scalar metrics dict."""
+    return {"nested": {"not": "scalar"}}
+
+
+def verify_toy(rows: List[Dict[str, Any]]) -> List[str]:
+    return [
+        f"cell {row['cell']}: negative sum"
+        for row in rows
+        if row["status"] == "ok" and row["metrics"].get("sum", 0) < 0
+    ]
+
+
+def summarize_toy(rows: List[Dict[str, Any]]) -> List[str]:
+    total = sum(r["metrics"].get("sum", 0) for r in rows if r["status"] == "ok")
+    return [f"- total sum across cells: {total}"]
+
+
+def toy_spec(**overrides: Any) -> CampaignSpec:
+    fields: Dict[str, Any] = dict(
+        name="toy",
+        description="toy campaign for the test suite",
+        scenario="tests.campaign.toy:toy_cell",
+        grid={"a": [1, 2], "b": [3, 4]},
+        fixed={"c": 5},
+        seed=7,
+        smoke_grid={"a": [1], "b": [3]},
+        verify="tests.campaign.toy:verify_toy",
+        summarize="tests.campaign.toy:summarize_toy",
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
