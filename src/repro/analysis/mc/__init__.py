@@ -1,0 +1,59 @@
+"""Protocol model checking over the discrete-event engine.
+
+Exhaustive small-scope schedule exploration: the DES's artificial
+tie-break (insertion sequence among same-``(time, priority)`` events) is
+replaced by a controlled chooser, and every interleaving of each
+checked model's co-enabled transitions is explored — under a bounded
+lattice of crash/recover/migration-crash fault placements — with
+sleep-set DPOR and semantic state-fingerprint pruning keeping the
+search tractable. Terminal states are checked against the *existing*
+safety oracles (trace invariants + reference-executor exactness), and
+violating schedules are minimized into committed, strictly replayable
+JSON artifacts.
+
+Entry points: ``python -m repro analyze mc {explore,replay,stats}``,
+or programmatically :func:`explore_model` over the :data:`MODELS`
+registry.
+"""
+
+from repro.analysis.mc.artifact import (load_artifact, render_artifact,
+                                        replay_artifact, write_artifact)
+from repro.analysis.mc.controlled import (DecisionRecord, McChooser,
+                                          PruneRun, ReplayMismatch,
+                                          classify_entry, independent)
+from repro.analysis.mc.explorer import (Counterexample, ExplorationStats,
+                                        Explorer, ModelResult,
+                                        ScenarioResult, explore_model,
+                                        replay_decisions)
+from repro.analysis.mc.fingerprint import state_fingerprint
+from repro.analysis.mc.minimize import minimize_counterexample
+from repro.analysis.mc.models import MODELS, McModel, McScenario
+from repro.analysis.mc.properties import (PropertyViolation,
+                                          check_terminal_state)
+
+__all__ = [
+    "MODELS",
+    "Counterexample",
+    "DecisionRecord",
+    "ExplorationStats",
+    "Explorer",
+    "McChooser",
+    "McModel",
+    "McScenario",
+    "ModelResult",
+    "PropertyViolation",
+    "PruneRun",
+    "ReplayMismatch",
+    "ScenarioResult",
+    "check_terminal_state",
+    "classify_entry",
+    "explore_model",
+    "independent",
+    "load_artifact",
+    "minimize_counterexample",
+    "render_artifact",
+    "replay_artifact",
+    "replay_decisions",
+    "state_fingerprint",
+    "write_artifact",
+]

@@ -1,0 +1,212 @@
+"""Committed, replayable counterexample artifacts.
+
+A counterexample is only useful if someone can re-run it after the bug
+report goes stale. The artifact is a canonical JSON document holding
+everything a fresh checkout needs:
+
+* the model name (scenario construction is code, versioned with it);
+* the concrete :class:`~repro.faults.FaultSchedule` as plain
+  ``FaultEvent`` field dicts — the same schedule object the chaos tests
+  consume, rebuilt verbatim on load;
+* the full decision trail — per decision point, the co-enabled labels
+  and the chosen one — so replay is *strict*: any divergence between
+  the recorded schedule and the code's actual decision points is a
+  :class:`~repro.analysis.mc.controlled.ReplayMismatch`, not a silent
+  different run;
+* the violations the schedule produced, and byte-identity anchors
+  (terminal counter snapshot + semantic state fingerprint) that
+  :func:`replay_artifact` re-verifies.
+
+Serialization is ``json.dumps(sort_keys=True, indent=2)`` — the same
+canonical form the campaign artifacts use — so a committed
+counterexample diffs cleanly and re-emission is byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.mc.controlled import McChooser, ReplayMismatch
+from repro.analysis.mc.explorer import Counterexample
+from repro.analysis.mc.fingerprint import state_fingerprint
+from repro.analysis.mc.models import MODELS, McScenario
+from repro.analysis.mc.properties import (PropertyViolation,
+                                          check_terminal_state)
+from repro.errors import AnalysisError
+from repro.faults.lattice import describe_schedule
+from repro.faults.schedule import FaultEvent, FaultSchedule
+
+ARTIFACT_VERSION = 1
+
+#: FaultEvent fields serialized into the artifact (order = output order).
+_EVENT_FIELDS = ("kind", "at", "until", "machine", "group", "cpu_factor",
+                 "net_factor", "probability", "extra_delay_s", "jitter_s",
+                 "phase", "target")
+
+
+def schedule_to_json(schedule: FaultSchedule) -> Dict[str, Any]:
+    """A :class:`FaultSchedule` as plain JSON data."""
+    events: List[Dict[str, Any]] = []
+    for event in schedule.events():
+        row: Dict[str, Any] = {}
+        for name in _EVENT_FIELDS:
+            value = getattr(event, name)
+            if isinstance(value, frozenset):
+                value = sorted(value)
+            row[name] = value
+        events.append(row)
+    return {"seed": schedule.seed, "events": events}
+
+
+def schedule_from_json(data: Dict[str, Any]) -> FaultSchedule:
+    """Rebuild the exact :class:`FaultSchedule` an artifact recorded."""
+    schedule = FaultSchedule(seed=int(data.get("seed", 0)))
+    for row in data.get("events", []):
+        kwargs = dict(row)
+        group = kwargs.get("group")
+        if group is not None:
+            kwargs["group"] = frozenset(group)
+        schedule.add(FaultEvent(**kwargs))
+    return schedule
+
+
+def counterexample_to_json(counterexample: Counterexample,
+                           schedule: FaultSchedule,
+                           anchors: Optional[Dict[str, Any]] = None,
+                           ) -> Dict[str, Any]:
+    """The full artifact document for one counterexample."""
+    return {
+        "version": ARTIFACT_VERSION,
+        "model": counterexample.model,
+        "scenario": counterexample.scenario,
+        "scenario_index": counterexample.scenario_index,
+        "fault_schedule": schedule_to_json(schedule),
+        "decisions": [
+            {"enabled": list(labels), "chosen": chosen}
+            for labels, chosen in counterexample.decisions
+        ],
+        "violations": [
+            {"prop": v.prop, "name": v.name, "detail": v.detail}
+            for v in counterexample.violations
+        ],
+        "minimized": counterexample.minimized,
+        "pinned": counterexample.pinned,
+        "anchors": anchors or {},
+    }
+
+
+def render_artifact(document: Dict[str, Any]) -> str:
+    """Canonical byte-stable rendering (committed form)."""
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def write_artifact(path: str, document: Dict[str, Any]) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_artifact(document))
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    except OSError as exc:
+        raise AnalysisError(f"cannot read artifact {path!r}: {exc}")
+    except ValueError as exc:
+        raise AnalysisError(f"artifact {path!r} is not valid JSON: {exc}")
+    version = document.get("version")
+    if version != ARTIFACT_VERSION:
+        raise AnalysisError(
+            f"artifact {path!r} has version {version!r}; this build "
+            f"replays version {ARTIFACT_VERSION}")
+    for required in ("model", "fault_schedule", "decisions"):
+        if required not in document:
+            raise AnalysisError(
+                f"artifact {path!r} is missing the {required!r} field")
+    return document
+
+
+def terminal_anchors(runtime: Any) -> Dict[str, Any]:
+    """Byte-identity anchors of a drained runtime."""
+    return {
+        "fingerprint": state_fingerprint(runtime),
+        "counters": runtime.counters.snapshot(),
+    }
+
+
+def scenario_from_artifact(document: Dict[str, Any]) -> McScenario:
+    """The concrete scenario an artifact describes."""
+    name = document["model"]
+    model = MODELS.get(name)
+    if model is None:
+        raise AnalysisError(
+            f"artifact names unknown model {name!r}; known: "
+            f"{', '.join(sorted(MODELS))}")
+    schedule = schedule_from_json(document["fault_schedule"])
+    return McScenario(model, schedule,
+                      int(document.get("scenario_index", 0)))
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of strictly replaying one artifact."""
+
+    scenario: str
+    decisions: int
+    violations: List[PropertyViolation]
+    anchors: Dict[str, Any]
+    anchors_match: Optional[bool]
+    violations_match: bool
+
+
+def replay_artifact(document: Dict[str, Any]) -> ReplayOutcome:
+    """Re-execute a committed counterexample, strictly and verified.
+
+    Strict replay: the recorded decision trail must cover every decision
+    point and every recorded choice must be co-enabled when its turn
+    comes. On top of the chooser's own checks, the recorded *enabled*
+    sets are compared label-for-label, terminal anchors (counters +
+    fingerprint) are re-derived, and the violations are re-checked.
+    """
+    scenario = scenario_from_artifact(document)
+    recorded: List[Tuple[List[str], str]] = [
+        (list(row["enabled"]), row["chosen"])
+        for row in document["decisions"]]
+    prefix = [chosen for _, chosen in recorded]
+    runtime = scenario.build()
+    chooser = McChooser(runtime, prefix=prefix, strict=True)
+    runtime.sim.hook = chooser
+    runtime.run(scenario.model.horizon_s)
+    if len(chooser.records) != len(recorded):
+        raise ReplayMismatch(
+            f"run hit {len(chooser.records)} decision points; the "
+            f"artifact recorded {len(recorded)}")
+    for depth, record in enumerate(chooser.records):
+        enabled, _ = recorded[depth]
+        if record.labels != enabled:
+            raise ReplayMismatch(
+                f"decision {depth}: enabled set diverged; recorded "
+                f"{enabled}, got {record.labels}")
+    violations = check_terminal_state(scenario.model, runtime)
+    anchors = terminal_anchors(runtime)
+    want_anchors = document.get("anchors") or {}
+    anchors_match: Optional[bool] = None
+    if want_anchors:
+        anchors_match = (
+            anchors.get("fingerprint") == want_anchors.get("fingerprint")
+            and anchors.get("counters") == want_anchors.get("counters"))
+    want_violations = [
+        (row["prop"], row["name"]) for row in document.get("violations", [])]
+    got_violations = [(v.prop, v.name) for v in violations]
+    return ReplayOutcome(
+        scenario=describe_schedule(scenario.schedule),
+        decisions=len(chooser.records),
+        violations=violations,
+        anchors=anchors,
+        anchors_match=anchors_match,
+        violations_match=got_violations == want_violations)

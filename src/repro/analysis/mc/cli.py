@@ -1,0 +1,217 @@
+"""``python -m repro analyze mc`` — explore / replay / stats.
+
+Exit codes follow ``analyze lint``: 0 means every explored model met
+its expectation (clean models clean, known-bug models violating), 1
+means findings (an unexpected counterexample, or a known-bug model
+that failed to violate — its artifact would be stale), 2 means the
+invocation itself was wrong (unknown model, malformed artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Any, List, Optional
+
+from repro.analysis.mc.artifact import (counterexample_to_json,
+                                        load_artifact, replay_artifact,
+                                        terminal_anchors, write_artifact)
+from repro.analysis.mc.explorer import (ModelResult, explore_model,
+                                        replay_decisions)
+from repro.analysis.mc.minimize import minimize_counterexample
+from repro.analysis.mc.models import MODELS, McModel
+from repro.errors import AnalysisError
+
+
+def add_mc_parser(tool: Any) -> None:
+    """Attach the ``mc`` subcommand tree to the ``analyze`` subparsers."""
+    mc = tool.add_parser(
+        "mc",
+        help="model-check protocol models: exhaustive DPOR schedule "
+             "exploration with replayable counterexamples")
+    verb = mc.add_subparsers(dest="mc_verb", required=True)
+
+    explore = verb.add_parser(
+        "explore",
+        help="explore one model (or all) across its fault lattice")
+    explore.add_argument("--model", metavar="NAME", default=None,
+                         help="model to explore (default: all); one of "
+                              f"{', '.join(sorted(MODELS))}")
+    explore.add_argument("--naive", action="store_true",
+                         help="disable DPOR + fingerprint pruning "
+                              "(baseline enumeration)")
+    explore.add_argument("--max-schedules", type=int, default=5_000,
+                         help="per-lattice-point schedule budget "
+                              "(default: 5000; 0 = unbounded)")
+    explore.add_argument("--max-decisions", type=int, default=10_000,
+                         help="branch-depth budget per run "
+                              "(default: 10000)")
+    explore.add_argument("--stop-first", action="store_true",
+                         help="stop a model at its first counterexample")
+    explore.add_argument("--emit", metavar="DIR", default=None,
+                         help="write minimized counterexample artifacts "
+                              "into DIR")
+
+    replay = verb.add_parser(
+        "replay",
+        help="strictly re-execute a committed counterexample artifact")
+    replay.add_argument("artifact", metavar="PATH",
+                        help="counterexample JSON written by explore "
+                             "--emit")
+    replay.add_argument("--expect-clean", action="store_true",
+                        help="invert the gate: succeed only if the "
+                             "replayed schedule no longer violates "
+                             "(fixed-bug artifacts)")
+
+    stats = verb.add_parser(
+        "stats",
+        help="measure the DPOR reduction factor (naive vs reduced "
+             "exploration of the same model)")
+    stats.add_argument("--model", metavar="NAME", default="recovery",
+                       help="model to measure (default: recovery)")
+    stats.add_argument("--max-schedules", type=int, default=20_000,
+                       help="schedule budget per mode (default: 20000)")
+    stats.add_argument("--max-decisions", type=int, default=10_000,
+                       help="branch-depth budget per run")
+
+
+def _resolve_models(name: Optional[str]) -> List[McModel]:
+    if name is None:
+        return [MODELS[key] for key in sorted(MODELS)]
+    model = MODELS.get(name)
+    if model is None:
+        raise AnalysisError(
+            f"unknown model {name!r}; known: {', '.join(sorted(MODELS))}")
+    return [model]
+
+
+def _print_result(result: ModelResult, model: McModel) -> None:
+    stats = result.stats
+    status = "clean" if result.clean else (
+        f"{len(result.counterexamples)} counterexample(s)")
+    scope = "exhausted" if stats.exhausted else "budget-bounded"
+    print(f"model {result.model}: {status} [{scope}]")
+    print(f"  lattice points:   {len(result.scenarios)}")
+    print(f"  schedules run:    {stats.schedules_run} "
+          f"({stats.schedules_complete} complete)")
+    print(f"  decision points:  {stats.decision_points} "
+          f"(max depth {stats.max_depth})")
+    print(f"  transitions:      {stats.transitions}")
+    print(f"  pruned:           {stats.pruned_sleep} sleep, "
+          f"{stats.pruned_fingerprint} fingerprint, "
+          f"{stats.pruned_depth} depth")
+    print(f"  fingerprints:     {stats.distinct_fingerprints} distinct, "
+          f"{stats.fingerprint_hits} hits")
+    if model.expect_violations:
+        verdict = ("violates as expected" if not result.clean
+                   else "UNEXPECTEDLY CLEAN (stale known-bug model?)")
+        print(f"  known-bug model:  {verdict}")
+
+
+def _emit_counterexamples(result: ModelResult, model: McModel,
+                          directory: str) -> List[str]:
+    paths: List[str] = []
+    scenarios = model.scenarios()
+    for n, counterexample in enumerate(result.counterexamples):
+        scenario = scenarios[counterexample.scenario_index]
+        minimized = minimize_counterexample(scenario, counterexample)
+        runtime, _ = replay_decisions(
+            scenario, [chosen for _, chosen in minimized.decisions])
+        document = counterexample_to_json(
+            minimized, scenario.schedule,
+            anchors=terminal_anchors(runtime))
+        path = os.path.join(directory, f"{model.name}-{n}.json")
+        write_artifact(path, document)
+        paths.append(path)
+    return paths
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    models = _resolve_models(args.model)
+    max_schedules = args.max_schedules if args.max_schedules > 0 else None
+    findings = 0
+    for model in models:
+        result = explore_model(
+            model, dpor=not args.naive,
+            max_schedules_per_scenario=max_schedules,
+            max_decisions=args.max_decisions,
+            stop_on_violation=args.stop_first)
+        _print_result(result, model)
+        unexpected = (result.clean if model.expect_violations
+                      else not result.clean)
+        if unexpected:
+            findings += 1
+            for counterexample in result.counterexamples:
+                print(f"  counterexample [{counterexample.scenario}] "
+                      f"({len(counterexample.decisions)} decisions):")
+                for violation in counterexample.violations:
+                    print(f"    {violation.render()}")
+        if args.emit and result.counterexamples:
+            for path in _emit_counterexamples(result, model, args.emit):
+                print(f"  wrote {path}")
+    return 1 if findings else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    document = load_artifact(args.artifact)
+    outcome = replay_artifact(document)
+    print(f"replayed {document['model']} [{outcome.scenario}]: "
+          f"{outcome.decisions} decisions, "
+          f"{len(outcome.violations)} violation(s)")
+    for violation in outcome.violations:
+        print(f"  {violation.render()}")
+    if outcome.anchors_match is not None:
+        print(f"  anchors: {'match' if outcome.anchors_match else 'DIVERGED'}")
+    print(f"  violations vs artifact: "
+          f"{'match' if outcome.violations_match else 'DIVERGED'}")
+    if args.expect_clean:
+        return 0 if not outcome.violations else 1
+    ok = outcome.violations_match and outcome.anchors_match is not False
+    return 0 if ok else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    models = _resolve_models(args.model)
+    model = models[0]
+    max_schedules = args.max_schedules if args.max_schedules > 0 else None
+    reduced = explore_model(model, dpor=True,
+                            max_schedules_per_scenario=max_schedules,
+                            max_decisions=args.max_decisions)
+    naive = explore_model(model, dpor=False,
+                          max_schedules_per_scenario=max_schedules,
+                          max_decisions=args.max_decisions)
+    print(f"model {model.name}: DPOR reduction")
+    for label, result in (("dpor", reduced), ("naive", naive)):
+        stats = result.stats
+        scope = "exhausted" if stats.exhausted else "budget-bounded"
+        print(f"  {label:6} schedules={stats.schedules_run} "
+              f"transitions={stats.transitions} [{scope}]")
+    if reduced.stats.schedules_run:
+        factor = naive.stats.schedules_run / reduced.stats.schedules_run
+        print(f"  reduction factor: {factor:.2f}x"
+              + ("" if naive.stats.exhausted else " (naive hit budget; "
+                 "true factor is larger)"))
+    if not reduced.clean or not naive.clean:
+        expected = model.expect_violations
+        print("  note: counterexamples found"
+              + (" (expected for this model)" if expected else ""))
+        if not expected:
+            return 1
+    return 0
+
+
+def dispatch(args: argparse.Namespace) -> int:
+    """Entry point called from ``repro.cli`` for ``analyze mc``."""
+    try:
+        if args.mc_verb == "explore":
+            return _cmd_explore(args)
+        if args.mc_verb == "replay":
+            return _cmd_replay(args)
+        if args.mc_verb == "stats":
+            return _cmd_stats(args)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"error: unknown mc verb {args.mc_verb!r}", file=sys.stderr)
+    return 2

@@ -1,0 +1,333 @@
+"""Controlled nondeterminism: the model checker's scheduler shim.
+
+The DES resolves same-``(time, priority)`` ties by insertion sequence —
+an artificial total order. :class:`McChooser` plugs into the
+:class:`repro.sim.des.SchedulerHook` seam and turns every such tie into
+an explicit *decision point*: the co-enabled entries are given stable
+semantic labels, one is chosen (replaying a recorded prefix, then
+canonical first-candidate), and the choice is recorded so the explorer
+can branch. Sleep sets ride along the run: transitions proven redundant
+by an earlier sibling exploration are never chosen, and a run forced
+into a sleeping transition aborts as redundant (:class:`PruneRun`).
+
+Labels are derived from the scheduled callable and its semantic
+arguments (machine, provenance, destination function), **not** from heap
+sequence numbers, so the same logical transition keeps its name across
+sibling branches and across fingerprint-equivalent states.
+
+Footprints drive the independence relation for sleep-set DPOR:
+
+* ``m:<machine>`` — the transition reads/writes only that machine's
+  queues, workers, cores, and local slate cache (a delivery that will
+  not re-route; a finish with no downstream outputs).
+* ``*`` (global) — anything that may touch the ring, the master, the
+  replay journal, another machine, or cluster-wide state. Global
+  transitions are dependent on everything.
+
+Two transitions are independent iff both are machine-scoped on
+*different* machines; this is deliberately conservative (independence
+claimed only where commutation is structurally evident), which keeps
+the reduction sound at the cost of exploring some equivalent orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+
+#: The footprint of a transition that may touch shared cluster state.
+GLOBAL_FOOTPRINT = "*"
+
+
+class PruneRun(Exception):
+    """Abort the current run: its continuation is provably redundant
+    (sleep set) or already explored (state fingerprint)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ReplayMismatch(AnalysisError):
+    """A recorded schedule no longer matches the scenario's decision
+    points — the artifact and the code have diverged."""
+
+
+def classify_entry(runtime: Any, entry: Tuple[Any, ...]) -> Tuple[str, str]:
+    """``(label, footprint)`` for one heap entry.
+
+    Labels are replay-stable: built from the callable's name and the
+    semantic identity of its operands (machine, event provenance,
+    destination function), never from heap sequence numbers.
+    """
+    action, args = entry[3], entry[5]
+    if args is not None:
+        name = getattr(action, "__name__", "?")
+        if name == "_deliver":
+            machine, env = args[0], args[1]
+            origin, oseq = env.event.provenance()
+            prefix = "deliver-timer" if env.is_timer else "deliver"
+            label = (f"{prefix}:{machine.name}:{env.dest_fn}"
+                     f":{origin}:{oseq}")
+            # A delivery is machine-local unless the ring moved the key
+            # while the message was in flight — then _deliver re-routes
+            # through _send (journal + network), which is global.
+            dest = runtime._destination_machine(env)
+            footprint = (f"m:{machine.name}" if dest is machine
+                         else GLOBAL_FOOTPRINT)
+            return label, footprint
+        if name == "_finish":
+            worker, env = args[0], args[1]
+            outputs, timers = args[2], args[3]
+            origin, oseq = env.event.provenance()
+            label = f"finish:{worker.wid}:{env.dest_fn}:{origin}:{oseq}"
+            # Publishing downstream re-enters _send (journal, routing,
+            # possibly another machine): global. A sink update's finish
+            # only frees the core and pulls the next queued event.
+            footprint = (GLOBAL_FOOTPRINT if (outputs or timers)
+                         else f"m:{worker.machine.name}")
+            return label, footprint
+        if name == "_send":
+            env = args[0]
+            origin, oseq = env.event.provenance()
+            prefix = "timer" if env.is_timer else "send"
+            label = f"{prefix}:{env.dest_fn}:{origin}:{oseq}"
+            return label, GLOBAL_FOOTPRINT
+        return f"call:{name}", GLOBAL_FOOTPRINT
+    qualname = getattr(action, "__qualname__", None)
+    if qualname is None:
+        return f"ctl:{type(action).__name__}", GLOBAL_FOOTPRINT
+    # Legacy closures: source steps, failure broadcasts, kill/revive,
+    # flusher/epoch ticks, migration phase lambdas. All control plane,
+    # all global.
+    short = qualname.split("<locals>.")[-1].split(".")[-1]
+    return f"ctl:{short}", GLOBAL_FOOTPRINT
+
+
+def fifo_class(runtime: Any,
+               entry: Tuple[Any, ...]) -> Optional[Tuple[str, str, bool]]:
+    """The FIFO-link channel of a delivery entry, or ``None``.
+
+    The engine's dedup watermarks are *high-water marks*: they assume
+    per-origin in-order application, which holds because links are FIFO
+    (TCP) and journal replay re-sends in recorded order. Schedules that
+    reorder two same-channel deliveries are therefore unrealizable —
+    offering them would make the checker report false counterexamples
+    against an environment the protocol never promised to survive. A
+    channel is ``(destination machine, origin, replayed?)``: fresh
+    events of one origin ride one ordered path (source → owner), and
+    one replay batch rides another; a *fresh* delivery racing a
+    *replayed* one crosses two senders and stays freely reorderable
+    (that race is real — it is what replay pins exist to serialize).
+    """
+    action, args = entry[3], entry[5]
+    if args is None or getattr(action, "__name__", "") != "_deliver":
+        return None
+    machine, env = args[0], args[1]
+    if env.is_timer:
+        return None
+    origin, _ = env.event.provenance()
+    return (machine.name, origin, bool(env.replayed))
+
+
+def fifo_blocked_labels(runtime: Any, entries: List[Tuple[Any, ...]],
+                        labels: List[str]) -> FrozenSet[str]:
+    """Labels of co-enabled deliveries blocked by the FIFO constraint
+    (a same-channel sibling with a smaller oseq is also enabled)."""
+    heads: Dict[Tuple[str, str, bool], int] = {}
+    oseqs: List[Optional[int]] = []
+    channels: List[Optional[Tuple[str, str, bool]]] = []
+    for entry in entries:
+        channel = fifo_class(runtime, entry)
+        channels.append(channel)
+        if channel is None:
+            oseqs.append(None)
+            continue
+        _, oseq = entry[5][1].event.provenance()
+        oseqs.append(oseq)
+        head = heads.get(channel)
+        if head is None or oseq < head:
+            heads[channel] = oseq
+    blocked = []
+    for label, channel, oseq in zip(labels, channels, oseqs):
+        if channel is not None and oseq is not None \
+                and oseq > heads[channel]:
+            blocked.append(label)
+    return frozenset(blocked)
+
+
+def independent(fp_a: str, fp_b: str) -> bool:
+    """Whether two transitions commute (footprint disjointness)."""
+    if fp_a == GLOBAL_FOOTPRINT or fp_b == GLOBAL_FOOTPRINT:
+        return False
+    return fp_a != fp_b
+
+
+@dataclass
+class DecisionRecord:
+    """One decision point as seen during a run.
+
+    Attributes:
+        labels: Co-enabled transition labels in canonical (seq) order.
+        candidates: Labels not asleep at arrival (what may be chosen).
+        sleep: The sleep set at arrival.
+        chosen: The label actually executed.
+        footprints: Label -> footprint for every co-enabled transition.
+        fingerprint: Semantic state hash at arrival (post-prefix
+            decision points only; ``None`` when fingerprinting is off
+            or the depth lies inside the replayed prefix).
+    """
+
+    labels: List[str]
+    candidates: List[str]
+    sleep: FrozenSet[str]
+    chosen: str
+    footprints: Dict[str, str] = field(default_factory=dict)
+    fingerprint: Optional[str] = None
+
+
+class McChooser:
+    """A :class:`~repro.sim.des.SchedulerHook` that replays a choice
+    prefix, then picks canonically, carrying DPOR sleep sets.
+
+    Args:
+        runtime: The :class:`~repro.sim.runtime.SimRuntime` under test
+            (used for routing-aware footprints and fingerprints).
+        prefix: Labels to choose at decision points 0..len-1 (replay).
+        branch_sleep: Sleep set installed right after the final prefix
+            choice executes — the explorer's filtered
+            ``arrival_sleep | explored_siblings`` for this branch.
+        fingerprint_fn: Zero-arg semantic state hasher; ``None``
+            disables fingerprint pruning.
+        visited: Shared fingerprint -> explored-sleep-sets map (owned by
+            the explorer); a state revisited with a superset sleep set
+            prunes the run.
+        strict: Replay mode — the prefix must match exactly and running
+            past it (a decision point beyond the prefix) raises
+            :class:`ReplayMismatch` instead of choosing canonically.
+        max_decisions: Branch-depth budget; beyond it the run prunes.
+    """
+
+    def __init__(self, runtime: Any, prefix: Optional[List[str]] = None,
+                 branch_sleep: FrozenSet[str] = frozenset(),
+                 fingerprint_fn: Any = None,
+                 visited: Optional[Dict[str, List[FrozenSet[str]]]] = None,
+                 strict: bool = False,
+                 max_decisions: int = 10_000) -> None:
+        self.runtime = runtime
+        self.prefix: List[str] = list(prefix or [])
+        self.branch_sleep = branch_sleep
+        self.fingerprint_fn = fingerprint_fn
+        self.visited = visited
+        self.strict = strict
+        self.max_decisions = max_decisions
+        self.records: List[DecisionRecord] = []
+        self.transitions = 0
+        self.fingerprint_hits = 0
+        self._sleep: FrozenSet[str] = (
+            branch_sleep if not self.prefix else frozenset())
+        self._footprints: Dict[str, str] = {}
+        self._pending_choice: Optional[str] = None
+
+    # -- SchedulerHook interface ------------------------------------------
+    def choose(self, sim: Any, at: float, priority: int,
+               entries: List[Tuple[Any, ...]]) -> int:
+        depth = len(self.records)
+        if depth >= self.max_decisions:
+            raise PruneRun("depth-budget")
+        labels, footprints = self._label_group(entries)
+        self._footprints.update(footprints)
+        sleep = self._sleep
+        blocked = fifo_blocked_labels(self.runtime, entries, labels)
+        candidates = [label for label in labels
+                      if label not in sleep and label not in blocked]
+        if not candidates:
+            raise PruneRun("sleep")
+        fingerprint: Optional[str] = None
+        in_prefix = depth < len(self.prefix)
+        if in_prefix:
+            wanted = self.prefix[depth]
+            if wanted not in labels or wanted in blocked:
+                raise ReplayMismatch(
+                    f"decision {depth}: recorded choice {wanted!r} not "
+                    f"co-enabled (FIFO-respecting); enabled = {labels}")
+            chosen = wanted
+        else:
+            if self.strict:
+                raise ReplayMismatch(
+                    f"decision {depth}: run past the recorded schedule "
+                    f"({len(self.prefix)} decisions); enabled = {labels}")
+            if self.fingerprint_fn is not None and self.visited is not None:
+                fingerprint = self.fingerprint_fn()
+                if self._visited_covers(fingerprint, sleep):
+                    self.fingerprint_hits += 1
+                    raise PruneRun("fingerprint")
+                self._visit(fingerprint, sleep)
+            chosen = candidates[0]
+        self.records.append(DecisionRecord(
+            labels=labels, candidates=candidates, sleep=sleep,
+            chosen=chosen, footprints=footprints,
+            fingerprint=fingerprint))
+        self._pending_choice = chosen
+        return labels.index(chosen)
+
+    def executed(self, sim: Any, entry: Tuple[Any, ...]) -> None:
+        self.transitions += 1
+        if self._pending_choice is not None:
+            label = self._pending_choice
+            self._pending_choice = None
+            footprint = self._footprints.get(label, GLOBAL_FOOTPRINT)
+            if len(self.records) == len(self.prefix) and self.prefix:
+                # The branch choice just ran: install the explorer's
+                # sleep set for this subtree (already filtered against
+                # the branch transition).
+                self._sleep = self.branch_sleep
+                return
+        else:
+            label, footprint = classify_entry(self.runtime, entry)
+            if label in self._sleep:
+                # A forced (singleton) transition that is asleep: this
+                # whole continuation was covered when a sibling explored
+                # the transition earlier.
+                raise PruneRun("sleep-forced")
+        if self._sleep:
+            self._sleep = frozenset(
+                other for other in self._sleep
+                if independent(
+                    self._footprints.get(other, GLOBAL_FOOTPRINT),
+                    footprint))
+
+    # -- helpers -----------------------------------------------------------
+    def _label_group(
+            self, entries: List[Tuple[Any, ...]],
+    ) -> Tuple[List[str], Dict[str, str]]:
+        """Stable labels for one co-enabled group (``#k`` suffixes keep
+        duplicate labels distinct, in canonical seq order)."""
+        labels: List[str] = []
+        footprints: Dict[str, str] = {}
+        counts: Dict[str, int] = {}
+        for entry in entries:
+            label, footprint = classify_entry(self.runtime, entry)
+            ordinal = counts.get(label, 0)
+            counts[label] = ordinal + 1
+            if ordinal:
+                label = f"{label}#{ordinal}"
+            labels.append(label)
+            footprints[label] = footprint
+        return labels, footprints
+
+    def _visited_covers(self, fingerprint: str,
+                        sleep: FrozenSet[str]) -> bool:
+        assert self.visited is not None
+        for explored_sleep in self.visited.get(fingerprint, []):
+            if explored_sleep <= sleep:
+                return True
+        return False
+
+    def _visit(self, fingerprint: str, sleep: FrozenSet[str]) -> None:
+        assert self.visited is not None
+        sleeps = self.visited.setdefault(fingerprint, [])
+        sleeps[:] = [s for s in sleeps if not sleep <= s]
+        sleeps.append(sleep)

@@ -1,0 +1,163 @@
+"""Semantic state fingerprints for model-checking prune decisions.
+
+Two interleavings that converge to the *same semantic state* have the
+same set of reachable continuations, so the explorer only needs to
+finish one of them. The fingerprint is a SHA-256 over a canonical
+rendering of everything that can influence future behaviour or the
+properties checked at the terminal state:
+
+* the virtual clock;
+* per-machine liveness, retirement, free cores, replay pins, and every
+  worker's queue contents (event key, destination function, provenance,
+  timer/replayed flags) plus busy/current state;
+* every resident slate — application fields, per-origin dedup
+  watermarks, and the dirty flag — across all slate managers;
+* the replicated kv store's resolved cells per updater column;
+* hash-ring membership, exclusions, and generation;
+* the replay journal's entries (order matters: replay re-sends in
+  recorded order);
+* a summary of the pending event heap (time, priority, label) — two
+  states with identical memory but different scheduled futures are not
+  equivalent;
+* the run's counters, and (when tracing) an order-insensitive digest of
+  the spans emitted so far. The span digest makes fingerprint pruning
+  honest for the *trace* invariants too: a state only collides when its
+  history is observationally the same multiset of spans, not merely
+  when its memory converged.
+
+Deliberately **excluded**: heap sequence numbers, LRU order, memo
+tables, latency-sample order — bookkeeping that differs across
+equivalent interleavings without affecting semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, List, Tuple
+
+from repro.analysis.mc.controlled import classify_entry
+
+
+def _slate_state(mgr: Any) -> List[Tuple[Any, ...]]:
+    cache = mgr.cache
+    rows: List[Tuple[Any, ...]] = []
+    for slate_key in sorted(cache.resident()):
+        slate = cache.peek(slate_key)
+        if slate is None:
+            continue
+        watermarks = getattr(slate, "_watermarks", None) or {}
+        rows.append((
+            slate_key.updater, slate_key.key,
+            sorted(slate._data.items()),
+            sorted(watermarks.items()),
+            bool(slate.dirty),
+        ))
+    return rows
+
+
+def _machine_state(runtime: Any) -> List[Tuple[Any, ...]]:
+    rows: List[Tuple[Any, ...]] = []
+    for name in sorted(runtime.machines):
+        machine = runtime.machines[name]
+        pins = sorted(
+            (key, fn, pinned[0].wid, pinned[1])
+            for (key, fn), pinned in machine.replay_pins.items())
+        workers: List[Tuple[Any, ...]] = []
+        for worker in machine.workers:
+            queue = [
+                (env.event.key, env.dest_fn, *env.event.provenance(),
+                 env.is_timer, env.replayed)
+                for env in worker.queue
+            ]
+            workers.append((worker.wid, worker.busy, worker.current,
+                            worker.waiting, queue))
+        rows.append((name, machine.alive, machine.retired,
+                     machine.free_cores, machine.pressure_tier,
+                     pins, workers))
+    return rows
+
+
+def _manager_states(runtime: Any) -> List[Tuple[str, Any]]:
+    rows: List[Tuple[str, Any]] = []
+    for name in sorted(runtime.machines):
+        machine = runtime.machines[name]
+        if machine.central_mgr is not None:
+            rows.append((f"{name}:central",
+                         _slate_state(machine.central_mgr)))
+        else:
+            for worker in machine.workers:
+                rows.append((worker.wid, _slate_state(worker.mgr)))
+    return rows
+
+
+def _kv_state(runtime: Any) -> List[Tuple[str, Any]]:
+    rows: List[Tuple[str, Any]] = []
+    for spec in runtime.app.updaters():
+        cells = runtime.store.column_cells(spec.name)
+        rows.append((spec.name, sorted(
+            (row, cell.value.hex() if cell.value is not None else None,
+             cell.write_ts)
+            for row, cell in cells.items())))
+    return rows
+
+
+def _journal_state(runtime: Any) -> List[Tuple[Any, ...]]:
+    journal = runtime.replay_journal
+    if journal is None:
+        return []
+    rows: List[Tuple[Any, ...]] = []
+    for sent_at, dest, payload in journal._entries:
+        event = getattr(payload, "event", None)
+        if event is not None:
+            origin, oseq = event.provenance()
+            rows.append((sent_at, dest, origin, oseq))
+        else:
+            rows.append((sent_at, dest, repr(payload)))
+    return rows
+
+
+def _heap_state(runtime: Any) -> List[Tuple[Any, ...]]:
+    rows: List[Tuple[Any, ...]] = []
+    for entry in runtime.sim._heap:
+        handle = entry[4]
+        if handle is not None and handle.cancelled:
+            continue
+        label, _ = classify_entry(runtime, entry)
+        rows.append((entry[0], entry[1], label))
+    rows.sort()
+    return rows
+
+
+def _trace_state(runtime: Any) -> List[str]:
+    tracer = getattr(runtime, "tracer", None)
+    if tracer is None:
+        return []
+    digests = [
+        hashlib.sha256(
+            json.dumps(span, sort_keys=True, default=repr).encode()
+        ).hexdigest()
+        for span in tracer.spans()
+    ]
+    digests.sort()
+    return digests
+
+
+def state_fingerprint(runtime: Any) -> str:
+    """SHA-256 hex digest of the runtime's canonical semantic state."""
+    state = {
+        "now": runtime.sim.now(),
+        "machines": _machine_state(runtime),
+        "slates": _manager_states(runtime),
+        "kv": _kv_state(runtime),
+        "ring": [sorted(runtime._machine_ring._members),
+                 sorted(runtime._machine_ring._excluded),
+                 runtime._machine_ring.generation],
+        "failed": sorted(runtime._known_failed),
+        "journal": _journal_state(runtime),
+        "heap": _heap_state(runtime),
+        "counters": runtime.counters.snapshot(),
+        "trace": _trace_state(runtime),
+    }
+    blob = json.dumps(state, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,79 @@
+"""Counterexample minimization: shrink the pinned decision prefix.
+
+A raw counterexample pins *every* decision of the violating run — deep,
+noisy, and mostly irrelevant. Minimization finds a short prefix of
+those decisions such that pinning only the prefix (and letting the
+chooser continue canonically — first candidate — afterwards) still
+reproduces a violation. The artifact then records the *full* decision
+trail of that minimized run, so strict replay remains byte-exact, but
+the ``pinned`` count tells the reader how many choices actually matter.
+
+The search is a bisection maintaining "prefix of length ``hi``
+violates": monotonicity is not guaranteed (a shorter pin can dodge the
+bug), so the result is a *verified* violating prefix, best-effort
+minimal rather than provably minimal. Every probe is a fresh run — the
+engine is cheap at model scale (a handful of events), so the dozen
+probes of a bisection cost less than one naive exploration round.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.mc.controlled import McChooser, PruneRun
+from repro.analysis.mc.explorer import Counterexample
+from repro.analysis.mc.models import McScenario
+from repro.analysis.mc.properties import (PropertyViolation,
+                                          check_terminal_state)
+
+
+def _probe(scenario: McScenario, prefix: List[str],
+           ) -> Tuple[Optional[McChooser], List[PropertyViolation]]:
+    """Replay ``prefix`` then continue canonically; violations found."""
+    runtime = scenario.build()
+    chooser = McChooser(runtime, prefix=prefix)
+    runtime.sim.hook = chooser
+    try:
+        runtime.run(scenario.model.horizon_s)
+    except PruneRun:  # depth budget; treat as non-violating
+        return None, []
+    return chooser, check_terminal_state(scenario.model, runtime)
+
+
+def minimize_counterexample(scenario: McScenario,
+                            counterexample: Counterexample,
+                            ) -> Counterexample:
+    """Shrink one counterexample's pinned prefix (verified violating).
+
+    Returns a new :class:`Counterexample` whose ``decisions`` are the
+    full trail of the minimized run and whose violations are the ones
+    that run actually produced. Falls back to the original (re-verified)
+    trail if shrinking fails to reproduce any violation.
+    """
+    full = [chosen for _, chosen in counterexample.decisions]
+    chooser, violations = _probe(scenario, full)
+    if chooser is None or not violations:
+        # The recorded trail no longer violates (flaky or code drift);
+        # return the original unminimized so replay can diagnose.
+        return counterexample
+    best_chooser, best_violations = chooser, violations
+    best_len = len(full)
+    lo, hi = 0, len(full)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        chooser, violations = _probe(scenario, full[:mid])
+        if chooser is not None and violations:
+            best_chooser, best_violations = chooser, violations
+            best_len = mid
+            hi = mid
+        else:
+            lo = mid + 1
+    return Counterexample(
+        model=counterexample.model,
+        scenario=counterexample.scenario,
+        scenario_index=counterexample.scenario_index,
+        decisions=[(list(r.labels), r.chosen)
+                   for r in best_chooser.records],
+        violations=best_violations,
+        minimized=best_len < len(full),
+        pinned=best_len)

@@ -1,0 +1,104 @@
+"""Terminal-state safety properties for explored schedules.
+
+Every schedule the explorer drains to its horizon ends in a terminal
+state, which is checked two ways:
+
+* **Trace invariants** — the model's configured subset of
+  :func:`repro.analysis.invariants.check_trace` (FIFO per queue,
+  watermark monotonicity + dedup coverage, two-choice ownership bounds,
+  single-owner ring flushes, migration exactly-one-receiver). These are
+  the *same* checkers the chaos benches and CI lint run; the model
+  checker adds exhaustiveness, not new oracles.
+* **End-state exactness** — the terminal slates of the model's checked
+  updater, read through the kv store, must equal the
+  :class:`~repro.core.reference.ReferenceExecutor`'s single-threaded
+  ground truth. This is the effectively-once contract: every schedule,
+  every lattice point, same counts.
+
+A failed property is a :class:`PropertyViolation` — a plain record the
+explorer attaches to the decision schedule that produced it, which is
+what gets minimized and committed as a counterexample artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.invariants import check_trace
+
+#: Violation kinds that come from the trace checkers (vs exactness).
+TRACE_PROPERTY = "invariant"
+EXACTNESS_PROPERTY = "exactness"
+
+
+@dataclass(frozen=True)
+class PropertyViolation:
+    """One failed terminal-state property.
+
+    Attributes:
+        prop: ``invariant`` (a trace checker fired) or ``exactness``
+            (terminal slates diverged from the reference executor).
+        name: The specific checker (``fifo``, ``watermarks``, ...) or
+            the diverging updater for exactness violations.
+        detail: Human-readable description of the failure.
+        span: The offending span, when a trace checker supplied one.
+    """
+
+    prop: str
+    name: str
+    detail: str
+    span: Optional[Dict[str, Any]] = None
+
+    def render(self) -> str:
+        return f"[{self.prop}:{self.name}] {self.detail}"
+
+
+def check_terminal_state(model: Any, runtime: Any,
+                         reference: Optional[Dict[str, float]] = None,
+                         ) -> List[PropertyViolation]:
+    """All property violations of one drained runtime.
+
+    Args:
+        model: The :class:`~repro.analysis.mc.models.McModel` whose
+            ``checks``/``exact*`` configuration applies.
+        runtime: A :class:`~repro.sim.SimRuntime` already run to the
+            model's horizon.
+        reference: Pre-computed ground-truth slates (saves re-running
+            the reference executor once per schedule); computed on
+            demand when omitted.
+    """
+    violations: List[PropertyViolation] = []
+    tracer = runtime.tracer
+    if tracer is not None and model.checks:
+        for found in check_trace(tracer, checks=list(model.checks)):
+            violations.append(PropertyViolation(
+                prop=TRACE_PROPERTY, name=found.invariant,
+                detail=found.message, span=found.span))
+    if model.exact:
+        if reference is None:
+            reference = model.reference_slates()
+        violations.extend(check_exactness(model, runtime, reference))
+    return violations
+
+
+def check_exactness(model: Any, runtime: Any,
+                    reference: Dict[str, float],
+                    ) -> List[PropertyViolation]:
+    """Terminal slates vs the reference executor, field-by-field."""
+    violations: List[PropertyViolation] = []
+    updater, fld = model.exact_updater, model.exact_field
+    actual: Dict[str, float] = {}
+    for key, slate in runtime.slates_of(updater, read_through=True).items():
+        value = slate.get(fld)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            actual[key] = float(value)
+    for key in sorted(set(reference) | set(actual)):
+        want = reference.get(key)
+        got = actual.get(key)
+        if want != got:
+            violations.append(PropertyViolation(
+                prop=EXACTNESS_PROPERTY, name=updater,
+                detail=(f"slate ({updater}, {key!r}).{fld}: engine "
+                        f"{got!r} != reference {want!r}")))
+    return violations

@@ -7,6 +7,7 @@ import list below (codes must be unique ``MUP###``).
 """
 
 from repro.analysis.rules import (determinism, events, hotpath, locks,
-                                  slates, tracing)
+                                  protocol, slates, tracing)
 
-__all__ = ["determinism", "events", "hotpath", "locks", "slates", "tracing"]
+__all__ = ["determinism", "events", "hotpath", "locks", "protocol",
+           "slates", "tracing"]

@@ -9,7 +9,9 @@ the committed artifact cell for cell.
 ``capacity_cell`` is the ROADMAP's capacity-planning curve (the paper's
 §5 grid: machines × offered rate, judged against the 2 s latency
 bound); ``delivery_cell`` is the E6e delivery-semantics matrix
-(at-most/at-least/effectively-once × crash schedule).
+(at-most/at-least/effectively-once × crash schedule);
+``elasticity_cell`` is the E24 diurnal autoscaling swing (incremental
+vs full-rehydration handoff).
 """
 
 from __future__ import annotations
@@ -162,4 +164,43 @@ def delivery_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
         "replay_reapplied": report.robustness.replay_reapplied,
         "checkpoint_epochs": report.robustness.checkpoint_epochs,
         "recoveries": report.robustness.recoveries,
+    }
+
+
+def elasticity_cell(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """One cell of the E24 elasticity matrix: the full diurnal swing
+    under one ``handoff`` mode.
+
+    ``incremental`` is the live snapshot/delta/cutover migration;
+    ``full`` is the flush-barrier full-rehydration ablation. Both must
+    ride the swing 2 -> 16 -> 2 with exact effectively-once counts and
+    zero aborted migrations; the committed artifact pins the moved-byte
+    totals the incremental-vs-full claim is judged on."""
+    from repro.analysis.scenarios import e24_elasticity_run, e24_expected_events
+
+    handoff = str(params["handoff"])
+    if handoff not in ("incremental", "full"):
+        raise ConfigurationError(f"unknown handoff mode {handoff!r}")
+    horizon_s = float(params.get("horizon", 90.0))
+    runtime, report, trajectory = e24_elasticity_run(
+        full_rehydration=(handoff == "full"), horizon_s=horizon_s
+    )
+    counted = sum(
+        v["count"] for v in runtime.slates_of("U1", read_through=True).values()
+    )
+    expected = e24_expected_events()
+    migration = runtime._migration.counters
+    autoscaler = runtime._autoscaler.counters
+    return {
+        "expected": expected,
+        "counted": counted,
+        "exact": counted == expected,
+        "lost": report.counters.lost_total(),
+        "peak_machines": max(machines for _, machines in trajectory),
+        "final_machines": trajectory[-1][1],
+        "scale_ups": autoscaler.scale_ups,
+        "scale_downs": autoscaler.scale_downs,
+        "migrations_completed": migration.completed,
+        "migrations_aborted": migration.aborted,
+        "moved_bytes": migration.incremental_bytes or migration.full_barrier_bytes,
     }

@@ -165,6 +165,10 @@ def _build_parser() -> argparse.ArgumentParser:
     invariants.add_argument("--overload", type=float, default=5.0,
                             help="E22 overload multiple (default: 5.0)")
 
+    from repro.analysis.mc.cli import add_mc_parser
+
+    add_mc_parser(tool)
+
     from repro.campaign.cli import add_campaign_parser
 
     add_campaign_parser(sub)
@@ -308,6 +312,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.tool == "mc":
+        from repro.analysis.mc.cli import dispatch
+
+        return dispatch(args)
+
     if args.tool == "lint":
         from repro.analysis.lint import lint_paths, rule_table
 

@@ -13,14 +13,20 @@ simulator.
 """
 
 from repro.faults.injector import FaultInjector, FaultInjectorStats
+from repro.faults.lattice import (CrashSite, FaultLattice, MigrationSite,
+                                  describe_schedule)
 from repro.faults.schedule import (FAULT_KINDS, MIGRATION_KINDS, FaultEvent,
                                    FaultSchedule)
 
 __all__ = [
     "FAULT_KINDS",
     "MIGRATION_KINDS",
+    "CrashSite",
     "FaultEvent",
     "FaultInjector",
     "FaultInjectorStats",
+    "FaultLattice",
     "FaultSchedule",
+    "MigrationSite",
+    "describe_schedule",
 ]

@@ -1,0 +1,184 @@
+"""Bounded fault-lattice enumeration for the model checker.
+
+The chaos tests sample *one* seeded :class:`~repro.faults.FaultSchedule`
+per run; the model checker (:mod:`repro.analysis.mc`) instead explores a
+small, explicitly bounded *lattice* of concrete schedules — every crash
+site x crash time x recovery placement combination, plus the fault-free
+point — and exhausts the delivery interleavings of each one. Keeping the
+enumeration here, beside the schedule builder, means a counterexample is
+always expressible as a plain committed ``FaultSchedule``: the artifact
+the replay CLI re-executes.
+
+Two site vocabularies:
+
+* :class:`CrashSite` — time-placed crashes: a victim machine, a bounded
+  list of quantized crash times, and recovery deltas (``None`` = never
+  recovers, degrading exactness claims to at-most-once for that point).
+* :class:`MigrationSite` — phase-placed crashes for live slate handoff:
+  ``at_migration(phase, target)`` triggers consumed by the migration
+  coordinator at phase entry, matching the elastic chaos matrix.
+
+``FaultLattice.schedules()`` yields the deterministic cross product,
+bounded by ``max_faults`` concurrent fault sites per schedule.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.schedule import FaultSchedule
+
+
+@dataclass(frozen=True)
+class CrashSite:
+    """One crash dimension: a victim, candidate times, recovery deltas.
+
+    Attributes:
+        machine: The machine to kill.
+        at_times: Candidate crash instants (simulated seconds).
+        recover_after: Candidate recovery deltas added to the crash
+            time; ``None`` entries mean the machine stays dead.
+    """
+
+    machine: str
+    at_times: Tuple[float, ...]
+    recover_after: Tuple[Optional[float], ...] = (None,)
+
+    def __post_init__(self) -> None:
+        if not self.machine:
+            raise ConfigurationError("CrashSite needs a machine name")
+        if not self.at_times:
+            raise ConfigurationError(
+                f"CrashSite {self.machine!r} needs at least one crash time")
+        if not self.recover_after:
+            raise ConfigurationError(
+                f"CrashSite {self.machine!r} needs at least one recovery "
+                "delta (use (None,) for never-recovers)")
+        for delta in self.recover_after:
+            if delta is not None and delta <= 0:
+                raise ConfigurationError(
+                    f"CrashSite {self.machine!r}: recover_after delta "
+                    f"{delta} must be > 0 (or None)")
+
+    def points(self) -> List[Tuple[float, Optional[float]]]:
+        """All ``(crash_at, recover_at)`` placements of this site."""
+        out: List[Tuple[float, Optional[float]]] = []
+        for at in self.at_times:
+            for delta in self.recover_after:
+                out.append((at, None if delta is None else at + delta))
+        return out
+
+
+@dataclass(frozen=True)
+class MigrationSite:
+    """One phase-triggered crash dimension for live migrations.
+
+    Attributes:
+        phases: Candidate migration phases (subset of
+            :data:`repro.elastic.migration.MIGRATION_PHASES`).
+        targets: Candidate participants (``donor``/``receiver``/
+            ``master``).
+        machine: Optional explicit victim override.
+    """
+
+    phases: Tuple[str, ...]
+    targets: Tuple[str, ...] = ("donor",)
+    machine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.phases or not self.targets:
+            raise ConfigurationError(
+                "MigrationSite needs at least one phase and one target")
+
+    def points(self) -> List[Tuple[str, str]]:
+        """All ``(phase, target)`` placements of this site."""
+        return [(phase, target)
+                for phase in self.phases for target in self.targets]
+
+
+@dataclass(frozen=True)
+class FaultLattice:
+    """A bounded, deterministic enumeration of concrete fault schedules.
+
+    Attributes:
+        crashes: Time-placed crash dimensions.
+        migrations: Phase-placed migration-crash dimensions.
+        max_faults: Upper bound on *sites* active in one schedule (the
+            small-scope bound; 1 explores single faults only).
+        include_empty: Emit the fault-free schedule first.
+        seed: Seed carried by every generated schedule.
+    """
+
+    crashes: Tuple[CrashSite, ...] = ()
+    migrations: Tuple[MigrationSite, ...] = ()
+    max_faults: int = 1
+    include_empty: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_faults < 0:
+            raise ConfigurationError("max_faults must be >= 0")
+
+    def schedules(self) -> List[FaultSchedule]:
+        """The lattice points, deterministically ordered.
+
+        Order: the empty schedule, then single-site placements in
+        declaration order, then pairs, ... up to ``max_faults`` sites.
+        Within one site, placements follow the declared time/phase
+        order, so artifact diffs stay stable as bounds grow.
+        """
+        out: List[FaultSchedule] = []
+        if self.include_empty:
+            out.append(FaultSchedule(seed=self.seed))
+        sites: List[Sequence[object]] = [
+            *(site.points() for site in self.crashes),
+            *(site.points() for site in self.migrations),
+        ]
+        n_crash = len(self.crashes)
+        for count in range(1, self.max_faults + 1):
+            for combo in itertools.combinations(range(len(sites)), count):
+                for placement in itertools.product(
+                        *(sites[i] for i in combo)):
+                    schedule = FaultSchedule(seed=self.seed)
+                    for site_index, point in zip(combo, placement):
+                        if site_index < n_crash:
+                            at, recover_at = point  # type: ignore[misc]
+                            schedule.crash(
+                                float(at), self.crashes[site_index].machine,
+                                recover_at=recover_at)
+                        else:
+                            phase, target = point  # type: ignore[misc]
+                            site = self.migrations[site_index - n_crash]
+                            schedule.at_migration(
+                                str(phase), target=str(target),
+                                machine=site.machine)
+                    out.append(schedule)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.schedules())
+
+    def __iter__(self) -> Iterator[FaultSchedule]:
+        return iter(self.schedules())
+
+
+def describe_schedule(schedule: FaultSchedule) -> str:
+    """One-line human label for a lattice point (artifact/report key)."""
+    events = schedule.events()
+    if not events:
+        return "fault-free"
+    parts: List[str] = []
+    for event in events:
+        if event.kind == "crash":
+            parts.append(f"crash({event.machine}@{event.at:g})")
+        elif event.kind == "recover":
+            parts.append(f"recover({event.machine}@{event.at:g})")
+        elif event.kind == "migration_crash":
+            victim = event.machine or event.target
+            parts.append(f"at_migration({event.phase}:{victim})")
+        else:
+            parts.append(f"{event.kind}({event.machine or ''}@{event.at:g})")
+    return "+".join(parts)

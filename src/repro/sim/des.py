@@ -29,6 +29,34 @@ from repro.sim.clock import VirtualClock
 Action = Callable[["Simulator"], None]
 
 
+class SchedulerHook:
+    """Decision-point hook for controlled scheduling.
+
+    The default run loop resolves same-``(time, priority)`` ties by
+    insertion sequence — an artificial total order that real deployments
+    do not guarantee. A hook installed on :attr:`Simulator.hook` sees
+    every group of *co-enabled* entries (equal time and priority, none
+    cancelled) and picks which one runs next; the model checker
+    (:mod:`repro.analysis.mc`) drives exhaustive exploration through
+    this seam. With no hook installed the loop is byte-identical to the
+    historical behaviour.
+    """
+
+    def choose(self, sim: "Simulator", at: float, priority: int,
+               entries: List[Tuple]) -> int:
+        """Pick the index of the entry to execute next.
+
+        ``entries`` is the co-enabled group in canonical (seq) order;
+        the non-chosen entries are pushed back and re-offered at the
+        next iteration. Returning 0 everywhere reproduces the default
+        schedule.
+        """
+        return 0
+
+    def executed(self, sim: "Simulator", entry: Tuple) -> None:
+        """Observe every executed entry (chosen or forced)."""
+
+
 class ScheduledEvent:
     """Handle for a cancellable scheduled event.
 
@@ -65,6 +93,10 @@ class Simulator:
         self._seq = itertools.count()
         self._max_steps = max_steps
         self.steps = 0
+        #: Optional controlled-scheduling hook (model checking). None on
+        #: every production path; the hot loop checks it once per
+        #: ``run_until`` call, not per event.
+        self.hook: Optional[SchedulerHook] = None
 
     def now(self) -> float:
         """Current simulated time."""
@@ -127,6 +159,9 @@ class Simulator:
 
     def run_until(self, t_end: float) -> None:  # hot-path
         """Process events up to and including time ``t_end``."""
+        if self.hook is not None:
+            self._run_hooked(t_end)
+            return
         heap = self._heap
         pop = heapq.heappop
         advance = self.clock.advance_to
@@ -146,6 +181,52 @@ class Simulator:
             else:
                 action(*args)
         advance(max(self.clock.now(), t_end))
+
+    def _run_hooked(self, t_end: float) -> None:
+        """The :class:`SchedulerHook` variant of :meth:`run_until`.
+
+        Identical semantics except that when two or more non-cancelled
+        entries are co-enabled — equal ``(time, priority)`` at the heap
+        top — the hook picks which one runs; the rest are pushed back
+        (they keep their seq, so a hook that always answers 0 yields
+        the exact default schedule). Entries at different times or
+        priorities are never reordered: priority encodes intended
+        causality (e.g. failure broadcasts before ordinary sends).
+        """
+        heap = self._heap
+        hook = self.hook
+        assert hook is not None
+        while heap and heap[0][0] <= t_end:
+            entry = heapq.heappop(heap)
+            if entry[4] is not None and entry[4].cancelled:
+                continue
+            at, priority = entry[0], entry[1]
+            group = [entry]
+            while heap and heap[0][0] == at and heap[0][1] == priority:
+                peer = heapq.heappop(heap)
+                if peer[4] is not None and peer[4].cancelled:
+                    continue
+                group.append(peer)
+            if len(group) > 1:
+                index = hook.choose(self, at, priority, group)
+                chosen = group.pop(index)
+                for other in group:
+                    heapq.heappush(heap, other)
+            else:
+                chosen = group[0]
+            hook.executed(self, chosen)
+            self.clock.advance_to(at)
+            self.steps += 1
+            if self.steps > self._max_steps:
+                raise SimulationError(
+                    f"simulation exceeded max_steps={self._max_steps}"
+                )
+            action, args = chosen[3], chosen[5]
+            if args is None:
+                action(self)
+            else:
+                action(*args)
+        self.clock.advance_to(max(self.clock.now(), t_end))
 
     def run(self) -> None:
         """Process events until the schedule is empty."""

@@ -145,6 +145,20 @@ class SimConfig:
     #:   epochs (``checkpoint_epoch_s``) instead of by time. Crash plus
     #:   recover yields exact counts for deterministic workflows.
     delivery_semantics: str = "at-most-once"
+    #: Master-side liveness sweep period (opt-in failure detection).
+    #: The engine's built-in detection is sender-side (Section 4.3): a
+    #: dead machine is only noticed when someone sends to it. A crash
+    #: during a *quiet window* — no traffic addressed to the victim
+    #: before it recovers — is therefore never declared, its journaled
+    #: events are never replayed, and dirty slate state that died with
+    #: its caches silently degrades exactness (the model checker's
+    #: ``epoch`` counterexample). With a period set, the master sweeps
+    #: machine liveness every ``heartbeat_s`` seconds and declares any
+    #: down, undeclared machine failed — exclusion, broadcast, journal
+    #: replay — exactly as sender-side detection would. ``None`` (the
+    #: default) keeps the paper's behaviour and adds no simulator
+    #: events, so prior runs stay byte-identical.
+    heartbeat_s: Optional[float] = None
     #: Period of the effectively-once checkpoint barrier: flush every
     #: dirty slate (with its watermarks) cluster-wide, then prune every
     #: journal entry old enough that its effect is durably covered.
@@ -250,6 +264,10 @@ class SimConfig:
             raise ConfigurationError(
                 "checkpoint_epoch_s must be > 0 seconds, "
                 f"got {self.checkpoint_epoch_s!r}")
+        if self.heartbeat_s is not None and self.heartbeat_s <= 0:
+            raise ConfigurationError(
+                "heartbeat_s must be > 0 seconds (or None to disable "
+                f"the liveness sweep), got {self.heartbeat_s!r}")
         if self.delivery_semantics == "effectively-once":
             if self.replay_horizon_s is not None:
                 raise ConfigurationError(
@@ -878,6 +896,8 @@ class SimRuntime:
                                   self._make_kv_up(fault.machine),
                                   priority=-1)
         self._schedule_flusher()
+        if self.config.heartbeat_s is not None:
+            self._schedule_heartbeat()
         if self._dedup:
             self._schedule_epochs()
         if self._shed is not None:
@@ -1140,7 +1160,7 @@ class SimRuntime:
         self._known_failed.add(machine_name)
         self.master.report_failure(machine_name)
         self._machine_ring.exclude(machine_name)
-        for ring in self._function_rings.values():
+        for ring in self._function_rings.values():  # noqa: MUP010 -- built once at construction; per-ring excludes commute
             for worker in machine.workers:
                 ring.exclude(worker.wid)
         if self._trace is not None:
@@ -1630,6 +1650,28 @@ class SimRuntime:
                 alive=machine.alive)
         for name, recorder in self.latency.items():
             timeline.sample_updater(now, name, recorder.samples)
+
+    def _schedule_heartbeat(self) -> None:
+        """Master-side liveness sweep (see ``SimConfig.heartbeat_s``).
+
+        Each sweep declares any machine that is down but not yet known
+        failed — same exclusion + broadcast + journal replay as the
+        sender-side path, so a crash in a quiet traffic window still
+        triggers replay before its journal entries age out. Retired
+        machines are the planned-removal case and are skipped.
+        """
+        period = self.config.heartbeat_s
+        assert period is not None
+
+        def sweep(sim: Simulator) -> None:
+            for name in sorted(self.machines):
+                machine = self.machines[name]
+                if not machine.alive and not machine.retired \
+                        and name not in self._known_failed:
+                    self._declare_machine_failed(name)
+            sim.schedule_in(period, sweep)
+
+        self.sim.schedule_in(period, sweep)
 
     def _schedule_epochs(self) -> None:
         """Periodic checkpoint-epoch barrier (effectively-once only)."""
@@ -2180,7 +2222,7 @@ class SimRuntime:
     def _rebalance_flush(self) -> None:
         """Flush every dirty slate cluster-wide before a ring change, so
         no key moves while its freshest state is only in a cache."""
-        for machine in self.machines.values():  # noqa: MUP003 -- single-threaded DES; machine insertion order is deterministic
+        for machine in self.machines.values():  # noqa: MUP003, MUP010 -- single-threaded DES; machine insertion order is deterministic
             if not machine.alive:
                 continue
             managers = ({machine.central_mgr}
@@ -2276,7 +2318,7 @@ class SimRuntime:
                 if self.config.recovery_rebalance_flush:
                     self._rebalance_flush()
                 self._machine_ring.restore(machine_name)
-                for ring in self._function_rings.values():
+                for ring in self._function_rings.values():  # noqa: MUP010 -- built once at construction; per-ring restores commute
                     for worker in machine.workers:
                         ring.restore(worker.wid)
                 if self._trace is not None:

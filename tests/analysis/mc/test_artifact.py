@@ -1,0 +1,72 @@
+"""Counterexample artifacts: byte-stable rendering and strict replay.
+
+The files under ``counterexamples/`` are part of the repo's contract:
+CI replays them on every push, so these tests are the local version of
+that gate — every committed artifact must re-execute label-for-label
+and reproduce its recorded violations and terminal anchors.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.mc import load_artifact, render_artifact, replay_artifact
+from repro.analysis.mc.artifact import (schedule_from_json, schedule_to_json,
+                                        scenario_from_artifact)
+from repro.errors import AnalysisError
+
+ARTIFACTS = sorted(
+    (Path(__file__).parents[3] / "counterexamples").glob("*.json"))
+
+
+def test_artifacts_are_committed():
+    names = [p.name for p in ARTIFACTS]
+    assert "two_choice_dedup_unpinned-0.json" in names
+    assert "epoch_lazy_detection-0.json" in names
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
+def test_committed_artifact_replays_exactly(path):
+    document = load_artifact(str(path))
+    outcome = replay_artifact(document)
+    assert outcome.violations, "a counterexample must still violate"
+    assert outcome.violations_match
+    assert outcome.anchors_match is True
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
+def test_committed_artifact_is_canonically_rendered(path):
+    document = load_artifact(str(path))
+    assert render_artifact(document) == path.read_text()
+
+
+def test_schedule_round_trips():
+    document = load_artifact(str(ARTIFACTS[0]))
+    schedule = schedule_from_json(document["fault_schedule"])
+    assert schedule_to_json(schedule) == document["fault_schedule"]
+
+
+def test_scenario_from_artifact_rebuilds_the_lattice_point():
+    document = load_artifact(str(ARTIFACTS[0]))
+    scenario = scenario_from_artifact(document)
+    assert document["scenario"] in scenario.label
+    assert scenario.index == document["scenario_index"]
+    assert scenario.model.name == document["model"]
+
+
+def test_malformed_artifacts_are_config_errors(tmp_path):
+    document = load_artifact(str(ARTIFACTS[0]))
+    for missing in ("model", "decisions", "version"):
+        broken = dict(document)
+        del broken[missing]
+        path = tmp_path / f"missing_{missing}.json"
+        path.write_text(json.dumps(broken))
+        with pytest.raises(AnalysisError):
+            load_artifact(str(path))
+    unknown = dict(document)
+    unknown["model"] = "no_such_model"
+    path = tmp_path / "unknown_model.json"
+    path.write_text(json.dumps(unknown))
+    with pytest.raises(AnalysisError):
+        replay_artifact(load_artifact(str(path)))

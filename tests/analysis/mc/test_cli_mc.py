@@ -1,0 +1,51 @@
+"""``analyze mc`` CLI: exit codes 0 (met expectations) / 1 / 2."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parents[3]
+
+
+def _mc(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", "mc", *args],
+        cwd=ROOT, capture_output=True, text=True,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"})
+
+
+def test_explore_clean_model_exits_zero():
+    proc = _mc("explore", "--model", "two_choice_dedup")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean [exhausted]" in proc.stdout
+
+
+def test_explore_known_bug_model_exits_zero_when_it_violates():
+    proc = _mc("explore", "--model", "two_choice_dedup_unpinned",
+               "--stop-first")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "violates as expected" in proc.stdout
+
+
+def test_explore_unknown_model_exits_two():
+    proc = _mc("explore", "--model", "no_such_protocol")
+    assert proc.returncode == 2
+    assert "unknown model" in proc.stderr
+
+
+def test_replay_committed_artifact_exits_zero():
+    artifact = ROOT / "counterexamples" / "epoch_lazy_detection-0.json"
+    proc = _mc("replay", str(artifact))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "violations vs artifact: match" in proc.stdout
+
+
+def test_replay_expect_clean_fails_on_a_violating_artifact():
+    artifact = ROOT / "counterexamples" / "epoch_lazy_detection-0.json"
+    proc = _mc("replay", str(artifact), "--expect-clean")
+    assert proc.returncode == 1
+
+
+def test_replay_missing_artifact_exits_two():
+    proc = _mc("replay", "does-not-exist.json")
+    assert proc.returncode == 2

@@ -1,0 +1,71 @@
+"""DFS exploration: exhaustion, DPOR soundness, known-bug models."""
+
+from repro.analysis.mc import explore_model
+from repro.analysis.mc.models import MODELS
+
+
+def test_pinned_two_choice_model_exhausts_clean():
+    result = explore_model(MODELS["two_choice_dedup"])
+    assert result.clean
+    assert result.stats.exhausted
+    assert result.stats.schedules_run > 0
+    assert result.stats.decision_points > 0
+    # One scenario result per lattice point, fault-free included.
+    assert len(result.scenarios) == 3
+
+
+def test_unpinned_two_choice_model_finds_the_reorder_residual():
+    """Satellite regression for the PR-8 replay-pin fix: with the pins
+    neutered the checker must reach the replay-reorder lost update; the
+    violation is an exactness miss on the hot key."""
+    result = explore_model(MODELS["two_choice_dedup_unpinned"])
+    assert not result.clean
+    assert result.stats.exhausted
+    assert MODELS["two_choice_dedup_unpinned"].expect_violations
+    for counterexample in result.counterexamples:
+        assert counterexample.violations
+        for violation in counterexample.violations:
+            assert violation.prop == "exactness"
+        # Only the crash-the-owner lattice point can race.
+        assert "crash(m001" in counterexample.scenario
+
+
+def test_dpor_never_explores_more_than_naive():
+    """Soundness + reduction: on the same model, reduced exploration
+    must still find the exact same verdict with at most as many
+    schedules as naive enumeration."""
+    model = MODELS["two_choice_dedup_unpinned"]
+    reduced = explore_model(model, dpor=True)
+    naive = explore_model(model, dpor=False,
+                          max_schedules_per_scenario=5_000)
+    assert not reduced.clean and not naive.clean
+    assert reduced.stats.schedules_run <= naive.stats.schedules_run
+    # Both modes agree on which lattice points violate.
+    assert ({c.scenario for c in reduced.counterexamples}
+            == {c.scenario for c in naive.counterexamples})
+
+
+def test_stop_on_violation_short_circuits():
+    model = MODELS["two_choice_dedup_unpinned"]
+    full = explore_model(model)
+    first = explore_model(model, stop_on_violation=True)
+    assert len(first.counterexamples) == 1
+    assert first.stats.schedules_run <= full.stats.schedules_run
+
+
+def test_schedule_budget_reports_bounded():
+    result = explore_model(MODELS["two_choice_dedup"],
+                           max_schedules_per_scenario=1)
+    assert not result.stats.exhausted
+
+
+def test_epoch_lazy_detection_is_a_known_bug():
+    """The quiet-window residual: without the heartbeat sweep a crash
+    with no subsequent traffic to the victim is never detected, the
+    journal is never replayed, and the count comes up short."""
+    model = MODELS["epoch_lazy_detection"]
+    assert model.expect_violations
+    result = explore_model(model, stop_on_violation=True)
+    assert not result.clean
+    violation = result.counterexamples[0].violations[0]
+    assert violation.prop == "exactness"

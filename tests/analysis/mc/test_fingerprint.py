@@ -1,0 +1,42 @@
+"""State fingerprints: semantic, schedule-stable, difference-sensitive."""
+
+from repro.analysis.mc import replay_decisions, state_fingerprint
+from repro.analysis.mc.models import MODELS
+
+
+def _terminal_fingerprint(model_name, scenario_index, decisions=()):
+    scenario = MODELS[model_name].scenarios()[scenario_index]
+    runtime, _ = replay_decisions(scenario, list(decisions), strict=False)
+    return state_fingerprint(runtime)
+
+
+def test_identical_runs_fingerprint_identically():
+    first = _terminal_fingerprint("two_choice_dedup", 0)
+    second = _terminal_fingerprint("two_choice_dedup", 0)
+    assert first == second
+    assert len(first) == 64  # sha256 hex
+
+
+def test_different_fault_schedules_fingerprint_differently():
+    fault_free = _terminal_fingerprint("two_choice_dedup", 0)
+    crashed = _terminal_fingerprint("two_choice_dedup", 2)
+    assert fault_free != crashed
+
+
+def test_lost_update_changes_the_fingerprint():
+    """The pinned and unpinned models share workload, cluster, and
+    fault schedule; when the unpinned run loses an update its terminal
+    fingerprint must disagree with the pinned (exact) run's. This is
+    what makes fingerprint pruning sound: states that differ in
+    outcome never collapse."""
+    from repro.analysis.mc import explore_model
+
+    result = explore_model(MODELS["two_choice_dedup_unpinned"],
+                           stop_on_violation=True)
+    counterexample = result.counterexamples[0]
+    trail = [chosen for _, chosen in counterexample.decisions]
+    racing = _terminal_fingerprint("two_choice_dedup_unpinned",
+                                   counterexample.scenario_index, trail)
+    exact = _terminal_fingerprint("two_choice_dedup",
+                                  counterexample.scenario_index)
+    assert racing != exact

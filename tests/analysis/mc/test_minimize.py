@@ -1,0 +1,44 @@
+"""Counterexample minimization: shorter pins, same violation."""
+
+from repro.analysis.mc import explore_model, minimize_counterexample
+from repro.analysis.mc.models import MODELS
+
+
+def _first_counterexample(model_name):
+    model = MODELS[model_name]
+    result = explore_model(model, stop_on_violation=True)
+    assert result.counterexamples
+    counterexample = result.counterexamples[0]
+    scenario = model.scenarios()[counterexample.scenario_index]
+    return scenario, counterexample
+
+
+def test_minimized_counterexample_still_violates():
+    scenario, counterexample = _first_counterexample(
+        "two_choice_dedup_unpinned")
+    minimized = minimize_counterexample(scenario, counterexample)
+    assert minimized.violations
+    assert minimized.pinned is not None
+    assert minimized.pinned <= len(counterexample.decisions)
+    # The same property still fails after shrinking.
+    assert ({(v.prop, v.name) for v in minimized.violations}
+            == {(v.prop, v.name) for v in counterexample.violations})
+
+
+def test_minimization_is_idempotent():
+    scenario, counterexample = _first_counterexample(
+        "two_choice_dedup_unpinned")
+    once = minimize_counterexample(scenario, counterexample)
+    twice = minimize_counterexample(scenario, once)
+    assert twice.pinned == once.pinned
+    assert [c for _, c in twice.decisions] == [c for _, c in once.decisions]
+
+
+def test_quiet_window_counterexample_minimizes_to_the_default_run():
+    """The epoch_lazy_detection bug needs no adversarial scheduling at
+    all — the default schedule loses the journal — so minimization must
+    shrink the pinned prefix to zero."""
+    scenario, counterexample = _first_counterexample("epoch_lazy_detection")
+    minimized = minimize_counterexample(scenario, counterexample)
+    assert minimized.pinned == 0
+    assert minimized.violations

@@ -1,0 +1,59 @@
+"""Regression: the PR-8 replay pins close the two-choice reorder race.
+
+The committed ``two_choice_dedup_unpinned-0.json`` artifact is the
+minimized witness of the pre-fix residual: with pins neutered, the
+recorded delivery order splits a replayed (key, fn) pair across
+workers, the later oseq applies first, and the earlier one is
+dedup-skipped — a lost update. These tests prove the fix: the *same*
+delivery order against the real engine (pins active) stays exact, and
+exhaustive exploration of the pinned model finds no schedule at all
+that violates.
+"""
+
+from pathlib import Path
+
+from repro.analysis.mc import (explore_model, load_artifact,
+                               replay_decisions)
+from repro.analysis.mc.models import MODELS
+
+_ARTIFACT = (Path(__file__).parents[3] / "counterexamples"
+             / "two_choice_dedup_unpinned-0.json")
+
+
+def _counted(runtime):
+    slates = runtime.slates_of("U1", read_through=True)
+    return {key: value["count"] for key, value in slates.items()}
+
+
+def test_unpinned_engine_loses_the_update_on_the_recorded_schedule():
+    document = load_artifact(str(_ARTIFACT))
+    model = MODELS["two_choice_dedup_unpinned"]
+    scenario = model.scenarios()[document["scenario_index"]]
+    trail = [step["chosen"] for step in document["decisions"]]
+    runtime, _ = replay_decisions(scenario, trail, strict=True)
+    reference = model.reference_slates()
+    counted = _counted(runtime)
+    assert counted["k0"] < reference["k0"], (
+        "the known-residual artifact no longer reproduces; regenerate "
+        "counterexamples/ via analyze mc explore --emit")
+
+
+def test_replay_pins_close_the_recorded_schedule():
+    """Feed the pinned engine the exact delivery order the artifact
+    used to lose an update; the pins serialize the replayed pair onto
+    one worker and every count lands exactly."""
+    document = load_artifact(str(_ARTIFACT))
+    model = MODELS["two_choice_dedup"]
+    scenario = model.scenarios()[document["scenario_index"]]
+    assert scenario.schedule.events() \
+        and document["scenario"] in scenario.label
+    deliveries = [step["chosen"] for step in document["decisions"]
+                  if step["chosen"].startswith("deliver:")]
+    assert len(deliveries) >= 2
+    runtime, _ = replay_decisions(scenario, deliveries, strict=False)
+    assert _counted(runtime) == model.reference_slates()
+
+
+def test_pinned_model_has_no_violating_schedule_at_all():
+    result = explore_model(MODELS["two_choice_dedup"])
+    assert result.clean and result.stats.exhausted

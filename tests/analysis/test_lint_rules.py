@@ -27,6 +27,7 @@ _SCOPE = {
     "MUP007": "repro/sim/bad.py",
     "MUP008": "repro/muppet/local.py",
     "MUP009": "repro/sim/bad.py",
+    "MUP010": "repro/elastic/bad.py",
 }
 
 #: Findings the bad fixture must produce (lower bound).
@@ -40,6 +41,7 @@ _MIN_FINDINGS = {
     "MUP007": 2,  # bare except, except: pass
     "MUP008": 2,  # slate-under-manager, latency-under-counter
     "MUP009": 4,  # two dict literals, dataclasses.replace, aliased replace
+    "MUP010": 4,  # .values(), set(...), time.time, .items()
 }
 
 ALL_CODES = sorted(_SCOPE)

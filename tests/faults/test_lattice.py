@@ -1,0 +1,82 @@
+"""The fault lattice: deterministic small-scope schedule enumeration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (CrashSite, FaultLattice, MigrationSite,
+                          describe_schedule)
+
+
+def _labels(lattice):
+    return [describe_schedule(s) for s in lattice.schedules()]
+
+
+def test_empty_schedule_first_then_declaration_order():
+    lattice = FaultLattice(
+        crashes=(CrashSite("m000", at_times=(0.1, 0.2),
+                           recover_after=(0.5, None)),
+                 CrashSite("m001", at_times=(0.3,))),
+        max_faults=1)
+    labels = _labels(lattice)
+    assert labels[0] == "fault-free"
+    # m000 placements: time-major, recovery-minor; then m001.
+    assert labels[1:] == [
+        "crash(m000@0.1)+recover(m000@0.6)",
+        "crash(m000@0.1)",
+        "crash(m000@0.2)+recover(m000@0.7)",
+        "crash(m000@0.2)",
+        "crash(m001@0.3)",
+    ]
+    # 1 empty + 2*2 + 1 single-site placements.
+    assert len(lattice) == 6
+
+
+def test_enumeration_is_deterministic():
+    lattice = FaultLattice(
+        crashes=(CrashSite("m000", at_times=(0.1,), recover_after=(0.5,)),),
+        migrations=(MigrationSite(phases=("snapshot", "cutover"),
+                                  targets=("donor", "receiver")),),
+        max_faults=2)
+    assert _labels(lattice) == _labels(lattice)
+
+
+def test_max_faults_two_adds_cross_site_pairs():
+    single = FaultLattice(
+        crashes=(CrashSite("m000", at_times=(0.1,)),
+                 CrashSite("m001", at_times=(0.2,))),
+        max_faults=1)
+    paired = FaultLattice(
+        crashes=(CrashSite("m000", at_times=(0.1,)),
+                 CrashSite("m001", at_times=(0.2,))),
+        max_faults=2)
+    assert len(single) == 3
+    # ... plus the one m000 x m001 pair.
+    assert len(paired) == 4
+    assert _labels(paired)[-1] == "crash(m000@0.1)+crash(m001@0.2)"
+
+
+def test_include_empty_false_drops_the_fault_free_point():
+    lattice = FaultLattice(
+        crashes=(CrashSite("m000", at_times=(0.1,)),),
+        include_empty=False)
+    assert _labels(lattice) == ["crash(m000@0.1)"]
+
+
+def test_migration_site_points_are_phase_major():
+    site = MigrationSite(phases=("snapshot", "cutover"),
+                         targets=("donor", "receiver"))
+    assert site.points() == [
+        ("snapshot", "donor"), ("snapshot", "receiver"),
+        ("cutover", "donor"), ("cutover", "receiver"),
+    ]
+
+
+def test_invalid_sites_are_rejected():
+    with pytest.raises(ConfigurationError):
+        CrashSite("", at_times=(0.1,))
+    with pytest.raises(ConfigurationError):
+        CrashSite("m000", at_times=())
+    with pytest.raises(ConfigurationError):
+        CrashSite("m000", at_times=(0.1,), recover_after=(-1.0,))
+    with pytest.raises(ConfigurationError):
+        FaultLattice(max_faults=-1)

@@ -1,0 +1,68 @@
+"""The master heartbeat sweep (SimConfig.heartbeat_s).
+
+Failure detection is otherwise sender-side only: a machine that
+crashes during a quiet window — no subsequent sends target it — is
+never declared failed, its journal is never replayed, and dirty slate
+state dies with its cache. The model checker found this as the
+``epoch_lazy_detection`` counterexample; the opt-in heartbeat closes
+it. Default stays ``None`` so every committed baseline is untouched.
+"""
+
+import pytest
+
+from repro.analysis.mc.models import MODELS
+from repro.analysis.mc.properties import check_terminal_state
+from repro.errors import ConfigurationError
+from repro.sim import SimConfig
+
+
+def _terminal_violations(model_name, scenario_index=0):
+    model = MODELS[model_name]
+    scenario = model.scenarios()[scenario_index]
+    runtime = scenario.build()
+    runtime.run(model.horizon_s)
+    return [v for v in check_terminal_state(
+        model, runtime, model.reference_slates())
+        if v.prop == "exactness"]
+
+
+def test_quiet_window_crash_loses_updates_without_heartbeat():
+    violations = _terminal_violations("epoch_lazy_detection")
+    assert violations, (
+        "expected the quiet-window lost update; did sender-side "
+        "detection grow a liveness sweep?")
+
+
+def test_heartbeat_sweep_closes_the_quiet_window():
+    # Same crash placement, heartbeat on: the sweep declares the quiet
+    # victim, the journal replays, and every count is exact. The crash
+    # lattice points of the epoch model start at index 1 (0 is
+    # fault-free).
+    model = MODELS["epoch"]
+    assert model.build_config().heartbeat_s is not None
+    for index in range(len(model.scenarios())):
+        assert _terminal_violations("epoch", index) == []
+
+
+def test_heartbeat_config_is_validated():
+    assert SimConfig().heartbeat_s is None
+    SimConfig(heartbeat_s=0.5)  # valid
+    with pytest.raises(ConfigurationError):
+        SimConfig(heartbeat_s=0.0)
+    with pytest.raises(ConfigurationError):
+        SimConfig(heartbeat_s=-1.0)
+
+
+def test_heartbeat_off_is_deterministic():
+    """heartbeat_s=None keeps the historical schedule: two identical
+    heartbeat-off runs replay byte-identically (counters and slates),
+    so the opt-in flag cannot have perturbed committed baselines."""
+    lazy = MODELS["epoch_lazy_detection"]
+    assert lazy.build_config().heartbeat_s is None
+    first = lazy.scenarios()[0].build()
+    second = lazy.scenarios()[0].build()
+    first.run(lazy.horizon_s)
+    second.run(lazy.horizon_s)
+    assert first.counters.snapshot() == second.counters.snapshot()
+    assert first.slates_of("U1", read_through=True) \
+        == second.slates_of("U1", read_through=True)
